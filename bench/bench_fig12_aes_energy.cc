@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12 — energy overhead of AES (micro-Joules per byte) on the
+ * Nexus 4, for 4 KB requests: user-mode OpenSSL-style AES, the kernel
+ * Crypto API path, and the hardware accelerator.
+ *
+ * Paper shape: the accelerator is the LEAST energy-efficient option
+ * for 4 KB pages — its low throughput while down-scaled means the
+ * request is powered for far longer per byte.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/bytes.hh"
+#include "crypto/aes_on_soc.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+
+namespace
+{
+
+constexpr std::size_t TOTAL = 8 * MiB;
+
+double
+measureMicroJoulesPerByte(hw::Soc &soc,
+                          const std::function<void()> &work)
+{
+    soc.energy().reset();
+    work();
+    return soc.energy().totalConsumed() /
+           static_cast<double>(TOTAL) * 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 12: AES energy overhead (uJ/byte)",
+                  "Nexus 4, 4 KB requests");
+
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    hw::Soc soc(hw::PlatformConfig::nexus4(64 * MiB));
+    std::vector<std::uint8_t> page(4 * KiB, 0x31);
+
+    SimAesEngine user(soc, DRAM_BASE + 16 * MiB, key,
+                      StatePlacement::Dram, /*kernel_path=*/false);
+    const double openssl = measureMicroJoulesPerByte(soc, [&] {
+        for (std::size_t done = 0; done < TOTAL; done += page.size())
+            user.cbcEncrypt(Iv{}, page);
+    });
+
+    SimAesEngine kernel(soc, DRAM_BASE + 17 * MiB, key,
+                        StatePlacement::Dram, /*kernel_path=*/true);
+    const double cryptoApi = measureMicroJoulesPerByte(soc, [&] {
+        for (std::size_t done = 0; done < TOTAL; done += page.size())
+            kernel.cbcEncrypt(Iv{}, page);
+    });
+
+    soc.accel()->setKey(key);
+    soc.accel()->setDownscaled(true);
+    const double hw = measureMicroJoulesPerByte(soc, [&] {
+        for (std::size_t done = 0; done < TOTAL; done += page.size())
+            soc.accel()->cbcEncrypt(Iv{}, page);
+    });
+
+    std::printf("%-20s %10.4f uJ/byte\n", "OpenSSL", openssl);
+    std::printf("%-20s %10.4f uJ/byte\n", "CryptoAPI", cryptoApi);
+    std::printf("%-20s %10.4f uJ/byte\n", "HW Accelerated", hw);
+
+    std::printf("\nPaper shape: OpenSSL < CryptoAPI << HW-accelerated "
+                "(~0.02 / ~0.03 / ~0.10 uJ/B):\nthe accelerator's low "
+                "4 KB throughput makes it the most expensive per "
+                "byte.\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 9 — dm-crypt throughput for random reads and random
+ * read/writes, buffered and with direct I/O, under three ciphers:
+ * none, generic (kernel) AES, and Sentry's AES On SoC.
+ *
+ * Setup mirrors the paper: an in-memory partition protected by
+ * dm-crypt, filebench-style workloads, Tegra 3 with cache locking.
+ *
+ * Paper shape: the buffer cache masks most of the crypto cost for
+ * cached reads; randrw loses ~2x even cached; with direct I/O the
+ * crypto cost is fully exposed; Sentry ~= generic AES (<1% apart).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hh"
+#include "common/bytes.hh"
+#include "core/device.hh"
+#include "os/buffer_cache.hh"
+#include "os/dm_crypt.hh"
+#include "os/filebench.hh"
+
+using namespace sentry;
+using namespace sentry::os;
+
+namespace
+{
+
+enum class CryptoMode
+{
+    None,
+    GenericAes,
+    Sentry,
+};
+
+const char *
+modeName(CryptoMode mode)
+{
+    switch (mode) {
+      case CryptoMode::None:
+        return "No Crypto";
+      case CryptoMode::GenericAes:
+        return "Generic AES";
+      case CryptoMode::Sentry:
+        return "Sentry";
+    }
+    return "?";
+}
+
+/** The paper's partition is 450 MB; 32 MB keeps trials fast with the
+ *  same cached/uncached contrast. */
+constexpr std::size_t PARTITION = 32 * MiB;
+constexpr std::size_t IO_BYTES = 16 * MiB;
+
+double
+runOne(CryptoMode mode, FilebenchWorkload workload, bool direct_io,
+       std::uint64_t seed)
+{
+    core::SentryOptions options;
+    options.placement = core::AesPlacement::LockedL2;
+    hw::PlatformConfig config = hw::PlatformConfig::tegra3(64 * MiB);
+    config.seed = seed;
+    core::Device device(config, options);
+    device.sentry().registerCryptoProviders();
+
+    RamBlockDevice disk(device.soc().clock(), PARTITION);
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+
+    std::unique_ptr<DmCrypt> dm;
+    BlockLayer *layer = &disk;
+    if (mode != CryptoMode::None) {
+        auto &api = device.kernel().cryptoApi();
+        std::unique_ptr<crypto::SimAesEngine> cipher;
+        if (mode == CryptoMode::GenericAes) {
+            for (const auto &impl : api.implementations()) {
+                if (impl.implName == "aes-generic")
+                    cipher = impl.factory(key);
+            }
+        } else {
+            cipher = api.allocCipher("aes", key); // best = AES On SoC
+        }
+        // kcryptd spreads write-side encryption across all four cores.
+        dm = std::make_unique<DmCrypt>(disk, std::move(cipher),
+                                       config.cores);
+        layer = dm.get();
+    }
+
+    BufferCache cache(device.soc().clock(), *layer, PARTITION / 2);
+    Filebench bench(device.soc().clock(), cache, PARTITION / 2);
+    Rng rng(seed);
+    return bench.run(workload, IO_BYTES, direct_io, rng).mbPerSec();
+}
+
+void
+runWorkload(FilebenchWorkload workload, bool direct_io)
+{
+    std::printf("%-22s", direct_io
+                             ? (std::string(filebenchWorkloadName(
+                                    workload)) +
+                                " (direct I/O)")
+                                   .c_str()
+                             : filebenchWorkloadName(workload));
+    for (CryptoMode mode : {CryptoMode::None, CryptoMode::GenericAes,
+                            CryptoMode::Sentry}) {
+        RunningStat stat;
+        for (unsigned trial = 0; trial < 5; ++trial)
+            stat.add(runOne(mode, workload, direct_io, 40 + trial));
+        std::printf(" %11.1f", stat.mean());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 9: dm-crypt throughput (MB/s)",
+                  "randread and randrw, buffered vs direct I/O, "
+                  "Tegra 3 with cache locking");
+
+    std::printf("%-22s %11s %11s %11s\n", "workload",
+                modeName(CryptoMode::None), modeName(CryptoMode::GenericAes),
+                modeName(CryptoMode::Sentry));
+    runWorkload(FilebenchWorkload::RandRead, false);
+    runWorkload(FilebenchWorkload::RandRead, true);
+    runWorkload(FilebenchWorkload::RandRW, false);
+    runWorkload(FilebenchWorkload::RandRW, true);
+
+    std::printf("\nPaper shape: cached randread masks encryption "
+                "entirely; randrw pays ~2x even cached;\ndirect I/O "
+                "exposes the full crypto cost; Sentry tracks generic "
+                "AES within ~1%%.\n");
+    return 0;
+}

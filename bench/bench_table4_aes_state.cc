@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4 — the breakdown of AES state in bytes, by key size and
+ * sensitivity class.
+ *
+ * Sizes are measured from this implementation's actual on-SoC state
+ * layout (the same layout AES On SoC materialises), printed alongside
+ * the paper's OpenSSL-based accounting. Our layout carries both the
+ * encryption and decryption schedules and all eight T-tables, so the
+ * round-key and table rows are larger than the paper's single-
+ * direction numbers; the classification and the conclusions (access-
+ * protected state dominates; everything fits in one 128 KB way) are
+ * identical. See EXPERIMENTS.md for the detailed comparison.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "crypto/aes_state.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+
+int
+main()
+{
+    bench::banner("Table 4: the breakdown of AES state in bytes",
+                  "measured from the AES On SoC state layout");
+
+    const AesStateLayout layouts[] = {
+        AesStateLayout::forKeyBytes(16),
+        AesStateLayout::forKeyBytes(24),
+        AesStateLayout::forKeyBytes(32),
+    };
+
+    std::printf("%-28s %10s %10s %10s  %s\n", "", "AES-128", "AES-192",
+                "AES-256", "Sensitivity");
+    for (std::size_t row = 0; row < layouts[0].components().size();
+         ++row) {
+        const auto &name = layouts[0].components()[row].name;
+        std::printf("%-28s %10zu %10zu %10zu  %s\n", name.c_str(),
+                    layouts[0].components()[row].bytes,
+                    layouts[1].components()[row].bytes,
+                    layouts[2].components()[row].bytes,
+                    sensitivityName(
+                        layouts[0].components()[row].sensitivity));
+    }
+
+    std::printf("%-28s %10zu %10zu %10zu\n", "TOTAL",
+                layouts[0].totalBytes(), layouts[1].totalBytes(),
+                layouts[2].totalBytes());
+
+    std::printf("\nPer sensitivity class (AES-128):\n");
+    for (auto s : {Sensitivity::Secret, Sensitivity::AccessProtected,
+                   Sensitivity::Public}) {
+        std::printf("  %-18s %6zu bytes\n", sensitivityName(s),
+                    layouts[0].bytesOf(s));
+    }
+    std::printf("\nPaper (OpenSSL single-direction accounting, AES-128): "
+                "352 secret + 2600 access-protected + 18 public = 2970 "
+                "bytes.\nKey property preserved: access-protected state "
+                "is ~an order of magnitude larger than the rest — the "
+                "reason register-only schemes cannot protect it.\n");
+    return 0;
+}

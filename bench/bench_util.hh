@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks: headers, repeated
+ * trials with mean/stddev (the paper runs every experiment >= 10
+ * times), and consistent row formatting.
+ */
+
+#ifndef SENTRY_BENCH_UTIL_HH
+#define SENTRY_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace sentry::bench
+{
+
+/** Print the benchmark banner. */
+inline void
+banner(const char *experiment, const char *caption)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("%s\n", caption);
+    std::printf("==============================================================\n");
+}
+
+/** Run @p trial @p n times, collecting one sample per run. */
+inline RunningStat
+repeat(unsigned n, const std::function<double()> &trial)
+{
+    RunningStat stat;
+    for (unsigned i = 0; i < n; ++i)
+        stat.add(trial());
+    return stat;
+}
+
+/** Default trial count (matches the paper's "at least ten times"). */
+constexpr unsigned TRIALS = 10;
+
+} // namespace sentry::bench
+
+#endif // SENTRY_BENCH_UTIL_HH

@@ -1,0 +1,32 @@
+#include "apps/app_profile.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::apps
+{
+
+const std::vector<AppProfile> &
+AppProfile::paperApps()
+{
+    // resident / resume / script-touched / script-seconds / dma.
+    // Resume + script + DMA never exceeds the resident set.
+    static const std::vector<AppProfile> apps = {
+        {"Contacts", 24 * MiB, 4 * MiB, 18 * MiB, 23.0, 1 * MiB},
+        {"Maps", 48 * MiB, 20 * MiB, 3 * MiB, 20.0, 15 * MiB},
+        {"Twitter", 32 * MiB, 16 * MiB, 4 * MiB, 17.0, 3 * MiB},
+        {"MP3", 25 * MiB, 7 * MiB, 1 * MiB, 300.0, 1 * MiB},
+    };
+    return apps;
+}
+
+const AppProfile &
+AppProfile::byName(const std::string &name)
+{
+    for (const auto &app : paperApps()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("unknown paper app \"%s\"", name.c_str());
+}
+
+} // namespace sentry::apps

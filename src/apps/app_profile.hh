@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory-footprint profiles of the Android applications the paper
+ * evaluates (Contacts, Google Maps, Twitter, and the ServeStream MP3
+ * player). The sizes reproduce the working sets behind Figures 2-5:
+ * how much is encrypted at lock, decrypted to resume, decrypted on
+ * demand while the scripted workload runs, and how large the eagerly-
+ * decrypted DMA regions are (1 MB Contacts .. 15 MB Maps, section 7).
+ */
+
+#ifndef SENTRY_APPS_APP_PROFILE_HH
+#define SENTRY_APPS_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sentry::apps
+{
+
+/** Footprint and workload description of one sensitive app. */
+struct AppProfile
+{
+    std::string name;
+    /** Total resident bytes encrypted at device lock (Figure 4). */
+    std::size_t residentBytes;
+    /** Bytes decrypted to resume after unlock (Figure 2). */
+    std::size_t resumeSetBytes;
+    /** Bytes decrypted on demand during the scripted run (Figure 3). */
+    std::size_t scriptTouchedBytes;
+    /** Baseline duration of the scripted run without Sentry. */
+    double scriptSeconds;
+    /** GPU/I-O DMA region size, decrypted eagerly at unlock. */
+    std::size_t dmaRegionBytes;
+
+    /** The paper's four apps. */
+    static const std::vector<AppProfile> &paperApps();
+
+    /** Find a paper app by name; fatal when unknown. */
+    static const AppProfile &byName(const std::string &name);
+};
+
+} // namespace sentry::apps
+
+#endif // SENTRY_APPS_APP_PROFILE_HH

@@ -1,0 +1,142 @@
+#include "apps/background_app.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sentry::apps
+{
+
+BackgroundProfile
+BackgroundProfile::alpine()
+{
+    BackgroundProfile p;
+    p.name = "alpine";
+    // Mailbox index + message cache: random touches over ~800 KB.
+    p.randomHotBytes = 800 * KiB;
+    p.randomTouchesPerStep = 22;
+    p.baselineKernelSecondsPerStep = 6.4e-3;
+    p.userSecondsPerStep = 20e-3;
+    return p;
+}
+
+BackgroundProfile
+BackgroundProfile::vlock()
+{
+    BackgroundProfile p;
+    p.name = "vlock";
+    // Tiny state: a few pages of screen/input bookkeeping, plus an
+    // occasional cold page (redraw buffers).
+    p.randomHotBytes = 80 * KiB;
+    p.randomTouchesPerStep = 5;
+    p.streamBytes = 256 * KiB;
+    p.streamTouchesPerStep = 1;
+    p.baselineKernelSecondsPerStep = 2.0e-3;
+    p.userSecondsPerStep = 5e-3;
+    return p;
+}
+
+BackgroundProfile
+BackgroundProfile::xmms2()
+{
+    BackgroundProfile p;
+    p.name = "xmms2";
+    // Decode ring (reused; survives in 512 KB of locked cache once
+    // the streaming traffic is accounted for, thrashes in 256 KB) plus
+    // a stream of fresh audio data that always faults.
+    p.ringBytes = 224 * KiB;
+    p.ringTouchesPerStep = 10;
+    p.streamBytes = 4 * MiB;
+    p.streamTouchesPerStep = 4;
+    p.baselineKernelSecondsPerStep = 9.0e-3;
+    p.userSecondsPerStep = 30e-3;
+    return p;
+}
+
+BackgroundApp::BackgroundApp(os::Kernel &kernel,
+                             const BackgroundProfile &profile)
+    : kernel_(kernel), profile_(profile)
+{
+    process_ = &kernel_.createProcess(profile.name);
+    if (profile.randomHotBytes > 0) {
+        hotBase_ = kernel_
+                       .addVma(*process_, "hot", os::VmaType::Heap,
+                               profile.randomHotBytes)
+                       .base;
+    }
+    if (profile.ringBytes > 0) {
+        ringBase_ = kernel_
+                        .addVma(*process_, "ring", os::VmaType::Heap,
+                                profile.ringBytes)
+                        .base;
+    }
+    if (profile.streamBytes > 0) {
+        streamBase_ = kernel_
+                          .addVma(*process_, "stream", os::VmaType::Heap,
+                                  profile.streamBytes)
+                          .base;
+    }
+}
+
+void
+BackgroundApp::populate()
+{
+    std::vector<std::uint8_t> page(PAGE_SIZE);
+    for (const os::Vma &vma : process_->addressSpace().vmas()) {
+        for (std::size_t off = 0; off < vma.size; off += PAGE_SIZE) {
+            for (std::size_t i = 0; i < PAGE_SIZE; ++i) {
+                page[i] = static_cast<std::uint8_t>(profile_.name[0] + i +
+                                                    (off >> 12));
+            }
+            kernel_.writeVirt(*process_, vma.base + off, page.data(),
+                              PAGE_SIZE);
+        }
+    }
+}
+
+BackgroundRunResult
+BackgroundApp::run(unsigned steps, Rng &rng)
+{
+    hw::Soc &soc = kernel_.soc();
+    const Cycles kernelStart = kernel_.kernelCycles();
+    SimStopwatch watch(soc.clock());
+
+    for (unsigned step = 0; step < steps; ++step) {
+        // User-mode compute (decode, polling) — not kernel time.
+        soc.chargeCpuSeconds(profile_.userSecondsPerStep);
+
+        // Baseline kernel work (syscalls, device I/O).
+        {
+            os::Kernel::KernelTimer timer(kernel_);
+            soc.chargeCpuSeconds(profile_.baselineKernelSecondsPerStep);
+        }
+
+        // Memory touches: every touch may fault into the pager.
+        const std::size_t hotPages = profile_.randomHotBytes / PAGE_SIZE;
+        for (unsigned t = 0; t < profile_.randomTouchesPerStep; ++t) {
+            const std::size_t page = rng.below(hotPages);
+            kernel_.touchRange(*process_, hotBase_ + page * PAGE_SIZE, 8);
+        }
+        const std::size_t ringPages = profile_.ringBytes / PAGE_SIZE;
+        for (unsigned t = 0; t < profile_.ringTouchesPerStep; ++t) {
+            kernel_.touchRange(
+                *process_, ringBase_ + ringCursor_ * PAGE_SIZE, 8);
+            ringCursor_ = (ringCursor_ + 1) % ringPages;
+        }
+        const std::size_t streamPages = profile_.streamBytes / PAGE_SIZE;
+        for (unsigned t = 0; t < profile_.streamTouchesPerStep; ++t) {
+            kernel_.touchRange(
+                *process_, streamBase_ + streamCursor_ * PAGE_SIZE, 8,
+                /*write=*/true);
+            streamCursor_ = (streamCursor_ + 1) % streamPages;
+        }
+    }
+
+    BackgroundRunResult result;
+    result.kernelSeconds = soc.clock().toSeconds(kernel_.kernelCycles() -
+                                                 kernelStart);
+    result.totalSeconds = watch.elapsedSeconds();
+    return result;
+}
+
+} // namespace sentry::apps

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Background applications for the locked-device experiments (Figures
+ * 6-8): alpine (e-mail), vlock (lock screen), and xmms2 (MP3 player) —
+ * "the types of actions users do when their smartphones are locked".
+ *
+ * Each profile combines up to three access components per step:
+ *   - randomHot:  uniform touches over a hot working set (alpine's
+ *     mailbox index, vlock's tiny state);
+ *   - ring:       cyclic sequential touches over a reuse buffer
+ *     (xmms2's decode ring — fits in 512 KB of locked cache, thrashes
+ *     in 256 KB);
+ *   - stream:     strictly new pages every step (xmms2's incoming
+ *     audio data — faults regardless of pool size).
+ */
+
+#ifndef SENTRY_APPS_BACKGROUND_APP_HH
+#define SENTRY_APPS_BACKGROUND_APP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "os/kernel.hh"
+
+namespace sentry::apps
+{
+
+/** Access mix of one background app. */
+struct BackgroundProfile
+{
+    std::string name;
+
+    std::size_t randomHotBytes = 0;
+    unsigned randomTouchesPerStep = 0;
+
+    std::size_t ringBytes = 0;
+    unsigned ringTouchesPerStep = 0;
+
+    std::size_t streamBytes = 0;
+    unsigned streamTouchesPerStep = 0;
+
+    /** Kernel time per step without Sentry (syscalls, I/O). */
+    double baselineKernelSecondsPerStep = 0.0;
+    /** User-mode compute per step. */
+    double userSecondsPerStep = 0.0;
+
+    static BackgroundProfile alpine();
+    static BackgroundProfile vlock();
+    static BackgroundProfile xmms2();
+};
+
+/** Result of a background run. */
+struct BackgroundRunResult
+{
+    double kernelSeconds = 0.0;
+    double totalSeconds = 0.0;
+};
+
+/** One instantiated background app. */
+class BackgroundApp
+{
+  public:
+    BackgroundApp(os::Kernel &kernel, const BackgroundProfile &profile);
+
+    /** @return the underlying process. */
+    os::Process &process() { return *process_; }
+
+    /** @return the profile. */
+    const BackgroundProfile &profile() const { return profile_; }
+
+    /** Write initial data into every VMA. */
+    void populate();
+
+    /**
+     * Run @p steps steps of the access mix, measuring time spent in the
+     * kernel (fault handling, paging, crypto, baseline syscalls).
+     */
+    BackgroundRunResult run(unsigned steps, Rng &rng);
+
+  private:
+    os::Kernel &kernel_;
+    BackgroundProfile profile_;
+    os::Process *process_;
+    VirtAddr hotBase_ = 0;
+    VirtAddr ringBase_ = 0;
+    VirtAddr streamBase_ = 0;
+    std::size_t ringCursor_ = 0;
+    std::size_t streamCursor_ = 0;
+};
+
+} // namespace sentry::apps
+
+#endif // SENTRY_APPS_BACKGROUND_APP_HH

@@ -1,0 +1,92 @@
+#include "apps/kernel_compile.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sentry::apps
+{
+
+KernelCompileResult
+KernelCompileWorkload::run(hw::Soc &soc, unsigned locked_ways, Rng &rng)
+{
+    hw::L2Cache &l2 = soc.l2();
+    if (locked_ways > l2.ways())
+        fatal("cannot lock %u of %u ways", locked_ways, l2.ways());
+
+    // Address mix: 85% of accesses hit a ~768 KiB hot set (compiler
+    // binary + headers, zipf-skewed), 15% stream over an 8 MiB cold
+    // region (sources, objects).
+    const std::size_t hotBytes = 640 * KiB;
+    const std::size_t coldBytes = 8 * MiB;
+    const PhysAddr hotBase = DRAM_BASE;
+    const PhysAddr coldBase = DRAM_BASE + hotBytes;
+
+    const std::uint32_t savedLockdown = l2.lockdownReg();
+    {
+        hw::SecureWorldGuard secure(soc.trustzone());
+        if (!secure.entered())
+            fatal("kernel-compile sweep needs lockdown access");
+        // Locked ways hold Sentry's data, not the compiler's: start
+        // each configuration from an empty cache so residual lines
+        // from a previous sweep point cannot serve hits.
+        l2.rawFlushAll();
+        l2.writeLockdownReg((1u << locked_ways) - 1);
+    }
+
+    // Warm up, then measure.
+    const auto runAccesses = [&](std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            PhysAddr addr;
+            if (rng.chance(0.85)) {
+                // Quadratic skew approximates a zipf-ish hot set.
+                const double u = rng.uniform();
+                addr = hotBase +
+                       alignDown(static_cast<PhysAddr>(
+                                     u * u * static_cast<double>(hotBytes)),
+                                 4);
+            } else {
+                addr = coldBase + alignDown(rng.below(coldBytes), 4);
+            }
+            soc.memory().read32(addr);
+        }
+    };
+
+    runAccesses(accesses_ / 4); // warm-up
+    l2.clearStats();
+    runAccesses(accesses_);
+
+    const hw::L2Stats &stats = l2.stats();
+    // Uncached accesses (all ways locked) are already counted in
+    // misses by the cache model.
+    const double total = static_cast<double>(stats.hits + stats.misses);
+    const double missRate =
+        total > 0 ? static_cast<double>(stats.misses) / total : 0.0;
+
+    {
+        hw::SecureWorldGuard secure(soc.trustzone());
+        l2.writeLockdownReg(savedLockdown);
+    }
+
+    // Lazily establish the unlocked-baseline miss rate.
+    if (locked_ways == 0)
+        baselineMissRate_ = missRate;
+    if (baselineMissRate_ < 0) {
+        Rng baselineRng(rng.next64());
+        KernelCompileWorkload probe(baselineMinutes_, accesses_);
+        baselineMissRate_ = probe.run(soc, 0, baselineRng).l2MissRate;
+    }
+
+    // Miss-rate increase -> compile-time increase. alpha calibrated so
+    // a fully-locked cache (miss rate ~1) costs ~40% more wall clock.
+    constexpr double alpha = 0.45;
+    KernelCompileResult result;
+    result.lockedWays = locked_ways;
+    result.l2MissRate = missRate;
+    result.minutes = baselineMinutes_ *
+                     (1.0 + alpha * std::max(0.0, missRate -
+                                                      baselineMissRate_));
+    return result;
+}
+
+} // namespace sentry::apps

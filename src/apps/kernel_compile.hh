@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The cache-sensitive "Linux kernel compile" workload behind Figure 10:
+ * compilation time as a function of how many L2 ways are locked.
+ *
+ * A `make -j5` build has a hot working set (compiler + headers) that
+ * almost fits in the 1 MB L2 plus a long tail of cold accesses. The
+ * workload replays that mix through the real cache model at each
+ * lockdown setting, measures the resulting miss rate, and converts the
+ * miss-rate increase into compile time around the paper's 14.41-minute
+ * baseline (one locked way costs < 1%; locking everything makes every
+ * access go uncached).
+ */
+
+#ifndef SENTRY_APPS_KERNEL_COMPILE_HH
+#define SENTRY_APPS_KERNEL_COMPILE_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "hw/soc.hh"
+
+namespace sentry::apps
+{
+
+/** One simulated compile. */
+struct KernelCompileResult
+{
+    unsigned lockedWays = 0;
+    double l2MissRate = 0.0;
+    double minutes = 0.0;
+};
+
+/** The workload driver. */
+class KernelCompileWorkload
+{
+  public:
+    /**
+     * @param baseline_minutes compile time with no ways locked
+     * @param accesses         sampled memory accesses per run
+     */
+    explicit KernelCompileWorkload(double baseline_minutes = 14.41,
+                                   std::size_t accesses = 300'000)
+        : baselineMinutes_(baseline_minutes), accesses_(accesses)
+    {}
+
+    /**
+     * Run the compile with @p locked_ways ways locked. Requires the
+     * secure world (lockdown programming); restores lockdown state
+     * afterwards.
+     */
+    KernelCompileResult run(hw::Soc &soc, unsigned locked_ways, Rng &rng);
+
+  private:
+    double baselineMinutes_;
+    std::size_t accesses_;
+    double baselineMissRate_ = -1.0; //!< measured lazily at 0 ways
+};
+
+} // namespace sentry::apps
+
+#endif // SENTRY_APPS_KERNEL_COMPILE_HH

@@ -1,0 +1,96 @@
+#include "apps/synthetic_app.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::apps
+{
+
+SyntheticApp::SyntheticApp(os::Kernel &kernel, const AppProfile &profile)
+    : kernel_(kernel), profile_(profile)
+{
+    if (profile.resumeSetBytes + profile.scriptTouchedBytes +
+            profile.dmaRegionBytes >
+        profile.residentBytes) {
+        fatal("app \"%s\": working sets exceed the resident size",
+              profile.name.c_str());
+    }
+
+    process_ = &kernel_.createProcess(profile.name);
+    const std::size_t heapBytes =
+        profile.residentBytes - profile.dmaRegionBytes;
+    heapBase_ = kernel_
+                    .addVma(*process_, "heap", os::VmaType::Heap,
+                            heapBytes)
+                    .base;
+    if (profile.dmaRegionBytes > 0) {
+        dmaBase_ = kernel_
+                       .addVma(*process_, "gpu-dma",
+                               os::VmaType::DmaRegion,
+                               profile.dmaRegionBytes)
+                       .base;
+    }
+}
+
+void
+SyntheticApp::populate(std::span<const std::uint8_t> secret)
+{
+    std::vector<std::uint8_t> page(PAGE_SIZE);
+    const std::size_t heapBytes =
+        profile_.residentBytes - profile_.dmaRegionBytes;
+
+    for (std::size_t off = 0; off < heapBytes; off += PAGE_SIZE) {
+        // App data: name, counters, and the secret every fourth page.
+        for (std::size_t i = 0; i < PAGE_SIZE; ++i) {
+            page[i] = static_cast<std::uint8_t>(
+                profile_.name[i % profile_.name.size()] + (off >> 12));
+        }
+        if (!secret.empty() && (off / PAGE_SIZE) % 4 == 0)
+            std::memcpy(page.data() + 64, secret.data(), secret.size());
+        kernel_.writeVirt(*process_, heapBase_ + off, page.data(),
+                          PAGE_SIZE);
+    }
+    if (profile_.dmaRegionBytes > 0) {
+        for (std::size_t off = 0; off < profile_.dmaRegionBytes;
+             off += PAGE_SIZE) {
+            kernel_.writeVirt(*process_, dmaBase_ + off, page.data(),
+                              PAGE_SIZE);
+        }
+    }
+}
+
+double
+SyntheticApp::resume()
+{
+    SimStopwatch watch(kernel_.soc().clock());
+    kernel_.touchRange(*process_, heapBase_, profile_.resumeSetBytes);
+    return watch.elapsedSeconds();
+}
+
+double
+SyntheticApp::runScript()
+{
+    SimStopwatch watch(kernel_.soc().clock());
+
+    // Interleave foreground compute with on-demand page touches: the
+    // script touches its pages uniformly across its duration.
+    const std::size_t pages = profile_.scriptTouchedBytes / PAGE_SIZE;
+    const double computePerPage =
+        pages > 0 ? profile_.scriptSeconds / static_cast<double>(pages)
+                  : profile_.scriptSeconds;
+    const VirtAddr scriptBase = heapBase_ + profile_.resumeSetBytes;
+
+    if (pages == 0) {
+        kernel_.soc().chargeCpuSeconds(profile_.scriptSeconds);
+        return watch.elapsedSeconds();
+    }
+    for (std::size_t page = 0; page < pages; ++page) {
+        kernel_.soc().chargeCpuSeconds(computePerPage);
+        kernel_.touchRange(*process_, scriptBase + page * PAGE_SIZE,
+                           PAGE_SIZE);
+    }
+    return watch.elapsedSeconds();
+}
+
+} // namespace sentry::apps

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DMA attack (paper section 3.1): a malicious or reprogrammed
+ * DMA-capable peripheral reads arbitrary system memory while the device
+ * is powered and locked. No CPU or OS cooperation is needed; the only
+ * thing that can stop it is TrustZone's region protection (there is no
+ * IOMMU), and the L2 cache is invisible to it by construction.
+ */
+
+#ifndef SENTRY_ATTACKS_DMA_ATTACK_HH
+#define SENTRY_ATTACKS_DMA_ATTACK_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attacks/report.hh"
+#include "hw/soc.hh"
+
+namespace sentry::attacks
+{
+
+/** The DMA attacker. */
+class DmaAttack
+{
+  public:
+    /**
+     * Dump [addr, addr+len) via DMA.
+     * @param status_out optional: the first non-Ok status encountered
+     * @return dumped bytes (empty where access was denied)
+     */
+    std::vector<std::uint8_t> dumpRange(hw::Soc &soc, PhysAddr addr,
+                                        std::size_t len,
+                                        hw::DmaStatus *status_out = nullptr);
+
+    /**
+     * Full attack: dump all of DRAM and (if permitted) iRAM, grep for
+     * @p secret.
+     */
+    AttackResult run(hw::Soc &soc, std::span<const std::uint8_t> secret,
+                     const std::string &target);
+};
+
+} // namespace sentry::attacks
+
+#endif // SENTRY_ATTACKS_DMA_ATTACK_HH

@@ -1,0 +1,17 @@
+#include "attacks/report.hh"
+
+#include <cstdio>
+
+namespace sentry::attacks
+{
+
+std::string
+formatResult(const AttackResult &result)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-24s %-32s %s", result.attack.c_str(),
+                  result.target.c_str(), result.verdict());
+    return buf;
+}
+
+} // namespace sentry::attacks

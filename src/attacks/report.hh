@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Common result type for the attack harnesses and the Table 3 matrix.
+ */
+
+#ifndef SENTRY_ATTACKS_REPORT_HH
+#define SENTRY_ATTACKS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace sentry::attacks
+{
+
+/** Outcome of one attack attempt. */
+struct AttackResult
+{
+    std::string attack;           //!< e.g. "cold-boot/reflash"
+    std::string target;           //!< e.g. "volatile key in iRAM"
+    bool secretRecovered = false; //!< attacker got the secret bytes
+    double fractionRecovered = 0.0; //!< pattern survival (when measured)
+    std::vector<std::string> notes;
+
+    /** @return "UNSAFE"/"Safe" as in the paper's Table 3. */
+    const char *verdict() const
+    {
+        return secretRecovered ? "UNSAFE" : "Safe";
+    }
+};
+
+/** Pretty-print a result line ("attack  target  verdict"). */
+std::string formatResult(const AttackResult &result);
+
+} // namespace sentry::attacks
+
+#endif // SENTRY_ATTACKS_REPORT_HH

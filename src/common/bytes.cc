@@ -1,0 +1,104 @@
+#include "common/bytes.hh"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry
+{
+
+void
+fillPattern(std::span<std::uint8_t> buf, std::span<const std::uint8_t> pattern)
+{
+    if (pattern.empty())
+        panic("fillPattern: empty pattern");
+    std::size_t offset = 0;
+    while (offset < buf.size()) {
+        const std::size_t chunk =
+            std::min(pattern.size(), buf.size() - offset);
+        std::memcpy(buf.data() + offset, pattern.data(), chunk);
+        offset += chunk;
+    }
+}
+
+std::size_t
+countPattern(std::span<const std::uint8_t> buf,
+             std::span<const std::uint8_t> pattern)
+{
+    if (pattern.empty())
+        panic("countPattern: empty pattern");
+    std::size_t hits = 0;
+    for (std::size_t offset = 0; offset + pattern.size() <= buf.size();
+         offset += pattern.size()) {
+        if (std::memcmp(buf.data() + offset, pattern.data(),
+                        pattern.size()) == 0) {
+            ++hits;
+        }
+    }
+    return hits;
+}
+
+bool
+containsBytes(std::span<const std::uint8_t> haystack,
+              std::span<const std::uint8_t> needle)
+{
+    if (needle.empty() || needle.size() > haystack.size())
+        return false;
+    const auto *start = haystack.data();
+    const auto *end = haystack.data() + haystack.size() - needle.size() + 1;
+    for (const auto *p = start; p != end; ++p) {
+        if (*p == needle[0] &&
+            std::memcmp(p, needle.data(), needle.size()) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+toHex(std::span<const std::uint8_t> buf)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(buf.size() * 2);
+    for (std::uint8_t b : buf) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        fatal("fromHex: odd-length hex string \"%s\"", hex.c_str());
+
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fatal("fromHex: bad hex digit '%c'", c);
+    };
+
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+    }
+    return out;
+}
+
+void
+secureZero(void *buf, std::size_t len)
+{
+    auto *p = static_cast<volatile std::uint8_t *>(buf);
+    while (len--)
+        *p++ = 0;
+}
+
+} // namespace sentry

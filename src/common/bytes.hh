@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Byte-buffer utilities: pattern fills, pattern counting (the Table 2
+ * remanence methodology greps memory dumps for a repeated 8-byte pattern),
+ * hex formatting, and guaranteed-not-elided secure zeroization.
+ */
+
+#ifndef SENTRY_COMMON_BYTES_HH
+#define SENTRY_COMMON_BYTES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sentry
+{
+
+/** Fill @p buf with repetitions of @p pattern (truncating the tail). */
+void fillPattern(std::span<std::uint8_t> buf,
+                 std::span<const std::uint8_t> pattern);
+
+/**
+ * Count non-overlapping aligned occurrences of @p pattern in @p buf.
+ *
+ * Matches the paper's methodology: the dump is scanned in pattern-sized
+ * strides, so a partially-decayed copy does not count.
+ */
+std::size_t countPattern(std::span<const std::uint8_t> buf,
+                         std::span<const std::uint8_t> pattern);
+
+/** Search for @p needle anywhere in @p haystack (byte-granular). */
+bool containsBytes(std::span<const std::uint8_t> haystack,
+                   std::span<const std::uint8_t> needle);
+
+/** @return lowercase hex string of @p buf. */
+std::string toHex(std::span<const std::uint8_t> buf);
+
+/** Parse a hex string (no separators) into bytes; fatal on bad input. */
+std::vector<std::uint8_t> fromHex(const std::string &hex);
+
+/** Zero a buffer through a volatile pointer so it cannot be elided. */
+void secureZero(void *buf, std::size_t len);
+
+} // namespace sentry
+
+#endif // SENTRY_COMMON_BYTES_HH

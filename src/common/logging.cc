@@ -1,0 +1,76 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sentry
+{
+
+namespace
+{
+bool quietFlag = false;
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+}
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info: ", fmt, args);
+    va_end(args);
+}
+
+} // namespace sentry

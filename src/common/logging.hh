@@ -1,0 +1,42 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  — an internal invariant was violated (a Sentry bug); aborts.
+ * fatal()  — the user asked for something impossible; exits cleanly.
+ * warn()   — something is questionable but the simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef SENTRY_COMMON_LOGGING_HH
+#define SENTRY_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sentry
+{
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for unusable configurations. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benchmarks want clean tables). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool isQuiet();
+
+} // namespace sentry
+
+#endif // SENTRY_COMMON_LOGGING_HH

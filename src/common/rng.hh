@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Uses xoshiro256** seeded via SplitMix64. All simulated stochastic
+ * behaviour (DRAM remanence decay, workload address streams, DMA timing)
+ * draws from instances of this class so every experiment is reproducible
+ * from its seed.
+ */
+
+#ifndef SENTRY_COMMON_RNG_HH
+#define SENTRY_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace sentry
+{
+
+/** Fast, seedable PRNG (xoshiro256**). Not cryptographic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5e47ee1dULL) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next 64 random bits. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m = static_cast<__uint128_t>(next64()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sentry
+
+#endif // SENTRY_COMMON_RNG_HH

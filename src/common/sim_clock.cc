@@ -1,0 +1,22 @@
+#include "common/sim_clock.hh"
+
+#include "common/logging.hh"
+
+namespace sentry
+{
+
+SimClock::SimClock(double freq_hz) : freqHz_(freq_hz)
+{
+    if (freq_hz <= 0)
+        fatal("SimClock frequency must be positive (got %f)", freq_hz);
+}
+
+void
+SimClock::advanceSeconds(double seconds)
+{
+    if (seconds < 0)
+        panic("SimClock cannot move backwards (%f s)", seconds);
+    now_ += static_cast<Cycles>(seconds * freqHz_);
+}
+
+} // namespace sentry

@@ -1,0 +1,52 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sentry
+{
+
+void
+RunningStat::add(double sample)
+{
+    ++count_;
+    if (count_ == 1) {
+        mean_ = sample;
+        min_ = max_ = sample;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    if (sample < min_)
+        min_ = sample;
+    if (sample > max_)
+        max_ = sample;
+}
+
+double
+RunningStat::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+std::string
+RunningStat::summary(int precision) const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean(),
+                  precision, stddev());
+    return buf;
+}
+
+} // namespace sentry

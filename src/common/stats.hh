@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harnesses.
+ *
+ * The paper repeats every experiment at least ten times and plots average
+ * and standard deviation; RunningStat provides exactly that.
+ */
+
+#ifndef SENTRY_COMMON_STATS_HH
+#define SENTRY_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace sentry
+{
+
+/** Online mean / variance / extrema accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** @return number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return sample standard deviation (0 with fewer than 2 samples). */
+    double stddev() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Drop all samples. */
+    void reset();
+
+    /** @return "mean ± stddev" formatted with @p precision decimals. */
+    std::string summary(int precision = 3) const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace sentry
+
+#endif // SENTRY_COMMON_STATS_HH

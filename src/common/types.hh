@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types and address-space constants shared by every
+ * Sentry module.
+ *
+ * The memory map mirrors an NVidia Tegra 3 class SoC: a small internal
+ * SRAM (iRAM) low in the physical address space and DRAM above it.
+ */
+
+#ifndef SENTRY_COMMON_TYPES_HH
+#define SENTRY_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sentry
+{
+
+/** Physical address on the simulated platform. */
+using PhysAddr = std::uint64_t;
+
+/** Virtual address inside a simulated process. */
+using VirtAddr = std::uint64_t;
+
+/** Simulated CPU cycle count. */
+using Cycles = std::uint64_t;
+
+/** Convenience size literals. */
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * KiB;
+constexpr std::size_t GiB = 1024 * MiB;
+
+/** Page size used throughout the OS layer (matches ARM 4 KB small pages). */
+constexpr std::size_t PAGE_SIZE = 4 * KiB;
+
+/** Cache-line size of the PL310 L2 cache. */
+constexpr std::size_t CACHE_LINE_SIZE = 32;
+
+/**
+ * Physical memory map (Tegra 3 flavoured).
+ *
+ * iRAM lives at 0x4000'0000 (256 KB on Tegra 3); DRAM is mapped at
+ * 0x8000'0000. Device registers use a window at 0x7000'0000.
+ */
+constexpr PhysAddr IRAM_BASE = 0x4000'0000;
+constexpr std::size_t IRAM_SIZE = 256 * KiB;
+
+/** First 64 KB of iRAM are reserved by platform firmware (see paper 4.5). */
+constexpr std::size_t IRAM_FIRMWARE_RESERVED = 64 * KiB;
+
+constexpr PhysAddr MMIO_BASE = 0x7000'0000;
+constexpr std::size_t MMIO_SIZE = 16 * MiB;
+
+constexpr PhysAddr DRAM_BASE = 0x8000'0000;
+
+/** AES block size in bytes (fixed by FIPS-197). */
+constexpr std::size_t AES_BLOCK_SIZE = 16;
+
+/** Round a value down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Round a value up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace sentry
+
+#endif // SENTRY_COMMON_TYPES_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Convenience bundle wiring a complete simulated device: the SoC, the
+ * kernel, and Sentry. Most examples, tests, and benchmarks start here.
+ */
+
+#ifndef SENTRY_CORE_DEVICE_HH
+#define SENTRY_CORE_DEVICE_HH
+
+#include "core/sentry.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+#include "os/kernel.hh"
+
+namespace sentry::core
+{
+
+/** A booted device with Sentry installed. */
+class Device
+{
+  public:
+    /**
+     * @param config  platform description (tegra3() / nexus4())
+     * @param options Sentry configuration
+     */
+    explicit Device(const hw::PlatformConfig &config,
+                    SentryOptions options = {})
+        : soc_(config), kernel_(soc_), sentry_(kernel_, options)
+    {}
+
+    hw::Soc &soc() { return soc_; }
+    os::Kernel &kernel() { return kernel_; }
+    Sentry &sentry() { return sentry_; }
+
+  private:
+    hw::Soc soc_;
+    os::Kernel kernel_;
+    Sentry sentry_;
+};
+
+} // namespace sentry::core
+
+#endif // SENTRY_CORE_DEVICE_HH

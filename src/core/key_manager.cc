@@ -1,0 +1,75 @@
+#include "core/key_manager.hh"
+
+#include "common/logging.hh"
+#include "crypto/kdf.hh"
+
+namespace sentry::core
+{
+
+KeyManager::KeyManager(hw::Soc &soc, OnSocRegion key_store)
+    : soc_(soc), store_(key_store)
+{
+    if (store_.size < 32)
+        fatal("key store region must hold two 16-byte keys");
+    if (soc_.memory().isIram(store_.base) !=
+        soc_.memory().isIram(store_.base + store_.size - 1))
+        panic("key store region straddles memory types");
+}
+
+void
+KeyManager::generateVolatileKey()
+{
+    RootKey key;
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+        const std::uint64_t word = soc_.rng().next64();
+        for (std::size_t j = 0; j < 8; ++j)
+            key[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+    soc_.memory().write(store_.base, key.data(), key.size());
+}
+
+RootKey
+KeyManager::volatileKey() const
+{
+    RootKey key;
+    soc_.memory().read(store_.base, key.data(), key.size());
+    return key;
+}
+
+bool
+KeyManager::derivePersistentKey(const std::string &password)
+{
+    std::array<std::uint8_t, 32> fuse;
+    {
+        hw::SecureWorldGuard secure(soc_.trustzone());
+        if (!secure.entered())
+            return false;
+        if (!soc_.trustzone().readFuse(fuse))
+            return false;
+    }
+
+    const std::vector<std::uint8_t> derived =
+        crypto::derivePersistentKey(password, fuse);
+    soc_.memory().write(store_.base + 16, derived.data(), 16);
+    hasPersistent_ = true;
+    return true;
+}
+
+RootKey
+KeyManager::persistentKey() const
+{
+    if (!hasPersistent_)
+        panic("persistent key requested before derivation");
+    RootKey key;
+    soc_.memory().read(store_.base + 16, key.data(), key.size());
+    return key;
+}
+
+void
+KeyManager::scrub()
+{
+    soc_.memory().fill(store_.base, 0, store_.size);
+    hasPersistent_ = false;
+}
+
+} // namespace sentry::core

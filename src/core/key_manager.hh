@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sentry's two root keys (paper section 7, "Bootstrapping"):
+ *
+ *   - the volatile root key encrypts sensitive applications' memory
+ *     pages; it is generated fresh on every boot and lives ONLY in
+ *     on-SoC storage (an iRAM region here);
+ *   - the persistent root key encrypts on-disk state (dm-crypt); it is
+ *     derived from a boot-time password and the secret in the device's
+ *     secure hardware fuse, readable only from the TrustZone secure
+ *     world.
+ */
+
+#ifndef SENTRY_CORE_KEY_MANAGER_HH
+#define SENTRY_CORE_KEY_MANAGER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/onsoc_allocator.hh"
+#include "hw/soc.hh"
+
+namespace sentry::core
+{
+
+/** 128-bit AES root key. */
+using RootKey = std::array<std::uint8_t, 16>;
+
+/** Generates, stores, and hands out the root keys. */
+class KeyManager
+{
+  public:
+    /**
+     * @param soc        the device
+     * @param key_store  on-SoC region of at least 32 bytes where the
+     *                   keys are materialised
+     */
+    KeyManager(hw::Soc &soc, OnSocRegion key_store);
+
+    /** Generate a fresh volatile root key (called at boot). */
+    void generateVolatileKey();
+
+    /** @return the volatile key, read back from on-SoC storage. */
+    RootKey volatileKey() const;
+
+    /**
+     * Derive the persistent root key from @p password and the fuse
+     * secret (requires the TrustZone secure world).
+     * @return false on devices whose secure world is unreachable.
+     */
+    bool derivePersistentKey(const std::string &password);
+
+    /** @return true once derivePersistentKey succeeded. */
+    bool hasPersistentKey() const { return hasPersistent_; }
+
+    /** @return the persistent key, read back from on-SoC storage. */
+    RootKey persistentKey() const;
+
+    /** Scrub both keys from on-SoC storage. */
+    void scrub();
+
+  private:
+    hw::Soc &soc_;
+    OnSocRegion store_;
+    bool hasPersistent_ = false;
+};
+
+} // namespace sentry::core
+
+#endif // SENTRY_CORE_KEY_MANAGER_HH

@@ -1,0 +1,114 @@
+#include "core/locked_way_manager.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace sentry::core
+{
+
+LockedWayManager::LockedWayManager(hw::Soc &soc, PhysAddr window_base)
+    : soc_(soc), windowBase_(window_base)
+{
+    if (window_base % waySize() != 0)
+        fatal("locked-way window must be way-size aligned");
+}
+
+std::size_t
+LockedWayManager::waySize() const
+{
+    return soc_.l2().waySizeBytes();
+}
+
+bool
+LockedWayManager::available() const
+{
+    return soc_.trustzone().secureWorldAvailable();
+}
+
+unsigned
+LockedWayManager::lockedWays() const
+{
+    return static_cast<unsigned>(std::popcount(lockedMask_));
+}
+
+PhysAddr
+LockedWayManager::wayWindowBase(unsigned way) const
+{
+    return windowBase_ + static_cast<PhysAddr>(way) * waySize();
+}
+
+std::optional<OnSocRegion>
+LockedWayManager::lockWay()
+{
+    hw::L2Cache &l2 = soc_.l2();
+    const unsigned ways = l2.ways();
+    const std::uint32_t allWays = (1u << ways) - 1;
+
+    // Find the lowest unlocked way, keeping at least one allocatable.
+    unsigned target = ways;
+    for (unsigned way = 0; way < ways; ++way) {
+        if (!(lockedMask_ & (1u << way))) {
+            target = way;
+            break;
+        }
+    }
+    if (target == ways || lockedWays() + 1 >= ways)
+        return std::nullopt;
+
+    hw::SecureWorldGuard secure(soc_.trustzone());
+    if (!secure.entered())
+        return std::nullopt; // locked firmware: no lockdown access
+
+    // Step 1: flush the entire cache (the masked flush — previously
+    // locked ways are protected by the flush-way mask).
+    l2.flushAllMasked();
+
+    // Step 2: "enable 1-way" — every way except the target is excluded
+    // from allocation.
+    if (!l2.writeLockdownReg(allWays & ~(1u << target)))
+        panic("lockdown write rejected despite secure world");
+
+    // Step 3: warm the way with 0xFF over its pinned physical window.
+    // Each line of the window allocates into the target way.
+    soc_.memory().fill(wayWindowBase(target), 0xff, waySize());
+
+    // Step 4: "enable last N-1 ways" — lock the target, free the rest.
+    lockedMask_ |= (1u << target);
+    if (!l2.writeLockdownReg(lockedMask_))
+        panic("lockdown write rejected despite secure world");
+
+    // OS change: flush operations must skip the locked way from now on.
+    l2.setFlushWayMask(lockedMask_);
+
+    return OnSocRegion{wayWindowBase(target), waySize()};
+}
+
+void
+LockedWayManager::unlockWay(const OnSocRegion &region)
+{
+    if ((region.base - windowBase_) % waySize() != 0 ||
+        region.size != waySize())
+        panic("unlockWay: region is not a locked-way window");
+    const auto way =
+        static_cast<unsigned>((region.base - windowBase_) / waySize());
+    if (!(lockedMask_ & (1u << way)))
+        panic("unlockWay: way %u is not locked", way);
+
+    // Scrub: write 0xFF over all sensitive data while still locked.
+    soc_.memory().fill(region.base, 0xff, region.size);
+
+    hw::SecureWorldGuard secure(soc_.trustzone());
+    if (!secure.entered())
+        panic("cannot unlock a way without the secure world");
+
+    lockedMask_ &= ~(1u << way);
+    soc_.l2().setFlushWayMask(lockedMask_);
+    if (!soc_.l2().writeLockdownReg(lockedMask_))
+        panic("lockdown write rejected despite secure world");
+
+    // Drop the (scrubbed) lines so nothing stale lingers.
+    soc_.l2().invalidateRange(region.base, region.size);
+}
+
+} // namespace sentry::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Locked-L2-cache-way management: the paper's section 4.5 protocol.
+ *
+ * Locking a way (pseudocode from the paper):
+ *   1. flush entire cache            (masked flush: locked ways survive)
+ *   2. enable 1 way                  (lockdown register: all other ways
+ *                                     are excluded from allocation)
+ *   3. write 0xFF in all sensitive data   (warming the way: every line
+ *                                     of the way's physical window is
+ *                                     allocated into the target way)
+ *   4. enable last 7 ways            (the target way is now "disabled" —
+ *                                     it still hits, but nothing in it
+ *                                     is ever evicted)
+ * plus the OS-level change: the target way is added to the flush-way
+ * mask so every kernel cache-flush skips it.
+ *
+ * Each locked way pins a way-aligned 128 KB physical window whose lines
+ * then live permanently on the SoC; the stale DRAM beneath them keeps
+ * whatever it held before the lock (never the on-SoC data), which is
+ * all a DMA read or cold-boot dump can see.
+ *
+ * Programming the lockdown register requires the TrustZone secure
+ * world; on locked-firmware devices (Nexus 4) lockWay() fails.
+ */
+
+#ifndef SENTRY_CORE_LOCKED_WAY_MANAGER_HH
+#define SENTRY_CORE_LOCKED_WAY_MANAGER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/onsoc_allocator.hh"
+#include "hw/soc.hh"
+
+namespace sentry::core
+{
+
+/** Manages lockdown state and the pinned physical windows. */
+class LockedWayManager
+{
+  public:
+    /**
+     * @param soc          the device
+     * @param window_base  way-aligned physical base of the reserved DRAM
+     *                     window backing locked ways (way k pins
+     *                     [window_base + k*waySize, +waySize))
+     */
+    LockedWayManager(hw::Soc &soc, PhysAddr window_base);
+
+    /** @return bytes pinned per way (128 KB on the Tegra 3 config). */
+    std::size_t waySize() const;
+
+    /** @return true when cache locking can be used on this device. */
+    bool available() const;
+
+    /**
+     * Lock the next free way and return its pinned region.
+     * @return nullopt when unavailable (no secure world) or when only
+     *         one unlocked way would remain (the hardware needs at
+     *         least one allocatable way).
+     */
+    std::optional<OnSocRegion> lockWay();
+
+    /** Unlock a previously locked way, scrubbing its contents first. */
+    void unlockWay(const OnSocRegion &region);
+
+    /** @return number of currently locked ways. */
+    unsigned lockedWays() const;
+
+    /** @return the physical window base for way @p way. */
+    PhysAddr wayWindowBase(unsigned way) const;
+
+  private:
+    hw::Soc &soc_;
+    PhysAddr windowBase_;
+    std::uint32_t lockedMask_ = 0;
+};
+
+} // namespace sentry::core
+
+#endif // SENTRY_CORE_LOCKED_WAY_MANAGER_HH

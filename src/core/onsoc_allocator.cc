@@ -1,0 +1,91 @@
+#include "core/onsoc_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentry::core
+{
+
+OnSocAllocator::OnSocAllocator(PhysAddr base, std::size_t size)
+    : base_(base), size_(size)
+{
+    if (size == 0)
+        fatal("OnSocAllocator needs a non-empty window");
+    freeList_.push_back({base, size});
+}
+
+OnSocAllocator
+OnSocAllocator::forIram(std::size_t iram_size)
+{
+    if (iram_size <= IRAM_FIRMWARE_RESERVED)
+        fatal("iRAM too small for any usable region");
+    return OnSocAllocator(IRAM_BASE + IRAM_FIRMWARE_RESERVED,
+                          iram_size - IRAM_FIRMWARE_RESERVED);
+}
+
+OnSocRegion
+OnSocAllocator::tryAlloc(std::size_t size)
+{
+    size = alignUp(size, 16);
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        if (it->size < size)
+            continue;
+        OnSocRegion region{it->base, size};
+        it->base += size;
+        it->size -= size;
+        if (it->size == 0)
+            freeList_.erase(it);
+        return region;
+    }
+    return {};
+}
+
+OnSocRegion
+OnSocAllocator::alloc(std::size_t size)
+{
+    OnSocRegion region = tryAlloc(size);
+    if (!region.valid())
+        fatal("on-SoC storage exhausted (wanted %zu, free %zu)", size,
+              freeBytes());
+    return region;
+}
+
+void
+OnSocAllocator::free(const OnSocRegion &region)
+{
+    if (!region.valid())
+        return;
+    if (region.base < base_ || region.base + region.size > base_ + size_)
+        panic("freeing a region outside the on-SoC window");
+
+    auto it = std::lower_bound(
+        freeList_.begin(), freeList_.end(), region.base,
+        [](const Chunk &c, PhysAddr addr) { return c.base < addr; });
+    it = freeList_.insert(it, {region.base, region.size});
+
+    // Coalesce with the successor, then the predecessor.
+    if (auto next = std::next(it);
+        next != freeList_.end() && it->base + it->size == next->base) {
+        it->size += next->size;
+        freeList_.erase(next);
+    }
+    if (it != freeList_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->base + prev->size == it->base) {
+            prev->size += it->size;
+            freeList_.erase(it);
+        }
+    }
+}
+
+std::size_t
+OnSocAllocator::freeBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &chunk : freeList_)
+        total += chunk.size;
+    return total;
+}
+
+} // namespace sentry::core

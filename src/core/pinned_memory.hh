@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The "pin-on-SoC" abstraction the paper's section 10 recommends CPU
+ * vendors provide natively:
+ *
+ *   "modern CPUs could offer a small amount of memory on the SoC
+ *    together with a pin-on-SoC abstraction. Operating systems can make
+ *    use of this abstraction to store cryptographic keys used to
+ *    bootstrap additional system security... This memory should be
+ *    inaccessible to DMA controllers."
+ *
+ * PinnedMemory synthesises that abstraction out of what today's parts
+ * already have: it allocates from iRAM when available (and shields the
+ * region from DMA through TrustZone), falls back to a locked L2 way on
+ * parts with lockdown access, and refuses cleanly when neither exists.
+ * Everything stored through it is, by construction:
+ *   - absent from DRAM (cold-boot safe: the backing store is zeroed by
+ *     boot firmware / vanishes with the cache),
+ *   - invisible on the external memory bus,
+ *   - unreachable by DMA masters.
+ */
+
+#ifndef SENTRY_CORE_PINNED_MEMORY_HH
+#define SENTRY_CORE_PINNED_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/locked_way_manager.hh"
+#include "core/onsoc_allocator.hh"
+#include "hw/soc.hh"
+
+namespace sentry::core
+{
+
+/** Which substrate backs a PinnedMemory pool. */
+enum class PinBacking
+{
+    Iram,
+    LockedL2,
+};
+
+/** @return printable backing name. */
+const char *pinBackingName(PinBacking backing);
+
+/** A pool of on-SoC memory with malloc/free semantics. */
+class PinnedMemory
+{
+  public:
+    /**
+     * Create a pool, choosing the best available backing:
+     * iRAM with TrustZone DMA protection when the secure world is
+     * reachable; iRAM *without* DMA protection otherwise (with a
+     * warning — the section 4.4 caveat); LockedL2 only on request.
+     *
+     * @param soc         the device
+     * @param pool_bytes  capacity to reserve
+     * @param prefer      preferred backing
+     * @return the pool, or nullptr when the preferred backing is
+     *         LockedL2 and lockdown is unavailable
+     */
+    static std::unique_ptr<PinnedMemory>
+    create(hw::Soc &soc, std::size_t pool_bytes,
+           PinBacking prefer = PinBacking::Iram);
+
+    ~PinnedMemory();
+
+    PinnedMemory(const PinnedMemory &) = delete;
+    PinnedMemory &operator=(const PinnedMemory &) = delete;
+
+    /** @return the backing substrate in use. */
+    PinBacking backing() const { return backing_; }
+
+    /** @return true if DMA masters are locked out of the pool. */
+    bool dmaProtected() const { return dmaProtected_; }
+
+    /** Allocate @p bytes of pinned memory (invalid region when full). */
+    OnSocRegion alloc(std::size_t bytes);
+
+    /** Zero and release a region. */
+    void free(const OnSocRegion &region);
+
+    /** Store @p data into a pinned region. */
+    void write(const OnSocRegion &region, std::size_t offset,
+               std::span<const std::uint8_t> data);
+
+    /** Load from a pinned region. */
+    void read(const OnSocRegion &region, std::size_t offset,
+              std::span<std::uint8_t> out);
+
+    /** @return free bytes remaining in the pool. */
+    std::size_t freeBytes() const { return alloc_->freeBytes(); }
+
+  private:
+    PinnedMemory(hw::Soc &soc, PinBacking backing, OnSocRegion pool,
+                 bool dma_protected,
+                 std::unique_ptr<LockedWayManager> way_manager);
+
+    hw::Soc &soc_;
+    PinBacking backing_;
+    OnSocRegion pool_;
+    bool dmaProtected_;
+    std::unique_ptr<LockedWayManager> wayManager_; //!< LockedL2 only
+    std::unique_ptr<OnSocAllocator> alloc_;
+};
+
+} // namespace sentry::core
+
+#endif // SENTRY_CORE_PINNED_MEMORY_HH

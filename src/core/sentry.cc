@@ -1,0 +1,389 @@
+#include "core/sentry.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::core
+{
+
+const char *
+aesPlacementName(AesPlacement placement)
+{
+    switch (placement) {
+      case AesPlacement::KernelGeneric:
+        return "kernel-generic";
+      case AesPlacement::Iram:
+        return "iram";
+      case AesPlacement::LockedL2:
+        return "locked-l2";
+      default:
+        return "?";
+    }
+}
+
+namespace
+{
+
+/** The locked-way window sits at the top of DRAM, way-aligned. */
+PhysAddr
+lockedWindowBase(const hw::Soc &soc, std::size_t way_size,
+                 std::size_t l2_size)
+{
+    const PhysAddr top = DRAM_BASE + soc.dramRaw().size();
+    return alignDown(top - l2_size, way_size);
+}
+
+crypto::StatePlacement
+toStatePlacement(AesPlacement placement)
+{
+    switch (placement) {
+      case AesPlacement::KernelGeneric:
+        return crypto::StatePlacement::Dram;
+      case AesPlacement::Iram:
+        return crypto::StatePlacement::Iram;
+      case AesPlacement::LockedL2:
+        return crypto::StatePlacement::LockedL2;
+    }
+    panic("bad placement");
+}
+
+} // namespace
+
+Sentry::Sentry(os::Kernel &kernel, SentryOptions options)
+    : kernel_(kernel), options_(options), placement_(options.placement),
+      iramAlloc_(OnSocAllocator::forIram(kernel.soc().iram().size())),
+      wayManager_(kernel.soc(),
+                  lockedWindowBase(kernel.soc(),
+                                   kernel.soc().l2().waySizeBytes(),
+                                   kernel.soc().l2().size()))
+{
+    hw::Soc &soc = kernel_.soc();
+
+    // Keep the OS away from the locked-way window.
+    kernel_.allocator().reserveRange(
+        lockedWindowBase(soc, soc.l2().waySizeBytes(), soc.l2().size()),
+        soc.l2().size());
+
+    // Degrade gracefully on locked-firmware devices.
+    const bool wantLocking =
+        placement_ == AesPlacement::LockedL2 || options_.backgroundMode;
+    if (wantLocking && !wayManager_.available()) {
+        warn("cache locking unavailable on %s; using iRAM placement",
+             soc.config().name.c_str());
+        if (placement_ == AesPlacement::LockedL2)
+            placement_ = AesPlacement::Iram;
+        options_.backgroundMode = false;
+    }
+
+    // Root keys live in iRAM in every configuration.
+    keys_ = std::make_unique<KeyManager>(soc, iramAlloc_.alloc(32));
+    keys_->generateVolatileKey();
+
+    // Sentry protects iRAM from DMA whenever TrustZone permits.
+    {
+        hw::SecureWorldGuard secure(soc.trustzone());
+        if (secure.entered()) {
+            soc.trustzone().protectRegionFromDma(IRAM_BASE,
+                                                 soc.iram().size());
+        }
+    }
+
+    // Carve the AES state region according to placement.
+    const auto layout = crypto::AesStateLayout::forKeyBytes(16);
+    PhysAddr stateBase = 0;
+    switch (placement_) {
+      case AesPlacement::Iram:
+        stateBase = iramAlloc_.alloc(layout.totalBytes()).base;
+        break;
+      case AesPlacement::LockedL2: {
+        engineWay_ = wayManager_.lockWay();
+        if (!engineWay_)
+            fatal("failed to lock a cache way for AES state");
+        engineWayAlloc_ = std::make_unique<OnSocAllocator>(
+            engineWay_->base, engineWay_->size);
+        stateBase = engineWayAlloc_->alloc(layout.totalBytes()).base;
+        break;
+      }
+      case AesPlacement::KernelGeneric: {
+        const std::size_t frames =
+            alignUp(layout.totalBytes(), PAGE_SIZE) / PAGE_SIZE;
+        stateBase = kernel_.allocator().allocContiguous(frames);
+        break;
+      }
+    }
+
+    const RootKey volatileKey = keys_->volatileKey();
+    engine_ = std::make_unique<crypto::SimAesEngine>(
+        soc, stateBase, std::span<const std::uint8_t>(volatileKey),
+        toStatePlacement(placement_), /*kernel_path=*/true);
+
+    // Background paging: lock pagerWays ways as frame pool.
+    if (options_.backgroundMode) {
+        pager_ = std::make_unique<LockedCachePager>(
+            kernel_, *engine_,
+            [this](const os::Process &p, VirtAddr va) {
+                return pageIv(p, va);
+            });
+        for (unsigned i = 0; i < options_.pagerWays; ++i) {
+            const auto region = wayManager_.lockWay();
+            if (!region)
+                fatal("could not lock %u pager ways", options_.pagerWays);
+            pager_->addFrames(*region);
+        }
+    }
+
+    kernel_.setFaultHandler(
+        [this](os::Process &p, VirtAddr va, os::Pte &pte) {
+            return handleFault(p, va, pte);
+        });
+    kernel_.setLockHooks([this] { onLock(); }, [this] { onUnlock(); });
+    kernel_.setDeepLockHook([this] { onDeepLock(); });
+}
+
+void
+Sentry::markSensitive(os::Process &process)
+{
+    process.setSensitive(true);
+}
+
+void
+Sentry::markBackground(os::Process &process)
+{
+    if (!process.sensitive())
+        fatal("background protection requires markSensitive first");
+    if (!options_.backgroundMode)
+        fatal("background mode is not enabled in this configuration");
+    backgroundPids_.insert(process.pid());
+}
+
+crypto::Iv
+Sentry::pageIv(const os::Process &process, VirtAddr va) const
+{
+    crypto::Iv iv{};
+    const auto pid = static_cast<std::uint32_t>(process.pid());
+    const VirtAddr page = os::PageTable::pageOf(va);
+    for (int i = 0; i < 4; ++i)
+        iv[i] = static_cast<std::uint8_t>(pid >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        iv[4 + i] = static_cast<std::uint8_t>(page >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+        iv[12 + i] = static_cast<std::uint8_t>(lockEpoch_ >> (8 * i));
+    return iv;
+}
+
+bool
+Sentry::pageIsSkipped(const os::Vma &vma) const
+{
+    // Pages shared with non-sensitive processes are assumed non-secret
+    // and skipped (paper section 7).
+    return vma.share == os::SharePolicy::SharedWithNonSensitive;
+}
+
+void
+Sentry::encryptProcess(os::Process &process)
+{
+    for (const os::Vma &vma : process.addressSpace().vmas()) {
+        if (pageIsSkipped(vma))
+            continue;
+        for (std::size_t page = 0; page < vma.pages(); ++page) {
+            const VirtAddr va = vma.base + page * PAGE_SIZE;
+            os::Pte *pte = process.pageTable().find(va);
+            if (pte == nullptr || !pte->present || pte->encrypted ||
+                pte->onSoc) {
+                continue;
+            }
+            engine_->cbcEncryptPhys(pte->frame, PAGE_SIZE,
+                                    pageIv(process, va));
+            pte->encrypted = true;
+            pte->young = false;
+            stats_.bytesEncryptedOnLock += PAGE_SIZE;
+        }
+    }
+}
+
+void
+Sentry::onLock()
+{
+    os::Kernel::KernelTimer timer(kernel_);
+    SimStopwatch watch(kernel_.soc().clock());
+
+    // Freed pages of sensitive apps may still hold cleartext; make the
+    // zero thread finish before the device is considered locked.
+    if (options_.waitForZeroThread)
+        kernel_.zeroFreedPages();
+
+    ++lockEpoch_;
+    for (const auto &process : kernel_.processes()) {
+        if (!process->sensitive())
+            continue;
+        encryptProcess(*process);
+        if (!backgroundPids_.contains(process->pid()))
+            kernel_.scheduler().makeUnschedulable(process.get());
+    }
+
+    // Push ciphertext out of the (unlocked part of the) cache so DRAM
+    // holds no stale plaintext lines.
+    if (options_.cleanCacheAfterLock)
+        kernel_.soc().l2().cleanAllMasked();
+
+    ++stats_.lockCount;
+    stats_.lastLockSeconds = watch.elapsedSeconds();
+}
+
+void
+Sentry::onUnlock()
+{
+    os::Kernel::KernelTimer timer(kernel_);
+    SimStopwatch watch(kernel_.soc().clock());
+
+    if (pager_)
+        pager_->drainOnUnlock();
+
+    for (const auto &process : kernel_.processes()) {
+        if (!process->sensitive())
+            continue;
+        if (!process->schedulable())
+            kernel_.scheduler().makeSchedulable(process.get());
+
+        if (!options_.eagerDmaDecrypt)
+            continue;
+        // DMA regions never fault (devices use physical addresses), so
+        // they must be whole before the device resumes.
+        for (const os::Vma &vma : process->addressSpace().vmas()) {
+            if (vma.type != os::VmaType::DmaRegion)
+                continue;
+            for (std::size_t page = 0; page < vma.pages(); ++page) {
+                const VirtAddr va = vma.base + page * PAGE_SIZE;
+                os::Pte *pte = process->pageTable().find(va);
+                if (pte == nullptr || !pte->encrypted)
+                    continue;
+                engine_->cbcDecryptPhys(pte->frame, PAGE_SIZE,
+                                        pageIv(*process, va));
+                pte->encrypted = false;
+                pte->young = true;
+                stats_.bytesDecryptedEager += PAGE_SIZE;
+            }
+        }
+    }
+
+    stats_.lastUnlockSeconds = watch.elapsedSeconds();
+}
+
+void
+Sentry::onDeepLock()
+{
+    if (!options_.scrubKeysOnDeepLock || keysDestroyed_)
+        return;
+    // Brute-force response: destroy the volatile root key and every
+    // trace of the AES state. The encrypted pages in DRAM are now
+    // noise; nothing on or off the SoC can decrypt them.
+    engine_->scrub();
+    keys_->scrub();
+    keysDestroyed_ = true;
+}
+
+bool
+Sentry::handleFault(os::Process &process, VirtAddr va, os::Pte &pte)
+{
+    if (!pte.encrypted)
+        return false; // plain young-bit maintenance
+
+    ++stats_.faultsServiced;
+
+    if (keysDestroyed_) {
+        // Deep lock destroyed the keys: the page content is gone for
+        // good. Hand back a zeroed page (remote-wipe semantics).
+        kernel_.soc().memory().fill(pte.frame, 0, PAGE_SIZE);
+        pte.encrypted = false;
+        pte.young = true;
+        stats_.bytesWipedAfterDeepLock += PAGE_SIZE;
+        return true;
+    }
+
+    const bool deviceLocked =
+        kernel_.powerState() == os::PowerState::Locked ||
+        kernel_.powerState() == os::PowerState::Suspended;
+    const bool lockedBackground =
+        deviceLocked && pager_ && backgroundPids_.contains(process.pid());
+    if (lockedBackground) {
+        pager_->pageIn(process, va, pte);
+        return true;
+    }
+
+    // Decrypt-on-demand (device unlocked, or a non-pager access).
+    const VirtAddr page = os::PageTable::pageOf(va);
+    engine_->cbcDecryptPhys(pte.frame, PAGE_SIZE, pageIv(process, page));
+    pte.encrypted = false;
+    pte.young = true;
+    stats_.bytesDecryptedOnDemand += PAGE_SIZE;
+    return true;
+}
+
+void
+Sentry::registerCryptoProviders()
+{
+    hw::Soc &soc = kernel_.soc();
+
+    kernel_.cryptoApi().registerImplementation(
+        {"aes", "aes-generic", 100,
+         [this, &soc](std::span<const std::uint8_t> key) {
+             const auto layout =
+                 crypto::AesStateLayout::forKeyBytes(
+                     static_cast<unsigned>(key.size()));
+             const std::size_t frames =
+                 alignUp(layout.totalBytes(), PAGE_SIZE) / PAGE_SIZE;
+             const PhysAddr base =
+                 kernel_.allocator().allocContiguous(frames);
+             return std::make_unique<crypto::SimAesEngine>(
+                 soc, base, key, crypto::StatePlacement::Dram,
+                 /*kernel_path=*/true);
+         }});
+
+    if (placement_ == AesPlacement::KernelGeneric)
+        return; // nothing better to offer
+
+    const std::string name =
+        std::string("aes-onsoc-") + aesPlacementName(placement_);
+    kernel_.cryptoApi().registerImplementation(
+        {"aes", name, 300,
+         [this, &soc](std::span<const std::uint8_t> key) {
+             const auto layout =
+                 crypto::AesStateLayout::forKeyBytes(
+                     static_cast<unsigned>(key.size()));
+             PhysAddr base = 0;
+             crypto::StatePlacement statePlacement =
+                 crypto::StatePlacement::Iram;
+             if (placement_ == AesPlacement::LockedL2 &&
+                 engineWayAlloc_ != nullptr) {
+                 // Each cipher gets its own slice of the locked way;
+                 // overflow to iRAM when the way fills up.
+                 const OnSocRegion region =
+                     engineWayAlloc_->tryAlloc(layout.totalBytes());
+                 if (region.valid()) {
+                     base = region.base;
+                     statePlacement = crypto::StatePlacement::LockedL2;
+                 } else {
+                     base = iramAlloc_.alloc(layout.totalBytes()).base;
+                 }
+             } else {
+                 base = iramAlloc_.alloc(layout.totalBytes()).base;
+             }
+             return std::make_unique<crypto::SimAesEngine>(
+                 soc, base, key, statePlacement, /*kernel_path=*/true);
+         }});
+}
+
+double
+Sentry::encryptAllMemoryStrawman()
+{
+    hw::Soc &soc = kernel_.soc();
+    const auto bytes = static_cast<double>(soc.dramRaw().size());
+    const double seconds =
+        bytes / soc.config().cost.fullMemEncryptBytesPerSec;
+    soc.clock().advanceSeconds(seconds);
+    soc.energy().charge(
+        hw::EnergyCategory::CpuAes,
+        soc.config().cost.fullMemEncryptJoulesPerByte * bytes);
+    return seconds;
+}
+
+} // namespace sentry::core

@@ -1,0 +1,222 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+#include "common/bytes.hh"
+#include "common/logging.hh"
+#include "crypto/aes_round.hh"
+
+namespace sentry::crypto
+{
+
+namespace
+{
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    const AesTables &t = aesTables();
+    return (static_cast<std::uint32_t>(t.sbox[(w >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(t.sbox[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+/** InvMixColumns applied to a packed big-endian column word. */
+std::uint32_t
+invMixColumnsWord(std::uint32_t w)
+{
+    const auto a0 = static_cast<std::uint8_t>(w >> 24);
+    const auto a1 = static_cast<std::uint8_t>(w >> 16);
+    const auto a2 = static_cast<std::uint8_t>(w >> 8);
+    const auto a3 = static_cast<std::uint8_t>(w);
+    const std::uint8_t b0 =
+        gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9);
+    const std::uint8_t b1 =
+        gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13);
+    const std::uint8_t b2 =
+        gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11);
+    const std::uint8_t b3 =
+        gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14);
+    return (static_cast<std::uint32_t>(b0) << 24) |
+           (static_cast<std::uint32_t>(b1) << 16) |
+           (static_cast<std::uint32_t>(b2) << 8) |
+           static_cast<std::uint32_t>(b3);
+}
+
+} // namespace
+
+AesKeySchedule::AesKeySchedule(std::span<const std::uint8_t> key)
+{
+    const std::size_t len = key.size();
+    if (len != 16 && len != 24 && len != 32)
+        fatal("AES key must be 16, 24, or 32 bytes (got %zu)", len);
+
+    keyBytes_ = static_cast<unsigned>(len);
+    const unsigned nk = keyBytes_ / 4;
+    rounds_ = nk + 6;
+    const unsigned total = 4 * (rounds_ + 1);
+    const AesTables &tables = aesTables();
+
+    for (unsigned i = 0; i < nk; ++i)
+        enc_[i] = loadBe32(key.data() + 4 * i);
+
+    for (unsigned i = nk; i < total; ++i) {
+        std::uint32_t temp = enc_[i - 1];
+        if (i % nk == 0)
+            temp = subWord(rotWord(temp)) ^ tables.rcon[i / nk - 1];
+        else if (nk > 6 && i % nk == 4)
+            temp = subWord(temp);
+        enc_[i] = enc_[i - nk] ^ temp;
+    }
+
+    // Equivalent inverse cipher schedule: reverse the round order and
+    // push the middle round keys through InvMixColumns.
+    for (unsigned round = 0; round <= rounds_; ++round) {
+        for (unsigned w = 0; w < 4; ++w) {
+            std::uint32_t word = enc_[4 * (rounds_ - round) + w];
+            if (round != 0 && round != rounds_)
+                word = invMixColumnsWord(word);
+            dec_[4 * round + w] = word;
+        }
+    }
+}
+
+void
+AesKeySchedule::scrub()
+{
+    secureZero(enc_, sizeof(enc_));
+    secureZero(dec_, sizeof(dec_));
+}
+
+Aes::Aes(std::span<const std::uint8_t> key) : schedule_(key) {}
+
+void
+Aes::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    NativeAesEnv env(schedule_);
+    aesEncryptBlock(env, in, out);
+}
+
+void
+Aes::decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    NativeAesEnv env(schedule_);
+    aesDecryptBlock(env, in, out);
+}
+
+namespace
+{
+
+/** 4x4 byte state in column-major order (FIPS-197 layout). */
+struct State
+{
+    std::uint8_t b[16]; // b[4*col + row]
+};
+
+void
+addRoundKey(State &s, std::span<const std::uint32_t> words, unsigned round)
+{
+    for (unsigned col = 0; col < 4; ++col) {
+        const std::uint32_t w = words[4 * round + col];
+        s.b[4 * col + 0] ^= static_cast<std::uint8_t>(w >> 24);
+        s.b[4 * col + 1] ^= static_cast<std::uint8_t>(w >> 16);
+        s.b[4 * col + 2] ^= static_cast<std::uint8_t>(w >> 8);
+        s.b[4 * col + 3] ^= static_cast<std::uint8_t>(w);
+    }
+}
+
+void
+subBytes(State &s, bool inverse)
+{
+    const AesTables &t = aesTables();
+    const std::uint8_t *box = inverse ? t.invSbox : t.sbox;
+    for (auto &byte : s.b)
+        byte = box[byte];
+}
+
+void
+shiftRows(State &s, bool inverse)
+{
+    State copy = s;
+    for (unsigned row = 1; row < 4; ++row) {
+        for (unsigned col = 0; col < 4; ++col) {
+            const unsigned src =
+                inverse ? (col + 4 - row) % 4 : (col + row) % 4;
+            s.b[4 * col + row] = copy.b[4 * src + row];
+        }
+    }
+}
+
+void
+mixColumns(State &s, bool inverse)
+{
+    static const std::uint8_t fwd[4] = {2, 3, 1, 1};
+    static const std::uint8_t inv[4] = {14, 11, 13, 9};
+    const std::uint8_t *coef = inverse ? inv : fwd;
+    for (unsigned col = 0; col < 4; ++col) {
+        std::uint8_t a[4];
+        std::memcpy(a, &s.b[4 * col], 4);
+        for (unsigned row = 0; row < 4; ++row) {
+            s.b[4 * col + row] = static_cast<std::uint8_t>(
+                gfMul(a[0], coef[(4 - row) % 4]) ^
+                gfMul(a[1], coef[(5 - row) % 4]) ^
+                gfMul(a[2], coef[(6 - row) % 4]) ^
+                gfMul(a[3], coef[(7 - row) % 4]));
+        }
+    }
+}
+
+} // namespace
+
+void
+Aes::encryptBlockCanonical(const std::uint8_t in[16],
+                           std::uint8_t out[16]) const
+{
+    State s;
+    std::memcpy(s.b, in, 16);
+    const auto words = schedule_.encWords();
+    const unsigned nr = schedule_.rounds();
+
+    addRoundKey(s, words, 0);
+    for (unsigned round = 1; round < nr; ++round) {
+        subBytes(s, false);
+        shiftRows(s, false);
+        mixColumns(s, false);
+        addRoundKey(s, words, round);
+    }
+    subBytes(s, false);
+    shiftRows(s, false);
+    addRoundKey(s, words, nr);
+    std::memcpy(out, s.b, 16);
+}
+
+void
+Aes::decryptBlockCanonical(const std::uint8_t in[16],
+                           std::uint8_t out[16]) const
+{
+    State s;
+    std::memcpy(s.b, in, 16);
+    const auto words = schedule_.encWords();
+    const unsigned nr = schedule_.rounds();
+
+    addRoundKey(s, words, nr);
+    for (unsigned round = nr - 1; round >= 1; --round) {
+        shiftRows(s, true);
+        subBytes(s, true);
+        addRoundKey(s, words, round);
+        mixColumns(s, true);
+    }
+    shiftRows(s, true);
+    subBytes(s, true);
+    addRoundKey(s, words, 0);
+    std::memcpy(out, s.b, 16);
+}
+
+} // namespace sentry::crypto

@@ -1,0 +1,377 @@
+#include "crypto/aes_on_soc.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "crypto/aes_round.hh"
+
+namespace sentry::crypto
+{
+
+namespace
+{
+
+/** Host-side block cipher over an expanded schedule (CPU-register/L1
+ *  computation for the bulk paths). */
+class ScheduleCipher : public BlockCipher
+{
+  public:
+    explicit ScheduleCipher(const AesKeySchedule &schedule)
+        : schedule_(schedule)
+    {}
+
+    void
+    encryptBlock(const std::uint8_t in[16],
+                 std::uint8_t out[16]) const override
+    {
+        NativeAesEnv env(schedule_);
+        aesEncryptBlock(env, in, out);
+    }
+
+    void
+    decryptBlock(const std::uint8_t in[16],
+                 std::uint8_t out[16]) const override
+    {
+        NativeAesEnv env(schedule_);
+        aesDecryptBlock(env, in, out);
+    }
+
+  private:
+    const AesKeySchedule &schedule_;
+};
+
+} // namespace
+
+const char *
+statePlacementName(StatePlacement placement)
+{
+    switch (placement) {
+      case StatePlacement::Dram:
+        return "dram";
+      case StatePlacement::Iram:
+        return "iram";
+      case StatePlacement::LockedL2:
+        return "locked-l2";
+      default:
+        return "?";
+    }
+}
+
+/**
+ * Audited environment: every lookup is one simulated memory access at
+ * the component's true physical location.
+ */
+class SimAesEngine::SimEnv
+{
+  public:
+    explicit SimEnv(const SimAesEngine &engine)
+        : mem_(engine.soc_.memory()), engine_(engine)
+    {}
+
+    std::uint32_t
+    te(unsigned t, std::uint8_t i) const
+    {
+        return mem_.read32(engine_.teOff_ + (t * 256 + i) * 4);
+    }
+
+    std::uint32_t
+    td(unsigned t, std::uint8_t i) const
+    {
+        return mem_.read32(engine_.tdOff_ + (t * 256 + i) * 4);
+    }
+
+    std::uint8_t
+    sbox(std::uint8_t i) const
+    {
+        std::uint8_t b;
+        mem_.read(engine_.sboxOff_ + i, &b, 1);
+        return b;
+    }
+
+    std::uint8_t
+    invSbox(std::uint8_t i) const
+    {
+        std::uint8_t b;
+        mem_.read(engine_.invSboxOff_ + i, &b, 1);
+        return b;
+    }
+
+    std::uint32_t
+    encKey(unsigned i) const
+    {
+        if (engine_.secrets_ == SecretResidency::RegistersOnly)
+            return engine_.schedule_.encWords()[i]; // register read
+        return mem_.read32(engine_.encKeysOff_ + 4 * i);
+    }
+
+    std::uint32_t
+    decKey(unsigned i) const
+    {
+        if (engine_.secrets_ == SecretResidency::RegistersOnly)
+            return engine_.schedule_.decWords()[i]; // register read
+        return mem_.read32(engine_.decKeysOff_ + 4 * i);
+    }
+
+    unsigned rounds() const { return engine_.schedule_.rounds(); }
+
+  private:
+    hw::MemorySystem &mem_;
+    const SimAesEngine &engine_;
+};
+
+SimAesEngine::SimAesEngine(hw::Soc &soc, PhysAddr state_base,
+                           std::span<const std::uint8_t> key,
+                           StatePlacement placement, bool kernel_path,
+                           SecretResidency secrets)
+    : soc_(soc), stateBase_(state_base), placement_(placement),
+      kernelPath_(kernel_path), secrets_(secrets),
+      layout_(AesStateLayout::forKeyBytes(
+          static_cast<unsigned>(key.size()))),
+      schedule_(key)
+{
+    inputOff_ = stateBase_ + layout_.find("Input block").offset;
+    keyOff_ = stateBase_ + layout_.find("Key").offset;
+    encKeysOff_ = stateBase_ + layout_.find("Enc round keys").offset;
+    decKeysOff_ = stateBase_ + layout_.find("Dec round keys").offset;
+    teOff_ = stateBase_ + layout_.find("Enc round tables (Te0-3)").offset;
+    tdOff_ = stateBase_ + layout_.find("Dec round tables (Td0-3)").offset;
+    sboxOff_ = stateBase_ + layout_.find("S-box").offset;
+    invSboxOff_ = stateBase_ + layout_.find("Inverse S-box").offset;
+    rconOff_ = stateBase_ + layout_.find("Rcon").offset;
+    ivecOff_ = stateBase_ + layout_.find("CBC block/ivec").offset;
+
+    materialiseState(key);
+}
+
+void
+SimAesEngine::materialiseState(std::span<const std::uint8_t> key)
+{
+    hw::MemorySystem &mem = soc_.memory();
+    const AesTables &tables = aesTables();
+
+    auto writeWords = [&](PhysAddr base, std::span<const std::uint32_t> w) {
+        for (std::size_t i = 0; i < w.size(); ++i)
+            mem.write32(base + 4 * i, w[i]);
+    };
+
+    // RegistersOnly (TRESOR-style): the key and schedule exist only in
+    // the host-side mirror modelling CPU registers; nothing secret is
+    // ever written to the memory system.
+    if (secrets_ == SecretResidency::OnRegion) {
+        mem.write(keyOff_, key.data(), key.size());
+        writeWords(encKeysOff_, schedule_.encWords());
+        writeWords(decKeysOff_, schedule_.decWords());
+    }
+
+    for (unsigned t = 0; t < 4; ++t) {
+        writeWords(teOff_ + t * 256 * 4, {tables.te[t], 256});
+        writeWords(tdOff_ + t * 256 * 4, {tables.td[t], 256});
+    }
+    mem.write(sboxOff_, tables.sbox, 256);
+    mem.write(invSboxOff_, tables.invSbox, 256);
+    writeWords(rconOff_, {tables.rcon, AES_RCON_WORDS});
+}
+
+void
+SimAesEngine::touchRegistersWithSecrets() const
+{
+    // Model what real crypto code does: live round-key words and the
+    // working block sit in CPU registers during computation.
+    const auto words = schedule_.encWords();
+    soc_.cpu().loadRegisters(words.subspan(0, std::min<std::size_t>(
+                                                  8, words.size())));
+}
+
+void
+SimAesEngine::encryptBlock(const std::uint8_t in[16],
+                           std::uint8_t out[16]) const
+{
+    if (scrubbed_)
+        panic("SimAesEngine used after scrub()");
+    hw::MemorySystem &mem = soc_.memory();
+
+    touchRegistersWithSecrets();
+    if (onSoc()) {
+        hw::OnSocIrqGuard guard(soc_.cpu());
+        mem.write(inputOff_, in, AES_BLOCK_SIZE);
+        std::uint8_t block[AES_BLOCK_SIZE];
+        mem.read(inputOff_, block, AES_BLOCK_SIZE);
+        SimEnv env(*this);
+        aesEncryptBlock(env, block, out);
+    } else {
+        mem.write(inputOff_, in, AES_BLOCK_SIZE);
+        std::uint8_t block[AES_BLOCK_SIZE];
+        mem.read(inputOff_, block, AES_BLOCK_SIZE);
+        SimEnv env(*this);
+        aesEncryptBlock(env, block, out);
+        soc_.cpu().pollPreemption();
+    }
+}
+
+void
+SimAesEngine::decryptBlock(const std::uint8_t in[16],
+                           std::uint8_t out[16]) const
+{
+    if (scrubbed_)
+        panic("SimAesEngine used after scrub()");
+    hw::MemorySystem &mem = soc_.memory();
+
+    touchRegistersWithSecrets();
+    if (onSoc()) {
+        hw::OnSocIrqGuard guard(soc_.cpu());
+        mem.write(inputOff_, in, AES_BLOCK_SIZE);
+        std::uint8_t block[AES_BLOCK_SIZE];
+        mem.read(inputOff_, block, AES_BLOCK_SIZE);
+        SimEnv env(*this);
+        aesDecryptBlock(env, block, out);
+    } else {
+        mem.write(inputOff_, in, AES_BLOCK_SIZE);
+        std::uint8_t block[AES_BLOCK_SIZE];
+        mem.read(inputOff_, block, AES_BLOCK_SIZE);
+        SimEnv env(*this);
+        aesDecryptBlock(env, block, out);
+        soc_.cpu().pollPreemption();
+    }
+}
+
+void
+SimAesEngine::chargeBulk(std::size_t bytes)
+{
+    const hw::CpuCost &cost = soc_.config().cost;
+    double cpb = kernelPath_ ? cost.aesCyclesPerByteKernel
+                             : cost.aesCyclesPerByteUser;
+    if (onSoc())
+        cpb *= cost.aesOnSocFactor;
+    soc_.clock().advance(static_cast<Cycles>(
+        cpb * static_cast<double>(bytes) / chargeDivisor_));
+
+    const hw::EnergyParams &ep = soc_.energy().params();
+    double perByte = ep.cpuAesPerByte;
+    if (kernelPath_)
+        perByte += ep.kernelAesExtraPerByte;
+    soc_.energy().charge(hw::EnergyCategory::CpuAes,
+                         perByte * static_cast<double>(bytes));
+    bytesProcessed_ += bytes;
+}
+
+namespace
+{
+/** Interrupts are masked for at most one chunk of crypto at a time
+ *  (the paper's ~160 us irq-off window on the Tegra 3). */
+constexpr std::size_t GUARD_CHUNK = 2 * KiB;
+} // namespace
+
+void
+SimAesEngine::cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data)
+{
+    if (scrubbed_)
+        panic("SimAesEngine used after scrub()");
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcEncrypt requires a multiple of 16 bytes");
+    touchRegistersWithSecrets();
+    // The CBC chaining block is public state kept in the region.
+    soc_.memory().write(ivecOff_, iv.data(), iv.size());
+
+    ScheduleCipher cipher(schedule_);
+    Iv chain = iv;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t n =
+            std::min(GUARD_CHUNK, data.size() - off);
+        const auto chunk = data.subspan(off, n);
+        if (onSoc()) {
+            hw::OnSocIrqGuard guard(soc_.cpu());
+            crypto::cbcEncrypt(cipher, chain, chunk);
+            chargeBulk(n);
+        } else {
+            crypto::cbcEncrypt(cipher, chain, chunk);
+            chargeBulk(n);
+            soc_.cpu().pollPreemption();
+        }
+        std::memcpy(chain.data(), chunk.data() + n - AES_BLOCK_SIZE,
+                    AES_BLOCK_SIZE);
+        off += n;
+    }
+}
+
+void
+SimAesEngine::cbcDecrypt(const Iv &iv, std::span<std::uint8_t> data)
+{
+    if (scrubbed_)
+        panic("SimAesEngine used after scrub()");
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcDecrypt requires a multiple of 16 bytes");
+    touchRegistersWithSecrets();
+    soc_.memory().write(ivecOff_, iv.data(), iv.size());
+
+    ScheduleCipher cipher(schedule_);
+    Iv chain = iv;
+    Iv nextChain;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t n =
+            std::min(GUARD_CHUNK, data.size() - off);
+        const auto chunk = data.subspan(off, n);
+        // Capture the chaining ciphertext before decrypting in place.
+        std::memcpy(nextChain.data(),
+                    chunk.data() + n - AES_BLOCK_SIZE, AES_BLOCK_SIZE);
+        if (onSoc()) {
+            hw::OnSocIrqGuard guard(soc_.cpu());
+            crypto::cbcDecrypt(cipher, chain, chunk);
+            chargeBulk(n);
+        } else {
+            crypto::cbcDecrypt(cipher, chain, chunk);
+            chargeBulk(n);
+            soc_.cpu().pollPreemption();
+        }
+        chain = nextChain;
+        off += n;
+    }
+}
+
+void
+SimAesEngine::cbcEncryptPhys(PhysAddr addr, std::size_t len, const Iv &iv)
+{
+    if (len % AES_BLOCK_SIZE != 0)
+        fatal("cbcEncryptPhys requires a multiple of 16 bytes");
+    std::vector<std::uint8_t> staging(len);
+    soc_.memory().read(addr, staging.data(), len);
+    cbcEncrypt(iv, staging);
+    soc_.memory().write(addr, staging.data(), len);
+}
+
+void
+SimAesEngine::cbcDecryptPhys(PhysAddr addr, std::size_t len, const Iv &iv)
+{
+    if (len % AES_BLOCK_SIZE != 0)
+        fatal("cbcDecryptPhys requires a multiple of 16 bytes");
+    std::vector<std::uint8_t> staging(len);
+    soc_.memory().read(addr, staging.data(), len);
+    cbcDecrypt(iv, staging);
+    soc_.memory().write(addr, staging.data(), len);
+}
+
+void
+SimAesEngine::setChargeDivisor(double divisor)
+{
+    if (divisor < 1.0)
+        fatal("charge divisor must be >= 1 (got %f)", divisor);
+    chargeDivisor_ = divisor;
+}
+
+void
+SimAesEngine::scrub()
+{
+    // Paper protocol: write 0xFF over all sensitive data, then drop the
+    // host mirror too.
+    hw::MemorySystem &mem = soc_.memory();
+    for (const auto &c : layout_.components()) {
+        if (c.sensitivity != Sensitivity::Public)
+            mem.fill(stateBase_ + c.offset, 0xff, c.bytes);
+    }
+    schedule_.scrub();
+    scrubbed_ = true;
+}
+
+} // namespace sentry::crypto

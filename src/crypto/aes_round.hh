@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The AES round engine, parameterised over a state-access environment.
+ *
+ * Every table lookup and round-key fetch goes through an Env object. Two
+ * environments exist in this codebase:
+ *
+ *   - NativeAesEnv (aes.hh): direct array access; used for key expansion,
+ *     host-side validation, and as the computational core of fast paths.
+ *   - SimAesEnv (aes_on_soc.hh): routes each access through the simulated
+ *     memory system, so where the AES state physically lives (DRAM, iRAM,
+ *     or a locked L2 way) determines what an attacker probing the memory
+ *     bus can observe. This is the mechanism that makes the paper's
+ *     "access-protected state" argument *testable* here.
+ *
+ * The engine implements the standard T-table formulation with the
+ * equivalent inverse cipher for decryption (round keys pre-transformed
+ * with InvMixColumns).
+ */
+
+#ifndef SENTRY_CRYPTO_AES_ROUND_HH
+#define SENTRY_CRYPTO_AES_ROUND_HH
+
+#include <cstdint>
+
+namespace sentry::crypto
+{
+
+/** Load a big-endian 32-bit word from @p p. */
+inline std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+/** Store @p w to @p p big-endian. */
+inline void
+storeBe32(std::uint8_t *p, std::uint32_t w)
+{
+    p[0] = static_cast<std::uint8_t>(w >> 24);
+    p[1] = static_cast<std::uint8_t>(w >> 16);
+    p[2] = static_cast<std::uint8_t>(w >> 8);
+    p[3] = static_cast<std::uint8_t>(w);
+}
+
+/**
+ * Encrypt one 16-byte block.
+ *
+ * @param env   state-access environment (tables + round keys)
+ * @param in    16 bytes of plaintext
+ * @param out   16 bytes of ciphertext (may alias @p in)
+ */
+template <typename Env>
+void
+aesEncryptBlock(Env &env, const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const unsigned nr = env.rounds();
+
+    std::uint32_t s0 = loadBe32(in) ^ env.encKey(0);
+    std::uint32_t s1 = loadBe32(in + 4) ^ env.encKey(1);
+    std::uint32_t s2 = loadBe32(in + 8) ^ env.encKey(2);
+    std::uint32_t s3 = loadBe32(in + 12) ^ env.encKey(3);
+
+    for (unsigned round = 1; round < nr; ++round) {
+        const unsigned k = 4 * round;
+        const std::uint32_t t0 =
+            env.te(0, static_cast<std::uint8_t>(s0 >> 24)) ^
+            env.te(1, static_cast<std::uint8_t>(s1 >> 16)) ^
+            env.te(2, static_cast<std::uint8_t>(s2 >> 8)) ^
+            env.te(3, static_cast<std::uint8_t>(s3)) ^ env.encKey(k);
+        const std::uint32_t t1 =
+            env.te(0, static_cast<std::uint8_t>(s1 >> 24)) ^
+            env.te(1, static_cast<std::uint8_t>(s2 >> 16)) ^
+            env.te(2, static_cast<std::uint8_t>(s3 >> 8)) ^
+            env.te(3, static_cast<std::uint8_t>(s0)) ^ env.encKey(k + 1);
+        const std::uint32_t t2 =
+            env.te(0, static_cast<std::uint8_t>(s2 >> 24)) ^
+            env.te(1, static_cast<std::uint8_t>(s3 >> 16)) ^
+            env.te(2, static_cast<std::uint8_t>(s0 >> 8)) ^
+            env.te(3, static_cast<std::uint8_t>(s1)) ^ env.encKey(k + 2);
+        const std::uint32_t t3 =
+            env.te(0, static_cast<std::uint8_t>(s3 >> 24)) ^
+            env.te(1, static_cast<std::uint8_t>(s0 >> 16)) ^
+            env.te(2, static_cast<std::uint8_t>(s1 >> 8)) ^
+            env.te(3, static_cast<std::uint8_t>(s2)) ^ env.encKey(k + 3);
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    const unsigned k = 4 * nr;
+    auto finalWord = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                         std::uint32_t d, unsigned ki) {
+        const std::uint32_t w =
+            (static_cast<std::uint32_t>(
+                 env.sbox(static_cast<std::uint8_t>(a >> 24)))
+             << 24) |
+            (static_cast<std::uint32_t>(
+                 env.sbox(static_cast<std::uint8_t>(b >> 16)))
+             << 16) |
+            (static_cast<std::uint32_t>(
+                 env.sbox(static_cast<std::uint8_t>(c >> 8)))
+             << 8) |
+            static_cast<std::uint32_t>(
+                env.sbox(static_cast<std::uint8_t>(d)));
+        return w ^ env.encKey(ki);
+    };
+    storeBe32(out, finalWord(s0, s1, s2, s3, k));
+    storeBe32(out + 4, finalWord(s1, s2, s3, s0, k + 1));
+    storeBe32(out + 8, finalWord(s2, s3, s0, s1, k + 2));
+    storeBe32(out + 12, finalWord(s3, s0, s1, s2, k + 3));
+}
+
+/**
+ * Decrypt one 16-byte block using the equivalent inverse cipher.
+ *
+ * @param env   state-access environment; decKey() must return round keys
+ *              already reordered and InvMixColumns-transformed
+ * @param in    16 bytes of ciphertext
+ * @param out   16 bytes of plaintext (may alias @p in)
+ */
+template <typename Env>
+void
+aesDecryptBlock(Env &env, const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const unsigned nr = env.rounds();
+
+    std::uint32_t s0 = loadBe32(in) ^ env.decKey(0);
+    std::uint32_t s1 = loadBe32(in + 4) ^ env.decKey(1);
+    std::uint32_t s2 = loadBe32(in + 8) ^ env.decKey(2);
+    std::uint32_t s3 = loadBe32(in + 12) ^ env.decKey(3);
+
+    for (unsigned round = 1; round < nr; ++round) {
+        const unsigned k = 4 * round;
+        const std::uint32_t t0 =
+            env.td(0, static_cast<std::uint8_t>(s0 >> 24)) ^
+            env.td(1, static_cast<std::uint8_t>(s3 >> 16)) ^
+            env.td(2, static_cast<std::uint8_t>(s2 >> 8)) ^
+            env.td(3, static_cast<std::uint8_t>(s1)) ^ env.decKey(k);
+        const std::uint32_t t1 =
+            env.td(0, static_cast<std::uint8_t>(s1 >> 24)) ^
+            env.td(1, static_cast<std::uint8_t>(s0 >> 16)) ^
+            env.td(2, static_cast<std::uint8_t>(s3 >> 8)) ^
+            env.td(3, static_cast<std::uint8_t>(s2)) ^ env.decKey(k + 1);
+        const std::uint32_t t2 =
+            env.td(0, static_cast<std::uint8_t>(s2 >> 24)) ^
+            env.td(1, static_cast<std::uint8_t>(s1 >> 16)) ^
+            env.td(2, static_cast<std::uint8_t>(s0 >> 8)) ^
+            env.td(3, static_cast<std::uint8_t>(s3)) ^ env.decKey(k + 2);
+        const std::uint32_t t3 =
+            env.td(0, static_cast<std::uint8_t>(s3 >> 24)) ^
+            env.td(1, static_cast<std::uint8_t>(s2 >> 16)) ^
+            env.td(2, static_cast<std::uint8_t>(s1 >> 8)) ^
+            env.td(3, static_cast<std::uint8_t>(s0)) ^ env.decKey(k + 3);
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    const unsigned k = 4 * nr;
+    auto finalWord = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                         std::uint32_t d, unsigned ki) {
+        const std::uint32_t w =
+            (static_cast<std::uint32_t>(
+                 env.invSbox(static_cast<std::uint8_t>(a >> 24)))
+             << 24) |
+            (static_cast<std::uint32_t>(
+                 env.invSbox(static_cast<std::uint8_t>(b >> 16)))
+             << 16) |
+            (static_cast<std::uint32_t>(
+                 env.invSbox(static_cast<std::uint8_t>(c >> 8)))
+             << 8) |
+            static_cast<std::uint32_t>(
+                env.invSbox(static_cast<std::uint8_t>(d)));
+        return w ^ env.decKey(ki);
+    };
+    storeBe32(out, finalWord(s0, s3, s2, s1, k));
+    storeBe32(out + 4, finalWord(s1, s0, s3, s2, k + 1));
+    storeBe32(out + 8, finalWord(s2, s1, s0, s3, k + 2));
+    storeBe32(out + 12, finalWord(s3, s2, s1, s0, k + 3));
+}
+
+} // namespace sentry::crypto
+
+#endif // SENTRY_CRYPTO_AES_ROUND_HH

@@ -1,0 +1,95 @@
+#include "crypto/aes_state.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "crypto/aes.hh"
+
+namespace sentry::crypto
+{
+
+const char *
+sensitivityName(Sensitivity s)
+{
+    switch (s) {
+      case Sensitivity::Secret:
+        return "Secret";
+      case Sensitivity::Public:
+        return "Public";
+      case Sensitivity::AccessProtected:
+        return "Access-protected";
+      default:
+        return "?";
+    }
+}
+
+AesStateLayout
+AesStateLayout::forKeyBytes(unsigned key_bytes)
+{
+    if (key_bytes != 16 && key_bytes != 24 && key_bytes != 32)
+        fatal("AES key length must be 16/24/32 bytes (got %u)", key_bytes);
+
+    AesStateLayout layout;
+    layout.keyBytes_ = key_bytes;
+    const unsigned rounds = key_bytes / 4 + 6;
+    const std::size_t scheduleBytes = 4u * (rounds + 1) * 4u;
+
+    std::size_t offset = 0;
+    auto push = [&](std::string name, std::size_t bytes, Sensitivity s) {
+        // Components are cache-line aligned, as real AES builds align
+        // their tables (and as the table-lookup side channel assumes).
+        offset = alignUp(offset, CACHE_LINE_SIZE);
+        layout.components_.push_back({std::move(name), offset, bytes, s});
+        offset += bytes;
+    };
+
+    // Order mirrors Table 4. Sizes are what *this* implementation
+    // actually allocates; EXPERIMENTS.md compares them against the
+    // paper's OpenSSL accounting.
+    push("Input block", AES_BLOCK_SIZE, Sensitivity::Secret);
+    push("Key", key_bytes, Sensitivity::Secret);
+    push("Round index", 1, Sensitivity::Public);
+    push("Enc round keys", scheduleBytes, Sensitivity::Secret);
+    push("Dec round keys", scheduleBytes, Sensitivity::Secret);
+    push("Enc round tables (Te0-3)", 4 * 256 * 4,
+         Sensitivity::AccessProtected);
+    push("Dec round tables (Td0-3)", 4 * 256 * 4,
+         Sensitivity::AccessProtected);
+    push("S-box", 256, Sensitivity::AccessProtected);
+    push("Inverse S-box", 256, Sensitivity::AccessProtected);
+    push("Rcon", AES_RCON_WORDS * 4, Sensitivity::AccessProtected);
+    push("Block index", 1, Sensitivity::Public);
+    push("CBC block/ivec", AES_BLOCK_SIZE, Sensitivity::Public);
+
+    layout.totalBytes_ = offset;
+    return layout;
+}
+
+const AesStateComponent &
+AesStateLayout::find(const std::string &name) const
+{
+    for (const auto &c : components_) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("AesStateLayout: no component named \"%s\"", name.c_str());
+}
+
+std::size_t
+AesStateLayout::bytesOf(Sensitivity s) const
+{
+    std::size_t total = 0;
+    for (const auto &c : components_) {
+        if (c.sensitivity == s)
+            total += c.bytes;
+    }
+    return total;
+}
+
+std::size_t
+AesStateLayout::protectedBytes() const
+{
+    return bytesOf(Sensitivity::Secret) +
+           bytesOf(Sensitivity::AccessProtected);
+}
+
+} // namespace sentry::crypto

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Classified layout of AES's runtime state (the paper's Table 4).
+ *
+ * Every piece of state an AES implementation touches is classified as:
+ *   - Secret: leaks break confidentiality directly (keys, round keys,
+ *     plaintext input block);
+ *   - AccessProtected: contents are public, but the *order of accesses*
+ *     leaks key material (round tables, S-boxes, Rcon) — safe against
+ *     cold boot, but not against a bus monitor;
+ *   - Public: ciphertext and progress counters.
+ *
+ * The layout doubles as the physical placement map AES On SoC uses when
+ * it materialises its state inside an on-SoC region: every component
+ * gets an offset, so tests can point at exactly where each class of
+ * state lives and verify where its bytes do (and do not) show up.
+ */
+
+#ifndef SENTRY_CRYPTO_AES_STATE_HH
+#define SENTRY_CRYPTO_AES_STATE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sentry::crypto
+{
+
+/** Sensitivity classes from Table 4. */
+enum class Sensitivity
+{
+    Secret,
+    Public,
+    AccessProtected,
+};
+
+/** @return printable name of a sensitivity class. */
+const char *sensitivityName(Sensitivity s);
+
+/** One named component of the AES state. */
+struct AesStateComponent
+{
+    std::string name;
+    std::size_t offset; //!< byte offset inside the on-SoC state region
+    std::size_t bytes;
+    Sensitivity sensitivity;
+};
+
+/** Complete accounting of the state one AES instance needs. */
+class AesStateLayout
+{
+  public:
+    /** Build the layout for a given key length (16, 24, or 32 bytes). */
+    static AesStateLayout forKeyBytes(unsigned key_bytes);
+
+    /** @return all components in layout order. */
+    const std::vector<AesStateComponent> &components() const
+    {
+        return components_;
+    }
+
+    /** @return the component named @p name; fatal if absent. */
+    const AesStateComponent &find(const std::string &name) const;
+
+    /** @return total bytes of state. */
+    std::size_t totalBytes() const { return totalBytes_; }
+
+    /** @return bytes belonging to one sensitivity class. */
+    std::size_t bytesOf(Sensitivity s) const;
+
+    /** @return bytes that must live on the SoC (secret + access-prot). */
+    std::size_t protectedBytes() const;
+
+    /** @return the key length this layout was built for. */
+    unsigned keyBytes() const { return keyBytes_; }
+
+    /** @return the number of AES rounds for this key length. */
+    unsigned rounds() const { return keyBytes_ / 4 + 6; }
+
+  private:
+    std::vector<AesStateComponent> components_;
+    std::size_t totalBytes_ = 0;
+    unsigned keyBytes_ = 0;
+};
+
+} // namespace sentry::crypto
+
+#endif // SENTRY_CRYPTO_AES_STATE_HH

@@ -1,0 +1,116 @@
+#include "crypto/aes_tables.hh"
+
+namespace sentry::crypto
+{
+
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t product = 0;
+    while (b) {
+        if (b & 1)
+            product ^= a;
+        const bool carry = a & 0x80;
+        a <<= 1;
+        if (carry)
+            a ^= 0x1b; // reduce modulo x^8 + x^4 + x^3 + x + 1
+        b >>= 1;
+    }
+    return product;
+}
+
+namespace
+{
+
+/** Multiplicative inverse in GF(2^8); 0 maps to 0 per FIPS-197. */
+std::uint8_t
+gfInverse(std::uint8_t a)
+{
+    if (a == 0)
+        return 0;
+    // a^254 = a^-1 in GF(2^8). Square-and-multiply over the 8-bit
+    // exponent 254 = 0b11111110.
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    for (int bit = 0; bit < 8; ++bit) {
+        if ((254 >> bit) & 1)
+            result = gfMul(result, base);
+        base = gfMul(base, base);
+    }
+    return result;
+}
+
+/** The FIPS-197 affine transform applied after inversion. */
+std::uint8_t
+affine(std::uint8_t x)
+{
+    auto rotl8 = [](std::uint8_t v, int k) -> std::uint8_t {
+        return static_cast<std::uint8_t>((v << k) | (v >> (8 - k)));
+    };
+    return static_cast<std::uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^
+                                     rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63);
+}
+
+std::uint32_t
+pack(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2, std::uint8_t b3)
+{
+    return (static_cast<std::uint32_t>(b0) << 24) |
+           (static_cast<std::uint32_t>(b1) << 16) |
+           (static_cast<std::uint32_t>(b2) << 8) |
+           static_cast<std::uint32_t>(b3);
+}
+
+std::uint32_t
+ror8(std::uint32_t w)
+{
+    return (w >> 8) | (w << 24);
+}
+
+AesTables
+generate()
+{
+    AesTables t{};
+
+    for (unsigned i = 0; i < 256; ++i) {
+        const auto x = static_cast<std::uint8_t>(i);
+        t.sbox[i] = affine(gfInverse(x));
+    }
+    for (unsigned i = 0; i < 256; ++i)
+        t.invSbox[t.sbox[i]] = static_cast<std::uint8_t>(i);
+
+    for (unsigned i = 0; i < 256; ++i) {
+        const std::uint8_t s = t.sbox[i];
+        // MixColumns contribution of the first input byte: (2,1,1,3)·S.
+        t.te[0][i] = pack(gfMul(s, 2), s, s, gfMul(s, 3));
+        t.te[1][i] = ror8(t.te[0][i]);
+        t.te[2][i] = ror8(t.te[1][i]);
+        t.te[3][i] = ror8(t.te[2][i]);
+
+        const std::uint8_t is = t.invSbox[i];
+        // InvMixColumns contribution: (14,9,13,11)·IS.
+        t.td[0][i] = pack(gfMul(is, 14), gfMul(is, 9), gfMul(is, 13),
+                          gfMul(is, 11));
+        t.td[1][i] = ror8(t.td[0][i]);
+        t.td[2][i] = ror8(t.td[1][i]);
+        t.td[3][i] = ror8(t.td[2][i]);
+    }
+
+    std::uint8_t rc = 1;
+    for (unsigned i = 0; i < AES_RCON_WORDS; ++i) {
+        t.rcon[i] = static_cast<std::uint32_t>(rc) << 24;
+        rc = gfMul(rc, 2);
+    }
+
+    return t;
+}
+
+} // namespace
+
+const AesTables &
+aesTables()
+{
+    static const AesTables tables = generate();
+    return tables;
+}
+
+} // namespace sentry::crypto

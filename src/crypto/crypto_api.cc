@@ -1,0 +1,55 @@
+#include "crypto/crypto_api.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::crypto
+{
+
+void
+CryptoApi::registerImplementation(CipherImplementation impl)
+{
+    for (const auto &existing : impls_) {
+        if (existing.implName == impl.implName)
+            fatal("crypto implementation \"%s\" already registered",
+                  impl.implName.c_str());
+    }
+    impls_.push_back(std::move(impl));
+}
+
+bool
+CryptoApi::unregisterImplementation(const std::string &impl_name)
+{
+    for (auto it = impls_.begin(); it != impls_.end(); ++it) {
+        if (it->implName == impl_name) {
+            impls_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const CipherImplementation *
+CryptoApi::lookup(const std::string &algorithm) const
+{
+    const CipherImplementation *best = nullptr;
+    for (const auto &impl : impls_) {
+        if (impl.algorithm != algorithm)
+            continue;
+        if (best == nullptr || impl.priority > best->priority)
+            best = &impl;
+    }
+    return best;
+}
+
+std::unique_ptr<SimAesEngine>
+CryptoApi::allocCipher(const std::string &algorithm,
+                       std::span<const std::uint8_t> key) const
+{
+    const CipherImplementation *impl = lookup(algorithm);
+    if (impl == nullptr)
+        fatal("no implementation registered for algorithm \"%s\"",
+              algorithm.c_str());
+    return impl->factory(key);
+}
+
+} // namespace sentry::crypto

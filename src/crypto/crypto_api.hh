@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Linux-Crypto-API-style algorithm registry.
+ *
+ * Implementations register under an algorithm name with a priority; a
+ * lookup returns a cipher from the highest-priority implementation.
+ * Sentry registers AES On SoC with a higher priority than the generic
+ * kernel AES, so legacy consumers (dm-crypt) transparently pick it up —
+ * exactly the paper's integration path (section 7, "Securing Persistent
+ * State").
+ */
+
+#ifndef SENTRY_CRYPTO_CRYPTO_API_HH
+#define SENTRY_CRYPTO_CRYPTO_API_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/aes_on_soc.hh"
+
+namespace sentry::crypto
+{
+
+/** A registered cipher implementation. */
+struct CipherImplementation
+{
+    std::string algorithm; //!< e.g. "aes"
+    std::string implName;  //!< e.g. "aes-generic", "aes-onsoc-iram"
+    int priority;          //!< higher wins
+    /** Allocate an engine keyed with @p key. */
+    std::function<std::unique_ptr<SimAesEngine>(
+        std::span<const std::uint8_t> key)>
+        factory;
+};
+
+/** The algorithm registry. */
+class CryptoApi
+{
+  public:
+    /** Register an implementation (duplicate implNames are rejected). */
+    void registerImplementation(CipherImplementation impl);
+
+    /** Remove an implementation by name. @return true if found. */
+    bool unregisterImplementation(const std::string &impl_name);
+
+    /**
+     * @return the highest-priority implementation of @p algorithm, or
+     *         nullptr when none is registered.
+     */
+    const CipherImplementation *lookup(const std::string &algorithm) const;
+
+    /**
+     * Allocate a keyed cipher from the best implementation of
+     * @p algorithm; fatal when the algorithm is unknown.
+     */
+    std::unique_ptr<SimAesEngine>
+    allocCipher(const std::string &algorithm,
+                std::span<const std::uint8_t> key) const;
+
+    /** @return all registrations (diagnostics). */
+    const std::vector<CipherImplementation> &implementations() const
+    {
+        return impls_;
+    }
+
+  private:
+    std::vector<CipherImplementation> impls_;
+};
+
+} // namespace sentry::crypto
+
+#endif // SENTRY_CRYPTO_CRYPTO_API_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Key derivation for Sentry's two root keys (paper section 7):
+ *   - the volatile root key, generated fresh on every boot and kept on
+ *     the SoC only;
+ *   - the persistent root key, derived from a boot-time password combined
+ *     with the secret burned into the device's secure hardware fuse.
+ */
+
+#ifndef SENTRY_CRYPTO_KDF_HH
+#define SENTRY_CRYPTO_KDF_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sentry::crypto
+{
+
+/**
+ * PBKDF2-HMAC-SHA256 (RFC 8018).
+ *
+ * @param password   user secret
+ * @param salt       per-device salt (here: the fuse secret)
+ * @param iterations PBKDF2 iteration count
+ * @param dkLen      derived-key length in bytes
+ */
+std::vector<std::uint8_t> pbkdf2Sha256(std::span<const std::uint8_t> password,
+                                       std::span<const std::uint8_t> salt,
+                                       unsigned iterations,
+                                       std::size_t dkLen);
+
+/**
+ * Derive a 16-byte AES persistent root key from a password and the
+ * device fuse secret, as Sentry's bootstrap step does.
+ */
+std::vector<std::uint8_t> derivePersistentKey(
+    const std::string &password, std::span<const std::uint8_t> fuse_secret);
+
+} // namespace sentry::crypto
+
+#endif // SENTRY_CRYPTO_KDF_HH

@@ -1,0 +1,136 @@
+#include "crypto/modes.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "crypto/aes.hh"
+
+namespace sentry::crypto
+{
+
+void
+AesBlockCipher::encryptBlock(const std::uint8_t in[16],
+                             std::uint8_t out[16]) const
+{
+    aes_.encryptBlock(in, out);
+}
+
+void
+AesBlockCipher::decryptBlock(const std::uint8_t in[16],
+                             std::uint8_t out[16]) const
+{
+    aes_.decryptBlock(in, out);
+}
+
+namespace
+{
+void
+checkBlockMultiple(std::size_t len, const char *what)
+{
+    if (len % AES_BLOCK_SIZE != 0)
+        fatal("%s requires a multiple of 16 bytes (got %zu)", what, len);
+}
+
+void
+xorBlock(std::uint8_t *dst, const std::uint8_t *src)
+{
+    for (std::size_t i = 0; i < AES_BLOCK_SIZE; ++i)
+        dst[i] ^= src[i];
+}
+} // namespace
+
+void
+cbcEncrypt(const BlockCipher &cipher, const Iv &iv,
+           std::span<std::uint8_t> data)
+{
+    checkBlockMultiple(data.size(), "cbcEncrypt");
+    std::uint8_t chain[AES_BLOCK_SIZE];
+    std::memcpy(chain, iv.data(), AES_BLOCK_SIZE);
+    for (std::size_t off = 0; off < data.size(); off += AES_BLOCK_SIZE) {
+        xorBlock(data.data() + off, chain);
+        cipher.encryptBlock(data.data() + off, data.data() + off);
+        std::memcpy(chain, data.data() + off, AES_BLOCK_SIZE);
+    }
+}
+
+void
+cbcDecrypt(const BlockCipher &cipher, const Iv &iv,
+           std::span<std::uint8_t> data)
+{
+    checkBlockMultiple(data.size(), "cbcDecrypt");
+    std::uint8_t chain[AES_BLOCK_SIZE];
+    std::uint8_t next[AES_BLOCK_SIZE];
+    std::memcpy(chain, iv.data(), AES_BLOCK_SIZE);
+    for (std::size_t off = 0; off < data.size(); off += AES_BLOCK_SIZE) {
+        std::memcpy(next, data.data() + off, AES_BLOCK_SIZE);
+        cipher.decryptBlock(data.data() + off, data.data() + off);
+        xorBlock(data.data() + off, chain);
+        std::memcpy(chain, next, AES_BLOCK_SIZE);
+    }
+}
+
+void
+ctrTransform(const BlockCipher &cipher, const Iv &iv,
+             std::span<std::uint8_t> data)
+{
+    std::uint8_t counter[AES_BLOCK_SIZE];
+    std::memcpy(counter, iv.data(), AES_BLOCK_SIZE);
+    std::uint8_t keystream[AES_BLOCK_SIZE];
+
+    std::size_t off = 0;
+    while (off < data.size()) {
+        cipher.encryptBlock(counter, keystream);
+        const std::size_t chunk =
+            std::min<std::size_t>(AES_BLOCK_SIZE, data.size() - off);
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[off + i] ^= keystream[i];
+        off += chunk;
+        // Increment the big-endian counter in the low 8 bytes.
+        for (int i = AES_BLOCK_SIZE - 1; i >= 8; --i) {
+            if (++counter[i] != 0)
+                break;
+        }
+    }
+}
+
+void
+ecbEncrypt(const BlockCipher &cipher, std::span<std::uint8_t> data)
+{
+    checkBlockMultiple(data.size(), "ecbEncrypt");
+    for (std::size_t off = 0; off < data.size(); off += AES_BLOCK_SIZE)
+        cipher.encryptBlock(data.data() + off, data.data() + off);
+}
+
+void
+ecbDecrypt(const BlockCipher &cipher, std::span<std::uint8_t> data)
+{
+    checkBlockMultiple(data.size(), "ecbDecrypt");
+    for (std::size_t off = 0; off < data.size(); off += AES_BLOCK_SIZE)
+        cipher.decryptBlock(data.data() + off, data.data() + off);
+}
+
+void
+pkcs7Pad(std::vector<std::uint8_t> &data)
+{
+    const std::size_t pad =
+        AES_BLOCK_SIZE - (data.size() % AES_BLOCK_SIZE);
+    data.insert(data.end(), pad, static_cast<std::uint8_t>(pad));
+}
+
+bool
+pkcs7Unpad(std::vector<std::uint8_t> &data)
+{
+    if (data.empty() || data.size() % AES_BLOCK_SIZE != 0)
+        return false;
+    const std::uint8_t pad = data.back();
+    if (pad == 0 || pad > AES_BLOCK_SIZE || pad > data.size())
+        return false;
+    for (std::size_t i = data.size() - pad; i < data.size(); ++i) {
+        if (data[i] != pad)
+            return false;
+    }
+    data.resize(data.size() - pad);
+    return true;
+}
+
+} // namespace sentry::crypto

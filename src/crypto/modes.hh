@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Block-cipher modes of operation: ECB, CBC, and CTR.
+ *
+ * Sentry uses CBC (the Android/Linux default, per the paper). The modes
+ * are written against an abstract BlockCipher so the same code drives
+ * both the generic AES baseline and AES On SoC.
+ */
+
+#ifndef SENTRY_CRYPTO_MODES_HH
+#define SENTRY_CRYPTO_MODES_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sentry::crypto
+{
+
+/** 16-byte initialisation vector. */
+using Iv = std::array<std::uint8_t, AES_BLOCK_SIZE>;
+
+/** Abstract single-block cipher (always 16-byte blocks here). */
+class BlockCipher
+{
+  public:
+    virtual ~BlockCipher() = default;
+
+    /** Encrypt one 16-byte block. */
+    virtual void encryptBlock(const std::uint8_t in[16],
+                              std::uint8_t out[16]) const = 0;
+
+    /** Decrypt one 16-byte block. */
+    virtual void decryptBlock(const std::uint8_t in[16],
+                              std::uint8_t out[16]) const = 0;
+};
+
+class Aes;
+
+/** BlockCipher adapter over the generic T-table AES. */
+class AesBlockCipher : public BlockCipher
+{
+  public:
+    /** @param aes cipher to adapt; must outlive this adapter. */
+    explicit AesBlockCipher(const Aes &aes) : aes_(aes) {}
+
+    void encryptBlock(const std::uint8_t in[16],
+                      std::uint8_t out[16]) const override;
+    void decryptBlock(const std::uint8_t in[16],
+                      std::uint8_t out[16]) const override;
+
+  private:
+    const Aes &aes_;
+};
+
+/**
+ * CBC-encrypt @p data in place. @p data.size() must be a multiple of 16.
+ */
+void cbcEncrypt(const BlockCipher &cipher, const Iv &iv,
+                std::span<std::uint8_t> data);
+
+/** CBC-decrypt @p data in place (multiple of 16 bytes). */
+void cbcDecrypt(const BlockCipher &cipher, const Iv &iv,
+                std::span<std::uint8_t> data);
+
+/**
+ * CTR-mode transform in place (encryption and decryption are identical).
+ * Handles arbitrary lengths. The counter occupies the last 8 bytes of
+ * the IV, big-endian.
+ */
+void ctrTransform(const BlockCipher &cipher, const Iv &iv,
+                  std::span<std::uint8_t> data);
+
+/** ECB-encrypt in place (multiple of 16 bytes). Test/analysis use only. */
+void ecbEncrypt(const BlockCipher &cipher, std::span<std::uint8_t> data);
+
+/** ECB-decrypt in place (multiple of 16 bytes). */
+void ecbDecrypt(const BlockCipher &cipher, std::span<std::uint8_t> data);
+
+/** Append PKCS#7 padding to @p data up to a 16-byte boundary. */
+void pkcs7Pad(std::vector<std::uint8_t> &data);
+
+/**
+ * Validate and strip PKCS#7 padding.
+ * @return true on well-formed padding, false otherwise (data untouched).
+ */
+bool pkcs7Unpad(std::vector<std::uint8_t> &data);
+
+} // namespace sentry::crypto
+
+#endif // SENTRY_CRYPTO_MODES_HH

@@ -1,0 +1,81 @@
+#include "hw/bus.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+void
+Bus::attach(BusTarget *target, PhysAddr base, std::size_t size,
+            std::string name)
+{
+    for (const auto &m : mappings_) {
+        const bool overlaps = base < m.base + m.size && m.base < base + size;
+        if (overlaps) {
+            panic("bus mapping \"%s\" overlaps \"%s\"", name.c_str(),
+                  m.name.c_str());
+        }
+    }
+    mappings_.push_back({target, base, size, std::move(name)});
+}
+
+void
+Bus::addObserver(BusObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+Bus::removeObserver(BusObserver *observer)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+bool
+Bus::covers(PhysAddr addr, std::size_t len) const
+{
+    for (const auto &m : mappings_) {
+        if (addr >= m.base && addr + len <= m.base + m.size)
+            return true;
+    }
+    return false;
+}
+
+const Bus::Mapping &
+Bus::route(PhysAddr addr, std::size_t len) const
+{
+    for (const auto &m : mappings_) {
+        if (addr >= m.base && addr + len <= m.base + m.size)
+            return m;
+    }
+    panic("bus access to unmapped address 0x%llx (+%zu)",
+          static_cast<unsigned long long>(addr), len);
+}
+
+void
+Bus::read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
+          BusInitiator initiator)
+{
+    const Mapping &m = route(addr, len);
+    m.target->busRead(addr - m.base, buf, len);
+    for (auto *obs : observers_)
+        obs->onTransaction({addr, static_cast<std::uint32_t>(len), false,
+                            initiator, buf});
+}
+
+void
+Bus::write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
+           BusInitiator initiator)
+{
+    const Mapping &m = route(addr, len);
+    m.target->busWrite(addr - m.base, buf, len);
+    for (auto *obs : observers_)
+        obs->onTransaction({addr, static_cast<std::uint32_t>(len), true,
+                            initiator, buf});
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The external memory bus connecting the SoC to off-chip DRAM, plus the
+ * observer interface a hardware bus-monitoring probe attaches to.
+ *
+ * Everything that crosses this bus — cache-line fills, writebacks, DMA
+ * transfers — is visible to observers, including addresses and payloads.
+ * Traffic that stays on the SoC (iRAM accesses, L2 hits) never appears
+ * here; that asymmetry is the core of Sentry's security argument.
+ */
+
+#ifndef SENTRY_HW_BUS_HH
+#define SENTRY_HW_BUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sentry::hw
+{
+
+/** Who initiated a bus transaction. */
+enum class BusInitiator
+{
+    CpuCache, //!< L2 line fill or writeback on behalf of the CPU
+    Dma,      //!< a DMA controller transfer
+};
+
+/** One observable transaction on the external memory bus. */
+struct BusTransaction
+{
+    PhysAddr addr;
+    std::uint32_t size;
+    bool isWrite;
+    BusInitiator initiator;
+    /** Payload; valid only during the observer callback. */
+    const std::uint8_t *data;
+};
+
+/** Attachment point for hardware probes (see attacks/BusMonitorAttack). */
+class BusObserver
+{
+  public:
+    virtual ~BusObserver() = default;
+
+    /** Called synchronously for every transaction. */
+    virtual void onTransaction(const BusTransaction &txn) = 0;
+};
+
+/** A device addressable over the bus. */
+class BusTarget
+{
+  public:
+    virtual ~BusTarget() = default;
+
+    /** Read @p len bytes at device-relative @p offset. */
+    virtual void busRead(PhysAddr offset, std::uint8_t *buf,
+                         std::size_t len) = 0;
+
+    /** Write @p len bytes at device-relative @p offset. */
+    virtual void busWrite(PhysAddr offset, const std::uint8_t *buf,
+                          std::size_t len) = 0;
+};
+
+/** Address-routing bus with probe support. */
+class Bus
+{
+  public:
+    /** Map @p target at [base, base+size). Ranges must not overlap. */
+    void attach(BusTarget *target, PhysAddr base, std::size_t size,
+                std::string name);
+
+    /** Register a probe; it sees every subsequent transaction. */
+    void addObserver(BusObserver *observer);
+
+    /** Remove a previously-registered probe. */
+    void removeObserver(BusObserver *observer);
+
+    /** @return true if [addr, addr+len) maps to exactly one target. */
+    bool covers(PhysAddr addr, std::size_t len) const;
+
+    /** Read from the mapped device; notifies observers. */
+    void read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
+              BusInitiator initiator);
+
+    /** Write to the mapped device; notifies observers. */
+    void write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
+               BusInitiator initiator);
+
+  private:
+    struct Mapping
+    {
+        BusTarget *target;
+        PhysAddr base;
+        std::size_t size;
+        std::string name;
+    };
+
+    const Mapping &route(PhysAddr addr, std::size_t len) const;
+
+    std::vector<Mapping> mappings_;
+    std::vector<BusObserver *> observers_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_BUS_HH

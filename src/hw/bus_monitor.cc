@@ -1,0 +1,30 @@
+#include "hw/bus_monitor.hh"
+
+namespace sentry::hw
+{
+
+void
+BusMonitor::onTransaction(const BusTransaction &txn)
+{
+    CapturedTransaction cap;
+    cap.addr = txn.addr;
+    cap.size = txn.size;
+    cap.isWrite = txn.isWrite;
+    cap.initiator = txn.initiator;
+    if (capturePayloads_ && txn.data != nullptr)
+        cap.data.assign(txn.data, txn.data + txn.size);
+    bytesObserved_ += txn.size;
+    trace_.push_back(std::move(cap));
+}
+
+std::vector<std::uint8_t>
+BusMonitor::concatenatedPayloads() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(bytesObserved_);
+    for (const auto &txn : trace_)
+        out.insert(out.end(), txn.data.begin(), txn.data.end());
+    return out;
+}
+
+} // namespace sentry::hw

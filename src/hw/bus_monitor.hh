@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A recording bus probe — the hardware a bus-monitoring attacker clips
+ * onto the DDR traces (paper section 3.1, e.g. a FuturePlus DDR analysis
+ * probe). It captures addresses, directions, and payloads of everything
+ * crossing the external memory bus.
+ */
+
+#ifndef SENTRY_HW_BUS_MONITOR_HH
+#define SENTRY_HW_BUS_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/bus.hh"
+
+namespace sentry::hw
+{
+
+/** Captured copy of one bus transaction. */
+struct CapturedTransaction
+{
+    PhysAddr addr;
+    std::uint32_t size;
+    bool isWrite;
+    BusInitiator initiator;
+    std::vector<std::uint8_t> data;
+};
+
+/** Passive probe that records all bus traffic while attached. */
+class BusMonitor : public BusObserver
+{
+  public:
+    /**
+     * @param capture_payloads when false, only addresses are recorded
+     *        (an access-pattern-only probe); payload vectors stay empty.
+     */
+    explicit BusMonitor(bool capture_payloads = true)
+        : capturePayloads_(capture_payloads)
+    {}
+
+    void onTransaction(const BusTransaction &txn) override;
+
+    /** @return the captured trace, in order. */
+    const std::vector<CapturedTransaction> &trace() const { return trace_; }
+
+    /** Drop everything captured so far. */
+    void clear() { trace_.clear(); }
+
+    /** @return total bytes observed crossing the bus. */
+    std::uint64_t bytesObserved() const { return bytesObserved_; }
+
+    /** Concatenate all captured payloads into one buffer. */
+    std::vector<std::uint8_t> concatenatedPayloads() const;
+
+  private:
+    bool capturePayloads_;
+    std::vector<CapturedTransaction> trace_;
+    std::uint64_t bytesObserved_ = 0;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_BUS_MONITOR_HH

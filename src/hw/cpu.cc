@@ -1,0 +1,100 @@
+#include "hw/cpu.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+namespace
+{
+constexpr Cycles contextSwitchCycles = 800;
+} // namespace
+
+Cpu::Cpu(SimClock &clock) : clock_(clock) {}
+
+void
+Cpu::setMemoryPort(
+    std::function<void(PhysAddr, const std::uint8_t *, std::size_t)>
+        write_fn)
+{
+    writeMem_ = std::move(write_fn);
+}
+
+void
+Cpu::loadRegisters(std::span<const std::uint32_t> words)
+{
+    if (words.size() > regs_.size())
+        panic("loadRegisters: %zu words exceed the register file",
+              words.size());
+    for (std::size_t i = 0; i < words.size(); ++i)
+        regs_[i] = words[i];
+}
+
+void
+Cpu::zeroRegisters()
+{
+    regs_.fill(0);
+}
+
+void
+Cpu::disableIrq()
+{
+    if (!irqEnabled_)
+        return;
+    irqEnabled_ = false;
+    irqOffStart_ = clock_.now();
+}
+
+double
+Cpu::enableIrq()
+{
+    if (irqEnabled_)
+        return 0.0;
+    irqEnabled_ = true;
+    const double window = clock_.toSeconds(clock_.now() - irqOffStart_);
+    if (window > maxIrqOffSeconds_)
+        maxIrqOffSeconds_ = window;
+    return window;
+}
+
+bool
+Cpu::pollPreemption()
+{
+    if (!preemptPending_ || !irqEnabled_)
+        return false;
+    preemptPending_ = false;
+    contextSwitchSpill();
+    return true;
+}
+
+void
+Cpu::contextSwitchSpill()
+{
+    if (!writeMem_)
+        panic("CPU memory port not wired");
+    if (stackPhys_ == 0)
+        panic("context switch with no kernel stack configured");
+
+    // The register save area is written to the stack exactly as the
+    // kernel's switch path would: 16 words, descending.
+    std::uint8_t frame[sizeof(RegisterFile)];
+    std::memcpy(frame, regs_.data(), sizeof(frame));
+    writeMem_(stackPhys_ - sizeof(frame), frame, sizeof(frame));
+    clock_.advance(contextSwitchCycles);
+    ++spillCount_;
+}
+
+OnSocIrqGuard::OnSocIrqGuard(Cpu &cpu) : cpu_(cpu)
+{
+    cpu_.disableIrq();
+}
+
+OnSocIrqGuard::~OnSocIrqGuard()
+{
+    cpu_.zeroRegisters();
+    cpu_.enableIrq();
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,65 @@
+#include "hw/crypto_accel.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+CryptoAccelerator::CryptoAccelerator(SimClock &clock, EnergyModel &energy,
+                                     CryptoAccelParams params)
+    : clock_(clock), energy_(energy), params_(params)
+{}
+
+void
+CryptoAccelerator::setKey(std::span<const std::uint8_t> key)
+{
+    cipher_ = std::make_unique<crypto::Aes>(key);
+}
+
+double
+CryptoAccelerator::currentRate() const
+{
+    const double rate = params_.fullRateBytesPerSec;
+    return downscaled_ ? rate / params_.downscaleFactor : rate;
+}
+
+void
+CryptoAccelerator::chargeRequest(std::size_t bytes)
+{
+    // The whole engine (including its request setup path) runs at the
+    // reduced clock while down-scaled.
+    const double setup = downscaled_
+                             ? params_.setupSeconds *
+                                   params_.downscaleFactor
+                             : params_.setupSeconds;
+    clock_.advanceSeconds(setup +
+                          static_cast<double>(bytes) / currentRate());
+    energy_.charge(EnergyCategory::CryptoAccel,
+                   energy_.params().accelPerRequest +
+                       energy_.params().accelPerByte *
+                           static_cast<double>(bytes));
+}
+
+void
+CryptoAccelerator::cbcEncrypt(const crypto::Iv &iv,
+                              std::span<std::uint8_t> data)
+{
+    if (!cipher_)
+        fatal("crypto accelerator used before a key was loaded");
+    crypto::AesBlockCipher block(*cipher_);
+    crypto::cbcEncrypt(block, iv, data);
+    chargeRequest(data.size());
+}
+
+void
+CryptoAccelerator::cbcDecrypt(const crypto::Iv &iv,
+                              std::span<std::uint8_t> data)
+{
+    if (!cipher_)
+        fatal("crypto accelerator used before a key was loaded");
+    crypto::AesBlockCipher block(*cipher_);
+    crypto::cbcDecrypt(block, iv, data);
+    chargeRequest(data.size());
+}
+
+} // namespace sentry::hw

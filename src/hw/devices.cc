@@ -1,0 +1,69 @@
+#include "hw/devices.hh"
+
+#include <cstring>
+#include <utility>
+
+namespace sentry::hw
+{
+
+DmaStatus
+UartDevice::dmaWrite(PhysAddr offset, const std::uint8_t *buf,
+                     std::size_t len)
+{
+    (void)offset; // the whole window aliases the loopback FIFO
+    loopback_.insert(loopback_.end(), buf, buf + len);
+    return DmaStatus::Ok;
+}
+
+DmaStatus
+UartDevice::dmaRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
+{
+    (void)offset;
+    // The debug port loops written data back out of the serial channel.
+    const std::size_t avail = std::min(len, loopback_.size());
+    std::memcpy(buf, loopback_.data(), avail);
+    std::memset(buf + avail, 0, len - avail);
+    loopback_.erase(loopback_.begin(),
+                    loopback_.begin() + static_cast<long>(avail));
+    return DmaStatus::Ok;
+}
+
+std::vector<std::uint8_t>
+UartDevice::drainLoopback()
+{
+    return std::exchange(loopback_, {});
+}
+
+DmaStatus
+NicDevice::dmaWrite(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
+{
+    if (offset >= NIC_RX_FIFO - NIC_TX_FIFO) {
+        // Writing into the RX window is not something hardware allows.
+        return DmaStatus::BadAddress;
+    }
+    (void)buf; // transmitted data leaves the system
+    bytesTransmitted_ += len;
+    return DmaStatus::Ok;
+}
+
+DmaStatus
+NicDevice::dmaRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
+{
+    if (offset < NIC_RX_FIFO - NIC_TX_FIFO) {
+        // The transmit FIFO cannot be DMA-ed back in (paper 4.2).
+        return DmaStatus::DeviceNotReadable;
+    }
+    const std::size_t avail = std::min(len, rxFifo_.size());
+    std::memcpy(buf, rxFifo_.data(), avail);
+    std::memset(buf + avail, 0, len - avail);
+    rxFifo_.erase(rxFifo_.begin(), rxFifo_.begin() + static_cast<long>(avail));
+    return DmaStatus::Ok;
+}
+
+void
+NicDevice::receiveFrame(std::vector<std::uint8_t> frame)
+{
+    rxFifo_.insert(rxFifo_.end(), frame.begin(), frame.end());
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,41 @@
+#include "hw/dram.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+Dram::Dram(std::size_t size)
+    : data_(size, 0), remanence_(MemoryTech::Dram)
+{
+    if (size == 0 || size % PAGE_SIZE != 0)
+        fatal("DRAM size must be a non-zero multiple of the page size");
+}
+
+void
+Dram::busRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
+{
+    if (offset + len > data_.size())
+        panic("DRAM read out of range: 0x%llx (+%zu)",
+              static_cast<unsigned long long>(offset), len);
+    std::memcpy(buf, data_.data() + offset, len);
+}
+
+void
+Dram::busWrite(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
+{
+    if (offset + len > data_.size())
+        panic("DRAM write out of range: 0x%llx (+%zu)",
+              static_cast<unsigned long long>(offset), len);
+    std::memcpy(data_.data() + offset, buf, len);
+}
+
+void
+Dram::powerLoss(double off_seconds, double celsius, Rng &rng)
+{
+    remanence_.decay(data_, off_seconds, celsius, rng);
+}
+
+} // namespace sentry::hw

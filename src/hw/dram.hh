@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Off-SoC DRAM device. Sits on the external memory bus, so every access
+ * is observable by a bus monitor, and its contents survive power loss
+ * according to the remanence model — both properties the paper's attacks
+ * exploit.
+ */
+
+#ifndef SENTRY_HW_DRAM_HH
+#define SENTRY_HW_DRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "hw/bus.hh"
+#include "hw/remanence.hh"
+
+namespace sentry::hw
+{
+
+/** Simulated DRAM module. */
+class Dram : public BusTarget
+{
+  public:
+    /** @param size capacity in bytes. */
+    explicit Dram(std::size_t size);
+
+    void busRead(PhysAddr offset, std::uint8_t *buf,
+                 std::size_t len) override;
+    void busWrite(PhysAddr offset, const std::uint8_t *buf,
+                  std::size_t len) override;
+
+    /** @return capacity in bytes. */
+    std::size_t size() const { return data_.size(); }
+
+    /**
+     * Direct (simulation-level) view of the cell array. Used by attack
+     * code that dumps memory and by test assertions; not charged to the
+     * simulated clock and not visible on the bus.
+     */
+    std::span<std::uint8_t> raw() { return data_; }
+    std::span<const std::uint8_t> raw() const { return data_; }
+
+    /** Apply cell decay for a power loss of @p off_seconds. */
+    void powerLoss(double off_seconds, double celsius, Rng &rng);
+
+  private:
+    std::vector<std::uint8_t> data_;
+    RemanenceModel remanence_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_DRAM_HH

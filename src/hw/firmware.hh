@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Low-level boot firmware behaviour.
+ *
+ * Two properties of the boot ROM carry Sentry's cold-boot defence
+ * (paper sections 4.1, 4.3):
+ *
+ *   - on every cold boot (any power loss) it zeroes iRAM and resets the
+ *     PL310, so on-SoC storage yields nothing to a reboot attacker;
+ *   - it is signed with the manufacturer's key, so an attacker cannot
+ *     replace it with a version that skips the zeroing.
+ *
+ * Booting also overwrites a slice of DRAM (loader + kernel image),
+ * which is what limits even the no-power-loss OS-reboot attack to
+ * ~96.4% recovery in Table 2.
+ */
+
+#ifndef SENTRY_HW_FIRMWARE_HH
+#define SENTRY_HW_FIRMWARE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hh"
+#include "hw/platform.hh"
+
+namespace sentry::hw
+{
+
+class Dram;
+class Iram;
+class L2Cache;
+
+/** The platform boot ROM. */
+class Firmware
+{
+  public:
+    /** @param footprint boot-time DRAM overwrite fractions */
+    explicit Firmware(BootFootprint footprint) : footprint_(footprint) {}
+
+    /**
+     * Cold-boot path (runs after any power loss): zero iRAM, reset and
+     * zero the L2, then load the (minimal) boot image over a slice of
+     * DRAM.
+     */
+    void coldBoot(Dram &dram, Iram &iram, L2Cache &l2, Rng &rng) const;
+
+    /**
+     * Warm-reboot path (no power loss, e.g. an OS reboot): iRAM is
+     * untouched, caches are invalidated without writeback, and the full
+     * OS image lands in DRAM.
+     */
+    void warmBoot(Dram &dram, L2Cache &l2, Rng &rng) const;
+
+    /**
+     * Verify a replacement firmware image against the manufacturer key.
+     * The firmware-replacement attack fails here: unsigned images are
+     * rejected by the boot ROM.
+     *
+     * @param image candidate image
+     * @param signed_by_manufacturer whether it carries a valid signature
+     * @return true iff the image would be accepted
+     */
+    bool acceptImage(std::span<const std::uint8_t> image,
+                     bool signed_by_manufacturer) const;
+
+  private:
+    void overwriteBootSlice(Dram &dram, double fraction, Rng &rng) const;
+
+    BootFootprint footprint_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_FIRMWARE_HH

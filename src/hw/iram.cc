@@ -1,0 +1,51 @@
+#include "hw/iram.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+Iram::Iram(std::size_t size)
+    : data_(size, 0), remanence_(MemoryTech::Sram)
+{
+    if (size == 0)
+        fatal("iRAM size must be non-zero");
+}
+
+void
+Iram::checkRange(PhysAddr offset, std::size_t len) const
+{
+    if (offset + len > data_.size())
+        panic("iRAM access out of range: 0x%llx (+%zu)",
+              static_cast<unsigned long long>(offset), len);
+}
+
+void
+Iram::read(PhysAddr offset, std::uint8_t *buf, std::size_t len) const
+{
+    checkRange(offset, len);
+    std::memcpy(buf, data_.data() + offset, len);
+}
+
+void
+Iram::write(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(data_.data() + offset, buf, len);
+}
+
+void
+Iram::powerLoss(double off_seconds, double celsius, Rng &rng)
+{
+    remanence_.decay(data_, off_seconds, celsius, rng);
+}
+
+void
+Iram::zeroize()
+{
+    std::memset(data_.data(), 0, data_.size());
+}
+
+} // namespace sentry::hw

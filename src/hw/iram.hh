@@ -1,0 +1,67 @@
+/**
+ * @file
+ * On-SoC internal SRAM (iRAM).
+ *
+ * iRAM is *not* a BusTarget on the external memory bus: CPU accesses to
+ * it stay inside the SoC and are invisible to a bus-monitoring probe.
+ * DMA controllers, however, can address it like any other system memory
+ * unless TrustZone protection is enabled (paper section 4.4) — the DMA
+ * path therefore goes through dmaRead/dmaWrite, which consult the
+ * TrustZone access-control hook.
+ *
+ * Physically the array is SRAM: it keeps its contents across a power
+ * blip far longer than DRAM, but the platform's boot firmware zeroes it
+ * on every cold boot, which is what actually makes it cold-boot safe
+ * (Table 2: 0% recovered after any power loss).
+ */
+
+#ifndef SENTRY_HW_IRAM_HH
+#define SENTRY_HW_IRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "hw/remanence.hh"
+
+namespace sentry::hw
+{
+
+/** On-chip SRAM device. */
+class Iram
+{
+  public:
+    /** @param size capacity in bytes (256 KiB on Tegra 3). */
+    explicit Iram(std::size_t size);
+
+    /** CPU-side read (on-SoC; never observable on the external bus). */
+    void read(PhysAddr offset, std::uint8_t *buf, std::size_t len) const;
+
+    /** CPU-side write. */
+    void write(PhysAddr offset, const std::uint8_t *buf, std::size_t len);
+
+    /** @return capacity in bytes. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Direct simulation-level view (attack dumps, test assertions). */
+    std::span<std::uint8_t> raw() { return data_; }
+    std::span<const std::uint8_t> raw() const { return data_; }
+
+    /** Apply SRAM cell decay for a power loss. */
+    void powerLoss(double off_seconds, double celsius, Rng &rng);
+
+    /** Zero the whole array (the boot-firmware behaviour). */
+    void zeroize();
+
+  private:
+    void checkRange(PhysAddr offset, std::size_t len) const;
+
+    std::vector<std::uint8_t> data_;
+    RemanenceModel remanence_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_IRAM_HH

@@ -1,0 +1,266 @@
+#include "hw/l2_cache.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "hw/trustzone.hh"
+
+namespace sentry::hw
+{
+
+L2Cache::L2Cache(SimClock &clock, Bus &bus, TrustZone &tz,
+                 PhysAddr cacheable_base, std::size_t cacheable_size,
+                 std::size_t size, unsigned ways, L2Timing timing)
+    : clock_(clock), bus_(bus), tz_(tz), cacheableBase_(cacheable_base),
+      cacheableSize_(cacheable_size), ways_(ways), timing_(timing)
+{
+    if (ways == 0 || ways > 32)
+        fatal("L2 associativity must be 1..32 (got %u)", ways);
+    if (size % (ways * CACHE_LINE_SIZE) != 0)
+        fatal("L2 size must be a multiple of ways*line");
+    sets_ = size / (ways * CACHE_LINE_SIZE);
+    if ((sets_ & (sets_ - 1)) != 0)
+        fatal("L2 set count must be a power of two (got %zu)", sets_);
+
+    lines_.resize(sets_ * ways_);
+    data_.assign(sets_ * ways_ * CACHE_LINE_SIZE, 0);
+    rr_.assign(sets_, 0);
+}
+
+bool
+L2Cache::cacheable(PhysAddr addr) const
+{
+    return addr >= cacheableBase_ && addr < cacheableBase_ + cacheableSize_;
+}
+
+int
+L2Cache::findWay(std::size_t set, std::uint64_t tag) const
+{
+    for (unsigned way = 0; way < ways_; ++way) {
+        const Line &line = lines_[lineIndex(set, way)];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+int
+L2Cache::pickVictim(std::size_t set)
+{
+    // Round-robin among allocatable (unlocked) ways; prefer invalid lines.
+    for (unsigned way = 0; way < ways_; ++way) {
+        if (lockdownMask_ & (1u << way))
+            continue;
+        if (!lines_[lineIndex(set, way)].valid)
+            return static_cast<int>(way);
+    }
+    for (unsigned probe = 0; probe < ways_; ++probe) {
+        const unsigned way = (rr_[set] + probe) % ways_;
+        if (lockdownMask_ & (1u << way))
+            continue;
+        rr_[set] = (way + 1) % ways_;
+        return static_cast<int>(way);
+    }
+    return -1; // every way locked: caller falls back to uncached access
+}
+
+void
+L2Cache::writebackLine(std::size_t set, unsigned way)
+{
+    Line &line = lines_[lineIndex(set, way)];
+    if (!line.valid || !line.dirty)
+        return;
+    bus_.write(lineAddr(set, line), lineData(set, way), CACHE_LINE_SIZE,
+               BusInitiator::CpuCache);
+    clock_.advance(timing_.writebackCycles);
+    line.dirty = false;
+    ++stats_.writebacks;
+}
+
+void
+L2Cache::access(PhysAddr addr, std::uint8_t *rbuf, const std::uint8_t *wbuf,
+                std::size_t len)
+{
+    if (len == 0)
+        return;
+    const PhysAddr lineBase = alignDown(addr, CACHE_LINE_SIZE);
+    if (addr + len > lineBase + CACHE_LINE_SIZE)
+        panic("L2 access crosses a line boundary: 0x%llx (+%zu)",
+              static_cast<unsigned long long>(addr), len);
+    if (!cacheable(addr))
+        panic("L2 access outside the cacheable window: 0x%llx",
+              static_cast<unsigned long long>(addr));
+
+    const std::size_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t offsetInLine = addr - lineBase;
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        ++stats_.hits;
+        clock_.advance(timing_.hitCycles);
+    } else {
+        ++stats_.misses;
+        clock_.advance(timing_.hitCycles + timing_.missPenaltyCycles);
+        way = pickVictim(set);
+        if (way < 0) {
+            // All ways locked: the transaction goes straight to DRAM.
+            ++stats_.uncachedAccesses;
+            if (rbuf != nullptr) {
+                bus_.read(addr, rbuf, len, BusInitiator::CpuCache);
+            } else {
+                bus_.write(addr, wbuf, len, BusInitiator::CpuCache);
+            }
+            return;
+        }
+        writebackLine(set, static_cast<unsigned>(way));
+        Line &line = lines_[lineIndex(set, static_cast<unsigned>(way))];
+        bus_.read(lineBase, lineData(set, static_cast<unsigned>(way)),
+                  CACHE_LINE_SIZE, BusInitiator::CpuCache);
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        ++stats_.fills;
+    }
+
+    std::uint8_t *cached =
+        lineData(set, static_cast<unsigned>(way)) + offsetInLine;
+    if (rbuf != nullptr) {
+        std::memcpy(rbuf, cached, len);
+    } else {
+        std::memcpy(cached, wbuf, len);
+        lines_[lineIndex(set, static_cast<unsigned>(way))].dirty = true;
+    }
+}
+
+void
+L2Cache::read(PhysAddr addr, std::uint8_t *buf, std::size_t len)
+{
+    access(addr, buf, nullptr, len);
+}
+
+void
+L2Cache::write(PhysAddr addr, const std::uint8_t *buf, std::size_t len)
+{
+    access(addr, nullptr, buf, len);
+}
+
+bool
+L2Cache::writeLockdownReg(std::uint32_t mask)
+{
+    if (!tz_.lockdownConfigAllowed())
+        return false;
+    lockdownMask_ = mask;
+    return true;
+}
+
+void
+L2Cache::flushAllMasked()
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned way = 0; way < ways_; ++way) {
+            if (flushWayMask_ & (1u << way))
+                continue;
+            Line &line = lines_[lineIndex(set, way)];
+            if (!line.valid)
+                continue;
+            writebackLine(set, way);
+            line.valid = false;
+        }
+    }
+}
+
+void
+L2Cache::cleanAllMasked()
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned way = 0; way < ways_; ++way) {
+            if (flushWayMask_ & (1u << way))
+                continue;
+            writebackLine(set, way);
+        }
+    }
+}
+
+void
+L2Cache::rawFlushAll()
+{
+    // The stock full flush ignores locks: every dirty line (locked or
+    // not) is written back to DRAM and everything is invalidated. The
+    // lockdown register is cleared — locked ways are gone.
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned way = 0; way < ways_; ++way) {
+            Line &line = lines_[lineIndex(set, way)];
+            if (!line.valid)
+                continue;
+            writebackLine(set, way);
+            line.valid = false;
+        }
+    }
+    lockdownMask_ = 0;
+}
+
+void
+L2Cache::cleanRange(PhysAddr addr, std::size_t len)
+{
+    const PhysAddr start = alignDown(addr, CACHE_LINE_SIZE);
+    for (PhysAddr a = start; a < addr + len; a += CACHE_LINE_SIZE) {
+        const std::size_t set = setOf(a);
+        const int way = findWay(set, tagOf(a));
+        if (way < 0 || (flushWayMask_ & (1u << way)))
+            continue;
+        writebackLine(set, static_cast<unsigned>(way));
+    }
+}
+
+void
+L2Cache::invalidateRange(PhysAddr addr, std::size_t len)
+{
+    const PhysAddr start = alignDown(addr, CACHE_LINE_SIZE);
+    for (PhysAddr a = start; a < addr + len; a += CACHE_LINE_SIZE) {
+        const std::size_t set = setOf(a);
+        const int way = findWay(set, tagOf(a));
+        if (way < 0 || (flushWayMask_ & (1u << way)))
+            continue;
+        lines_[lineIndex(set, static_cast<unsigned>(way))].valid = false;
+        lines_[lineIndex(set, static_cast<unsigned>(way))].dirty = false;
+    }
+}
+
+void
+L2Cache::resetAndZero()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    std::memset(data_.data(), 0, data_.size());
+    lockdownMask_ = 0;
+    flushWayMask_ = 0;
+}
+
+const std::uint8_t *
+L2Cache::peek(PhysAddr addr, unsigned *way_out) const
+{
+    if (!cacheable(addr))
+        return nullptr;
+    const std::size_t set = setOf(addr);
+    const int way = findWay(set, tagOf(addr));
+    if (way < 0)
+        return nullptr;
+    if (way_out != nullptr)
+        *way_out = static_cast<unsigned>(way);
+    return lineData(set, static_cast<unsigned>(way)) +
+           (addr % CACHE_LINE_SIZE);
+}
+
+bool
+L2Cache::wayHasDirtyLines(unsigned way) const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        const Line &line = lines_[lineIndex(set, way)];
+        if (line.valid && line.dirty)
+            return true;
+    }
+    return false;
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,53 @@
+#include "hw/platform.hh"
+
+namespace sentry::hw
+{
+
+PlatformConfig
+PlatformConfig::tegra3(std::size_t dram_size)
+{
+    PlatformConfig cfg;
+    cfg.name = "tegra3";
+    cfg.cpuFreqHz = 1.2e9; // quad Cortex-A9 @ 1.2 GHz
+    cfg.cores = 4;
+    cfg.dramSize = dram_size;
+    cfg.iramSize = 256 * KiB;
+    cfg.l2Size = 1 * MiB;
+    cfg.l2Ways = 8;
+    cfg.secureWorldAvailable = true; // we control the boot firmware
+    cfg.hasCryptoAccel = false;
+    // Older core, no NEON-tuned AES: ~13 MB/s generic software AES.
+    cfg.cost.aesCyclesPerByteUser = 92.0;
+    cfg.cost.aesCyclesPerByteKernel = 98.0;
+    cfg.cost.zeroingBytesPerSec = 2.0e9;
+    cfg.batteryJoules = 0.0; // dev board: energy not meaningful
+    return cfg;
+}
+
+PlatformConfig
+PlatformConfig::nexus4(std::size_t dram_size)
+{
+    PlatformConfig cfg;
+    cfg.name = "nexus4";
+    cfg.cpuFreqHz = 1.5e9; // quad Snapdragon S4 @ 1.5 GHz
+    cfg.cores = 4;
+    cfg.dramSize = dram_size;
+    cfg.iramSize = 256 * KiB;
+    cfg.l2Size = 1 * MiB;
+    cfg.l2Ways = 8;
+    cfg.secureWorldAvailable = false; // locked retail firmware
+    cfg.hasCryptoAccel = true;
+    cfg.accel.fullRateBytesPerSec = 80e6;
+    cfg.accel.setupSeconds = 150e-6;
+    cfg.accel.downscaleFactor = 4;
+    // ~45 MB/s user-mode software AES, ~35 MB/s via the Crypto API.
+    cfg.cost.aesCyclesPerByteUser = 33.0;
+    cfg.cost.aesCyclesPerByteKernel = 43.0;
+    cfg.cost.zeroingBytesPerSec = 4.014e9;
+    // 2100 mAh at 3.8 V nominal ~= 28.7 kJ; 70 J per full-memory
+    // encryption then drains it in ~410 cycles, the paper's anchor.
+    cfg.batteryJoules = 28700.0;
+    return cfg;
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Platform configurations for the paper's two prototype devices.
+ *
+ * All throughput/energy parameters are calibration anchors taken from
+ * the paper's own measurements (see DESIGN.md section 4); the simulation
+ * reproduces *shapes* — who wins, by what factor, where the crossovers
+ * are — not testbed-exact numbers.
+ */
+
+#ifndef SENTRY_HW_PLATFORM_HH
+#define SENTRY_HW_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "hw/crypto_accel.hh"
+#include "hw/energy.hh"
+#include "hw/l2_cache.hh"
+
+namespace sentry::hw
+{
+
+/** Memory-path timing parameters. */
+struct MemTiming
+{
+    Cycles iramAccessCycles = 4; //!< per <=line-sized on-SoC access
+    L2Timing l2;
+};
+
+/** CPU-side cost model (cycles / rates). */
+struct CpuCost
+{
+    /** Software AES, user mode, cycles per byte. */
+    double aesCyclesPerByteUser = 33.0;
+    /** Software AES via the kernel Crypto API (extra call overhead). */
+    double aesCyclesPerByteKernel = 43.0;
+    /** AES On SoC multiplicative overhead vs generic (paper: < 1%). */
+    double aesOnSocFactor = 1.008;
+    /** Bulk copy throughput, bytes per cycle. */
+    double memCopyBytesPerCycle = 4.0;
+    /** Freed-page zeroing rate, bytes per second (paper: 4.014 GB/s). */
+    double zeroingBytesPerSec = 4.014e9;
+    /** Page-fault cost: trap, mm locking, PTE + TLB maintenance
+     *  (~80 us at 1.5 GHz, an Android-class fault path). */
+    Cycles pageFaultCycles = 120'000;
+    /**
+     * Aggregate bandwidth cap for whole-memory encryption with all
+     * cores + accelerator (the strawman experiment is memory bound;
+     * anchored to "2 GB takes over a minute" => ~34 MB/s).
+     */
+    double fullMemEncryptBytesPerSec = 34e6;
+    /**
+     * Effective energy of whole-memory encryption (CPU cores + crypto
+     * accelerator together; anchored to "a single full-memory (2 GB)
+     * encryption consumed over 70 Joules").
+     */
+    double fullMemEncryptJoulesPerByte = 0.0333e-6;
+};
+
+/** Boot-time DRAM footprint of the firmware + OS loader. */
+struct BootFootprint
+{
+    /** Fraction of DRAM overwritten by a full OS warm reboot (Table 2:
+     *  96.4% preserved => 3.6% overwritten). */
+    double warmOverwriteFraction = 0.036;
+    /** Fraction overwritten by the minimal reflash loader (tiny: the
+     *  flashing stub barely touches DRAM, which is how Table 2's
+     *  reflash row preserves *more* than the full OS reboot). */
+    double coldOverwriteFraction = 0.004;
+};
+
+/** Complete description of a simulated device. */
+struct PlatformConfig
+{
+    std::string name;
+    double cpuFreqHz = 1.2e9;
+    unsigned cores = 4;
+    std::size_t dramSize = 256 * MiB;
+    std::size_t iramSize = IRAM_SIZE;
+    std::size_t l2Size = 1 * MiB;
+    unsigned l2Ways = 8;
+    /** True when we control boot firmware (Tegra 3 dev board): secure
+     *  world is enterable and cache locking can be enabled. */
+    bool secureWorldAvailable = true;
+    bool hasCryptoAccel = false;
+    CryptoAccelParams accel;
+    MemTiming timing;
+    CpuCost cost;
+    EnergyParams energy;
+    /** Usable battery capacity in Joules (0 = not modelled). */
+    double batteryJoules = 0.0;
+    BootFootprint boot;
+    std::uint64_t seed = 0x5e47ee1d;
+
+    /**
+     * The NVidia Tegra 3 development board: unlocked firmware, cache
+     * locking available, no retail-grade energy optimisation.
+     */
+    static PlatformConfig tegra3(std::size_t dram_size = 256 * MiB);
+
+    /**
+     * The Google Nexus 4: locked firmware (no secure world, no cache
+     * locking), hardware crypto engine, calibrated battery model.
+     */
+    static PlatformConfig nexus4(std::size_t dram_size = 256 * MiB);
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_PLATFORM_HH

@@ -1,0 +1,85 @@
+#include "hw/remanence.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace sentry::hw
+{
+
+RemanenceModel::RemanenceModel(MemoryTech tech, double tau_bit_room)
+    : tech_(tech),
+      tauBitRoom_(tau_bit_room > 0 ? tau_bit_room : defaultTau(tech))
+{
+    if (tau_bit_room < 0)
+        fatal("RemanenceModel: tau must be non-negative");
+}
+
+namespace
+{
+constexpr double ROOM_CELSIUS = 22.0;
+
+double
+temperatureScale(double celsius)
+{
+    // Retention roughly doubles per 10 C of cooling.
+    return std::exp2((ROOM_CELSIUS - celsius) / 10.0);
+}
+} // namespace
+
+double
+RemanenceModel::bitSurvival(double off_seconds, double celsius) const
+{
+    if (off_seconds <= 0)
+        return 1.0;
+    const double tau = tauBitRoom_ * temperatureScale(celsius);
+    return std::exp(-off_seconds / tau);
+}
+
+double
+RemanenceModel::unitSurvival(double off_seconds, double celsius) const
+{
+    return std::pow(bitSurvival(off_seconds, celsius), 64.0);
+}
+
+void
+RemanenceModel::decay(std::span<std::uint8_t> memory, double off_seconds,
+                      double celsius, Rng &rng) const
+{
+    if (off_seconds <= 0)
+        return;
+
+    const double byteSurvival =
+        std::pow(bitSurvival(off_seconds, celsius), 8.0);
+    if (byteSurvival >= 1.0)
+        return;
+
+    // 16-bit threshold gives probability resolution of ~1.5e-5, enough
+    // for the 97.5%-survival reflash case.
+    const auto threshold =
+        static_cast<std::uint32_t>(byteSurvival * 65536.0);
+
+    std::size_t index = 0;
+    while (index < memory.size()) {
+        // One ground polarity per 4 KiB region.
+        const std::uint8_t ground = rng.chance(0.5) ? 0x00 : 0xff;
+        const std::size_t regionEnd =
+            std::min(memory.size(), (index / PAGE_SIZE + 1) * PAGE_SIZE);
+
+        while (index < regionEnd) {
+            // Four 16-bit survival lanes per PRNG draw.
+            std::uint64_t lanes = rng.next64();
+            const std::size_t chunk =
+                std::min<std::size_t>(4, regionEnd - index);
+            for (std::size_t i = 0; i < chunk; ++i) {
+                if (static_cast<std::uint32_t>(lanes & 0xffff) >= threshold)
+                    memory[index + i] = ground;
+                lanes >>= 16;
+            }
+            index += chunk;
+        }
+    }
+}
+
+} // namespace sentry::hw

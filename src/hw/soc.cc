@@ -1,0 +1,163 @@
+#include "hw/soc.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+MemorySystem::MemorySystem(SimClock &clock, Iram &iram, L2Cache &l2,
+                           MemTiming timing)
+    : clock_(clock), iram_(iram), l2_(l2), timing_(timing)
+{}
+
+bool
+MemorySystem::isIram(PhysAddr addr) const
+{
+    return addr >= IRAM_BASE && addr < IRAM_BASE + iram_.size();
+}
+
+void
+MemorySystem::read(PhysAddr addr, void *buf, std::size_t len)
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        const PhysAddr lineEnd =
+            alignDown(addr, CACHE_LINE_SIZE) + CACHE_LINE_SIZE;
+        const std::size_t chunk =
+            std::min<std::size_t>(len, lineEnd - addr);
+        if (isIram(addr)) {
+            iram_.read(addr - IRAM_BASE, out, chunk);
+            clock_.advance(timing_.iramAccessCycles);
+        } else if (l2_.cacheable(addr)) {
+            l2_.read(addr, out, chunk);
+        } else {
+            panic("MemorySystem read at unmapped 0x%llx",
+                  static_cast<unsigned long long>(addr));
+        }
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::write(PhysAddr addr, const void *buf, std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        const PhysAddr lineEnd =
+            alignDown(addr, CACHE_LINE_SIZE) + CACHE_LINE_SIZE;
+        const std::size_t chunk =
+            std::min<std::size_t>(len, lineEnd - addr);
+        if (isIram(addr)) {
+            iram_.write(addr - IRAM_BASE, in, chunk);
+            clock_.advance(timing_.iramAccessCycles);
+        } else if (l2_.cacheable(addr)) {
+            l2_.write(addr, in, chunk);
+        } else {
+            panic("MemorySystem write at unmapped 0x%llx",
+                  static_cast<unsigned long long>(addr));
+        }
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint32_t
+MemorySystem::read32(PhysAddr addr)
+{
+    std::uint32_t value;
+    read(addr, &value, sizeof(value));
+    return value;
+}
+
+void
+MemorySystem::write32(PhysAddr addr, std::uint32_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+void
+MemorySystem::fill(PhysAddr addr, std::uint8_t value, std::size_t len)
+{
+    std::uint8_t chunk[CACHE_LINE_SIZE];
+    std::memset(chunk, value, sizeof(chunk));
+    while (len > 0) {
+        const std::size_t n =
+            std::min<std::size_t>(len, CACHE_LINE_SIZE -
+                                           (addr % CACHE_LINE_SIZE));
+        write(addr, chunk, n);
+        addr += n;
+        len -= n;
+    }
+}
+
+void
+MemorySystem::copy(PhysAddr dst, PhysAddr src, std::size_t len)
+{
+    std::uint8_t buffer[CACHE_LINE_SIZE];
+    while (len > 0) {
+        const std::size_t n = std::min<std::size_t>(len, CACHE_LINE_SIZE);
+        read(src, buffer, n);
+        write(dst, buffer, n);
+        src += n;
+        dst += n;
+        len -= n;
+    }
+}
+
+Soc::Soc(const PlatformConfig &config)
+    : config_(config), clock_(config.cpuFreqHz), rng_(config.seed),
+      energy_(config.energy, config.batteryJoules), dram_(config.dramSize),
+      iram_(config.iramSize),
+      tz_(config.secureWorldAvailable, config.seed ^ 0xf05e0000ULL),
+      l2_(clock_, bus_, tz_, DRAM_BASE, config.dramSize, config.l2Size,
+          config.l2Ways, config.timing.l2),
+      dma_(clock_, bus_, iram_, tz_), cpu_(clock_), firmware_(config.boot),
+      memory_(clock_, iram_, l2_, config.timing)
+{
+    bus_.attach(&dram_, DRAM_BASE, dram_.size(), "dram");
+    dma_.attachDevice(&uart_, UART_DEBUG_PORT, UART_DEBUG_PORT_SIZE,
+                      "uart-debug");
+    dma_.attachDevice(&nic_, NIC_TX_FIFO,
+                      (NIC_RX_FIFO + NIC_RX_FIFO_SIZE) - NIC_TX_FIFO,
+                      "nic");
+
+    cpu_.setMemoryPort([this](PhysAddr addr, const std::uint8_t *buf,
+                              std::size_t len) {
+        memory_.write(addr, buf, len);
+    });
+
+    if (config.hasCryptoAccel) {
+        accel_ =
+            std::make_unique<CryptoAccelerator>(clock_, energy_,
+                                                config.accel);
+    }
+}
+
+void
+Soc::powerCycle(double off_seconds, double celsius)
+{
+    dram_.powerLoss(off_seconds, celsius, rng_);
+    iram_.powerLoss(off_seconds, celsius, rng_);
+    cpu_.zeroRegisters();
+    firmware_.coldBoot(dram_, iram_, l2_, rng_);
+}
+
+void
+Soc::warmReboot()
+{
+    cpu_.zeroRegisters();
+    firmware_.warmBoot(dram_, l2_, rng_);
+}
+
+void
+Soc::chargeCpuSeconds(double seconds)
+{
+    clock_.advanceSeconds(seconds);
+}
+
+} // namespace sentry::hw

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The assembled System-on-Chip plus its off-chip DRAM: the device the
+ * OS, Sentry, and the attack harnesses all run against.
+ *
+ * MemorySystem is the CPU-side memory port. It routes physical accesses:
+ *   - iRAM window  -> on-SoC SRAM, never visible on the external bus;
+ *   - DRAM window  -> through the shared L2 cache, which fills/evicts
+ *                     over the external (monitorable) bus.
+ * DMA traffic takes its own path through DmaController and never touches
+ * the cache.
+ */
+
+#ifndef SENTRY_HW_SOC_HH
+#define SENTRY_HW_SOC_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hh"
+#include "common/sim_clock.hh"
+#include "common/types.hh"
+#include "hw/bus.hh"
+#include "hw/cpu.hh"
+#include "hw/crypto_accel.hh"
+#include "hw/devices.hh"
+#include "hw/dma.hh"
+#include "hw/dram.hh"
+#include "hw/energy.hh"
+#include "hw/firmware.hh"
+#include "hw/iram.hh"
+#include "hw/l2_cache.hh"
+#include "hw/platform.hh"
+#include "hw/trustzone.hh"
+
+namespace sentry::hw
+{
+
+/** CPU-side physical memory port (cacheable path). */
+class MemorySystem
+{
+  public:
+    MemorySystem(SimClock &clock, Iram &iram, L2Cache &l2,
+                 MemTiming timing);
+
+    /** Read @p len bytes from physical address @p addr. */
+    void read(PhysAddr addr, void *buf, std::size_t len);
+
+    /** Write @p len bytes to physical address @p addr. */
+    void write(PhysAddr addr, const void *buf, std::size_t len);
+
+    /** @return one 32-bit little-endian word. */
+    std::uint32_t read32(PhysAddr addr);
+
+    /** Write one 32-bit little-endian word. */
+    void write32(PhysAddr addr, std::uint32_t value);
+
+    /** Fill [addr, addr+len) with @p value. */
+    void fill(PhysAddr addr, std::uint8_t value, std::size_t len);
+
+    /** Copy @p len bytes within simulated physical memory. */
+    void copy(PhysAddr dst, PhysAddr src, std::size_t len);
+
+    /** @return true if @p addr lies in the iRAM window. */
+    bool isIram(PhysAddr addr) const;
+
+  private:
+    SimClock &clock_;
+    Iram &iram_;
+    L2Cache &l2_;
+    MemTiming timing_;
+};
+
+/** The simulated device. */
+class Soc
+{
+  public:
+    explicit Soc(const PlatformConfig &config);
+
+    const PlatformConfig &config() const { return config_; }
+
+    SimClock &clock() { return clock_; }
+    Rng &rng() { return rng_; }
+    EnergyModel &energy() { return energy_; }
+    Dram &dram() { return dram_; }
+    Iram &iram() { return iram_; }
+    Bus &bus() { return bus_; }
+    TrustZone &trustzone() { return tz_; }
+    L2Cache &l2() { return l2_; }
+    DmaController &dma() { return dma_; }
+    UartDevice &uart() { return uart_; }
+    NicDevice &nic() { return nic_; }
+    Cpu &cpu() { return cpu_; }
+    Firmware &firmware() { return firmware_; }
+    MemorySystem &memory() { return memory_; }
+
+    /** @return the crypto engine, or nullptr on platforms without one. */
+    CryptoAccelerator *accel() { return accel_ ? accel_.get() : nullptr; }
+
+    /** Const view of the DRAM cell array (forensics/tests). */
+    std::span<const std::uint8_t> dramRaw() const { return dram_.raw(); }
+
+    /** Const view of the iRAM cell array (forensics/tests). */
+    std::span<const std::uint8_t> iramRaw() const { return iram_.raw(); }
+
+    /** Physical address of the first DRAM byte. */
+    PhysAddr dramBase() const { return DRAM_BASE; }
+
+    /** One past the last DRAM physical address. */
+    PhysAddr dramEnd() const { return DRAM_BASE + dram_.size(); }
+
+    /**
+     * Cut power for @p off_seconds at @p celsius, then run the cold-boot
+     * firmware path. Simulated time is NOT advanced (the device is off).
+     */
+    void powerCycle(double off_seconds, double celsius = 22.0);
+
+    /** Reboot without power loss (the OS-reboot cold-boot variant). */
+    void warmReboot();
+
+    /**
+     * Charge CPU work of @p seconds to the clock (models computation
+     * this simulation does not execute instruction-by-instruction).
+     */
+    void chargeCpuSeconds(double seconds);
+
+  private:
+    PlatformConfig config_;
+    SimClock clock_;
+    Rng rng_;
+    EnergyModel energy_;
+    Dram dram_;
+    Iram iram_;
+    Bus bus_;
+    TrustZone tz_;
+    L2Cache l2_;
+    DmaController dma_;
+    UartDevice uart_;
+    NicDevice nic_;
+    Cpu cpu_;
+    Firmware firmware_;
+    MemorySystem memory_;
+    std::unique_ptr<CryptoAccelerator> accel_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_SOC_HH

@@ -1,0 +1,92 @@
+#include "hw/trustzone.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sentry::hw
+{
+
+SecureFuse::SecureFuse(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xf05ecafeULL);
+    for (std::size_t i = 0; i < secret_.size(); i += 8) {
+        const std::uint64_t word = rng.next64();
+        for (std::size_t j = 0; j < 8; ++j)
+            secret_[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+}
+
+TrustZone::TrustZone(bool secure_world_available, std::uint64_t fuse_seed)
+    : secureAvailable_(secure_world_available), fuse_(fuse_seed)
+{}
+
+bool
+TrustZone::enterSecureWorld()
+{
+    if (!secureAvailable_)
+        return false;
+    world_ = World::Secure;
+    return true;
+}
+
+void
+TrustZone::exitSecureWorld()
+{
+    world_ = World::Normal;
+}
+
+bool
+TrustZone::readFuse(std::array<std::uint8_t, 32> &out) const
+{
+    if (world_ != World::Secure)
+        return false;
+    out = fuse_.secret();
+    return true;
+}
+
+bool
+TrustZone::protectRegionFromDma(PhysAddr base, std::size_t size)
+{
+    if (world_ != World::Secure)
+        return false;
+    dmaProtected_.push_back({base, size});
+    return true;
+}
+
+bool
+TrustZone::unprotectRegionFromDma(PhysAddr base, std::size_t size)
+{
+    if (world_ != World::Secure)
+        return false;
+    for (auto it = dmaProtected_.begin(); it != dmaProtected_.end(); ++it) {
+        if (it->base == base && it->size == size) {
+            dmaProtected_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+TrustZone::dmaDenied(PhysAddr addr, std::size_t len) const
+{
+    for (const auto &region : dmaProtected_) {
+        const bool overlaps = addr < region.base + region.size &&
+                              region.base < addr + len;
+        if (overlaps)
+            return true;
+    }
+    return false;
+}
+
+SecureWorldGuard::SecureWorldGuard(TrustZone &tz)
+    : tz_(tz), entered_(tz.enterSecureWorld())
+{}
+
+SecureWorldGuard::~SecureWorldGuard()
+{
+    if (entered_)
+        tz_.exitSecureWorld();
+}
+
+} // namespace sentry::hw

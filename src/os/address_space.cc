@@ -1,0 +1,47 @@
+#include "os/address_space.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+Vma &
+AddressSpace::addVma(std::string name, VmaType type, std::size_t size,
+                     SharePolicy share)
+{
+    if (size == 0 || size % PAGE_SIZE != 0)
+        fatal("VMA \"%s\" size must be a non-zero page multiple (%zu)",
+              name.c_str(), size);
+
+    Vma vma;
+    vma.name = std::move(name);
+    vma.type = type;
+    vma.share = share;
+    vma.base = nextBase_;
+    vma.size = size;
+    nextBase_ = vma.end() + VA_GAP;
+
+    vmas_.push_back(std::move(vma));
+    return vmas_.back();
+}
+
+const Vma *
+AddressSpace::findVma(VirtAddr va) const
+{
+    for (const auto &vma : vmas_) {
+        if (vma.contains(va))
+            return &vma;
+    }
+    return nullptr;
+}
+
+std::size_t
+AddressSpace::totalBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &vma : vmas_)
+        total += vma.size;
+    return total;
+}
+
+} // namespace sentry::os

@@ -1,0 +1,49 @@
+#include "os/block_device.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+RamBlockDevice::RamBlockDevice(SimClock &clock, std::size_t bytes,
+                               double bytes_per_sec)
+    : clock_(clock), storage_(bytes, 0), bytesPerSec_(bytes_per_sec)
+{
+    if (bytes == 0 || bytes % BLOCK_SIZE != 0)
+        fatal("block device size must be a non-zero block multiple");
+    if (bytes_per_sec <= 0)
+        fatal("block device rate must be positive");
+}
+
+void
+RamBlockDevice::readBlock(std::uint64_t index, std::span<std::uint8_t> buf)
+{
+    if (buf.size() != BLOCK_SIZE || index >= numBlocks())
+        panic("bad block read (index %llu)",
+              static_cast<unsigned long long>(index));
+    std::memcpy(buf.data(), storage_.data() + index * BLOCK_SIZE,
+                BLOCK_SIZE);
+    clock_.advanceSeconds(static_cast<double>(BLOCK_SIZE) / bytesPerSec_);
+}
+
+void
+RamBlockDevice::writeBlock(std::uint64_t index,
+                           std::span<const std::uint8_t> buf)
+{
+    if (buf.size() != BLOCK_SIZE || index >= numBlocks())
+        panic("bad block write (index %llu)",
+              static_cast<unsigned long long>(index));
+    std::memcpy(storage_.data() + index * BLOCK_SIZE, buf.data(),
+                BLOCK_SIZE);
+    clock_.advanceSeconds(static_cast<double>(BLOCK_SIZE) / bytesPerSec_);
+}
+
+std::uint64_t
+RamBlockDevice::numBlocks() const
+{
+    return storage_.size() / BLOCK_SIZE;
+}
+
+} // namespace sentry::os

@@ -1,0 +1,50 @@
+#include "os/dm_crypt.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace sentry::os
+{
+
+DmCrypt::DmCrypt(BlockLayer &lower,
+                 std::unique_ptr<crypto::SimAesEngine> cipher,
+                 unsigned async_workers)
+    : lower_(lower), cipher_(std::move(cipher)),
+      asyncWorkers_(async_workers == 0 ? 1 : async_workers)
+{}
+
+crypto::Iv
+DmCrypt::blockIv(std::uint64_t index)
+{
+    crypto::Iv iv{};
+    for (int i = 0; i < 8; ++i)
+        iv[i] = static_cast<std::uint8_t>(index >> (8 * i));
+    return iv;
+}
+
+void
+DmCrypt::readBlock(std::uint64_t index, std::span<std::uint8_t> buf)
+{
+    lower_.readBlock(index, buf);
+    cipher_->cbcDecrypt(blockIv(index), buf);
+}
+
+void
+DmCrypt::writeBlock(std::uint64_t index, std::span<const std::uint8_t> buf)
+{
+    std::vector<std::uint8_t> staging(buf.begin(), buf.end());
+    // Writes are queued to kcryptd workers: the encryption runs on
+    // asyncWorkers_ cores in parallel with the issuing thread.
+    cipher_->setChargeDivisor(asyncWorkers_);
+    cipher_->cbcEncrypt(blockIv(index), staging);
+    cipher_->setChargeDivisor(1.0);
+    lower_.writeBlock(index, staging);
+}
+
+std::uint64_t
+DmCrypt::numBlocks() const
+{
+    return lower_.numBlocks();
+}
+
+} // namespace sentry::os

@@ -1,0 +1,83 @@
+#include "os/filebench.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+const char *
+filebenchWorkloadName(FilebenchWorkload workload)
+{
+    switch (workload) {
+      case FilebenchWorkload::SeqRead:
+        return "seqread";
+      case FilebenchWorkload::RandRead:
+        return "randread";
+      case FilebenchWorkload::RandRW:
+        return "randrw";
+      default:
+        return "?";
+    }
+}
+
+Filebench::Filebench(SimClock &clock, BufferCache &cache,
+                     std::size_t working_set_bytes)
+    : clock_(clock), cache_(cache),
+      workingSetBlocks_(working_set_bytes / BLOCK_SIZE)
+{
+    if (workingSetBlocks_ == 0)
+        fatal("filebench working set must be at least one block");
+}
+
+void
+Filebench::createFiles()
+{
+    std::vector<std::uint8_t> block(BLOCK_SIZE);
+    for (std::uint64_t i = 0; i < workingSetBlocks_; ++i) {
+        for (std::size_t b = 0; b < BLOCK_SIZE; ++b)
+            block[b] = static_cast<std::uint8_t>(i + b);
+        cache_.write(i, block, /*direct_io=*/false);
+    }
+}
+
+FilebenchResult
+Filebench::run(FilebenchWorkload workload, std::size_t io_bytes,
+               bool direct_io, Rng &rng)
+{
+    createFiles();
+
+    std::vector<std::uint8_t> block(BLOCK_SIZE);
+    const std::uint64_t ops = io_bytes / BLOCK_SIZE;
+
+    const Cycles start = clock_.now();
+    std::uint64_t next = 0;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        std::uint64_t index;
+        switch (workload) {
+          case FilebenchWorkload::SeqRead:
+            index = next++ % workingSetBlocks_;
+            cache_.read(index, block, direct_io);
+            break;
+          case FilebenchWorkload::RandRead:
+            index = rng.below(workingSetBlocks_);
+            cache_.read(index, block, direct_io);
+            break;
+          case FilebenchWorkload::RandRW:
+            index = rng.below(workingSetBlocks_);
+            if (rng.chance(0.5))
+                cache_.read(index, block, direct_io);
+            else
+                cache_.write(index, block, direct_io);
+            break;
+        }
+    }
+
+    FilebenchResult result;
+    result.bytesMoved = ops * BLOCK_SIZE;
+    result.seconds = clock_.toSeconds(clock_.now() - start);
+    return result;
+}
+
+} // namespace sentry::os

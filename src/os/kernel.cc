@@ -1,0 +1,261 @@
+#include "os/kernel.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+namespace
+{
+/** Frames reserved at the top of DRAM for kernel stacks. */
+constexpr std::size_t KERNEL_STACK_BYTES = PAGE_SIZE;
+} // namespace
+
+Kernel::Kernel(hw::Soc &soc)
+    : soc_(soc), allocator_(DRAM_BASE, soc.dram().size()),
+      scheduler_(soc.cpu())
+{}
+
+Kernel::KernelTimer::KernelTimer(Kernel &kernel)
+    : kernel_(kernel), start_(kernel.soc_.clock().now()),
+      outermost_(kernel.kernelTimerDepth_ == 0)
+{
+    ++kernel_.kernelTimerDepth_;
+    if (outermost_)
+        kernel_.kernelTimerStart_ = start_;
+}
+
+Kernel::KernelTimer::~KernelTimer()
+{
+    --kernel_.kernelTimerDepth_;
+    if (outermost_) {
+        kernel_.kernelCycles_ +=
+            kernel_.soc_.clock().now() - kernel_.kernelTimerStart_;
+    }
+}
+
+Process &
+Kernel::createProcess(const std::string &name)
+{
+    auto process = std::make_unique<Process>(nextPid_++, name);
+    const PhysAddr stackFrame = allocator_.allocFrame();
+    process->setKernelStackTop(stackFrame + KERNEL_STACK_BYTES);
+    scheduler_.admit(process.get());
+    processes_.push_back(std::move(process));
+    return *processes_.back();
+}
+
+void
+Kernel::destroyProcess(Process &process)
+{
+    scheduler_.remove(&process);
+    // Pages go back to the allocator with their contents intact; the
+    // zeroing kthread scrubs them eventually (paper: "Securing Freed
+    // Pages").
+    process.pageTable().forEach([&](VirtAddr, Pte &pte) {
+        if (!pte.present)
+            return;
+        // Pages resident on-SoC return their DRAM home; the locked-cache
+        // frame itself belongs to the pager, not the allocator.
+        const PhysAddr frame = pte.onSoc ? pte.dramHome : pte.frame;
+        freedDirtyFrames_.push_back(frame);
+        allocator_.freeFrame(frame);
+    });
+    freedDirtyFrames_.push_back(process.kernelStackTop() -
+                                KERNEL_STACK_BYTES);
+    allocator_.freeFrame(process.kernelStackTop() - KERNEL_STACK_BYTES);
+
+    for (auto it = processes_.begin(); it != processes_.end(); ++it) {
+        if (it->get() == &process) {
+            processes_.erase(it);
+            return;
+        }
+    }
+    panic("destroyProcess: unknown process");
+}
+
+Vma &
+Kernel::addVma(Process &process, const std::string &name, VmaType type,
+               std::size_t size, SharePolicy share)
+{
+    Vma &vma = process.addressSpace().addVma(name, type, size, share);
+    for (std::size_t page = 0; page < vma.pages(); ++page) {
+        const PhysAddr frame = allocator_.allocFrame();
+        process.pageTable().map(vma.base + page * PAGE_SIZE, frame);
+    }
+    return vma;
+}
+
+PhysAddr
+Kernel::resolve(Process &process, VirtAddr va, bool write)
+{
+    Pte *pte = process.pageTable().find(va);
+    if (pte == nullptr || !pte->present)
+        panic("segfault: %s accesses unmapped VA 0x%llx",
+              process.name().c_str(), static_cast<unsigned long long>(va));
+    if (write && !pte->writable)
+        panic("write to read-only page at VA 0x%llx",
+              static_cast<unsigned long long>(va));
+
+    if (!pte->young) {
+        // Trap: enter the kernel fault path.
+        KernelTimer timer(*this);
+        ++faultCount_;
+        soc_.clock().advance(soc_.config().cost.pageFaultCycles);
+        soc_.energy().charge(hw::EnergyCategory::PageFault,
+                             soc_.energy().params().pageFaultEach);
+        const bool handled =
+            faultHandler_ && faultHandler_(process, va, *pte);
+        if (!handled)
+            pte->young = true; // default: just set the accessed bit
+        // Re-find: the handler may have remapped the page.
+        pte = process.pageTable().find(va);
+        if (pte == nullptr || !pte->present || !pte->young)
+            panic("fault handler left VA 0x%llx unresolvable",
+                  static_cast<unsigned long long>(va));
+    }
+
+    return pte->frame + (va % PAGE_SIZE);
+}
+
+void
+Kernel::readVirt(Process &process, VirtAddr va, void *buf, std::size_t len)
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        const std::size_t inPage =
+            std::min<std::size_t>(len, PAGE_SIZE - (va % PAGE_SIZE));
+        const PhysAddr pa = resolve(process, va, false);
+        soc_.memory().read(pa, out, inPage);
+        va += inPage;
+        out += inPage;
+        len -= inPage;
+    }
+}
+
+void
+Kernel::writeVirt(Process &process, VirtAddr va, const void *buf,
+                  std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        const std::size_t inPage =
+            std::min<std::size_t>(len, PAGE_SIZE - (va % PAGE_SIZE));
+        const PhysAddr pa = resolve(process, va, true);
+        soc_.memory().write(pa, in, inPage);
+        va += inPage;
+        in += inPage;
+        len -= inPage;
+    }
+}
+
+void
+Kernel::touchRange(Process &process, VirtAddr va, std::size_t len,
+                   bool write)
+{
+    std::uint8_t scratch[8] = {};
+    const VirtAddr first = PageTable::pageOf(va);
+    const VirtAddr last = PageTable::pageOf(va + len - 1);
+    for (VirtAddr page = first; page <= last; page += PAGE_SIZE) {
+        const PhysAddr pa = resolve(process, page, write);
+        if (write)
+            soc_.memory().write(pa, scratch, sizeof(scratch));
+        else
+            soc_.memory().read(pa, scratch, sizeof(scratch));
+    }
+}
+
+std::size_t
+Kernel::freedPendingBytes() const
+{
+    return freedDirtyFrames_.size() * PAGE_SIZE;
+}
+
+double
+Kernel::zeroFreedPages()
+{
+    if (freedDirtyFrames_.empty())
+        return 0.0;
+
+    KernelTimer timer(*this);
+    const std::size_t bytes = freedPendingBytes();
+    for (const PhysAddr frame : freedDirtyFrames_)
+        soc_.memory().fill(frame, 0, PAGE_SIZE);
+    freedDirtyFrames_.clear();
+
+    const double seconds = static_cast<double>(bytes) /
+                           soc_.config().cost.zeroingBytesPerSec;
+    soc_.clock().advanceSeconds(seconds);
+    soc_.energy().charge(hw::EnergyCategory::Zeroing,
+                         soc_.energy().params().zeroingPerByte *
+                             static_cast<double>(bytes));
+    return seconds;
+}
+
+void
+Kernel::lockScreen()
+{
+    if (powerState_ != PowerState::Awake)
+        return;
+    if (onLock_)
+        onLock_();
+    powerState_ = PowerState::Locked;
+}
+
+void
+Kernel::suspendToRam(double seconds)
+{
+    lockScreen(); // encrypt-on-lock runs before the CPU halts
+    if (powerState_ == PowerState::Locked)
+        powerState_ = PowerState::Suspended;
+    if (seconds > 0) {
+        soc_.clock().advanceSeconds(seconds);
+        suspendedSeconds_ += seconds;
+    }
+}
+
+PowerState
+Kernel::wakeUp(WakeReason reason)
+{
+    (void)reason; // all wake sources resume to the same locked state
+    ++wakeCount_;
+    if (powerState_ == PowerState::Suspended)
+        powerState_ = PowerState::Locked;
+    return powerState_;
+}
+
+bool
+Kernel::unlockScreen(const std::string &pin)
+{
+    if (powerState_ == PowerState::Awake)
+        return true;
+    if (powerState_ == PowerState::DeepLock)
+        return false; // PIN no longer accepted
+    if (powerState_ == PowerState::Suspended)
+        wakeUp(WakeReason::UserInteraction);
+    if (pin != pin_) {
+        if (++badPinAttempts_ >= 5) {
+            powerState_ = PowerState::DeepLock;
+            if (onDeepLock_)
+                onDeepLock_();
+        }
+        return false;
+    }
+    badPinAttempts_ = 0;
+    powerState_ = PowerState::Awake;
+    if (onUnlock_)
+        onUnlock_();
+    return true;
+}
+
+void
+Kernel::setLockHooks(std::function<void()> on_lock,
+                     std::function<void()> on_unlock)
+{
+    onLock_ = std::move(on_lock);
+    onUnlock_ = std::move(on_unlock);
+}
+
+} // namespace sentry::os

@@ -1,0 +1,47 @@
+#include "os/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+Pte &
+PageTable::map(VirtAddr va, PhysAddr frame)
+{
+    if (va % PAGE_SIZE != 0)
+        panic("PageTable::map: unaligned VA 0x%llx",
+              static_cast<unsigned long long>(va));
+    Pte &pte = entries_[va];
+    pte.frame = frame;
+    pte.present = true;
+    return pte;
+}
+
+bool
+PageTable::unmap(VirtAddr va)
+{
+    return entries_.erase(pageOf(va)) > 0;
+}
+
+Pte *
+PageTable::find(VirtAddr va)
+{
+    auto it = entries_.find(pageOf(va));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Pte *
+PageTable::find(VirtAddr va) const
+{
+    auto it = entries_.find(pageOf(va));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+PageTable::forEach(const std::function<void(VirtAddr, Pte &)> &fn)
+{
+    for (auto &[va, pte] : entries_)
+        fn(va, pte);
+}
+
+} // namespace sentry::os

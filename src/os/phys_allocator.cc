@@ -1,0 +1,85 @@
+#include "os/phys_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sentry::os
+{
+
+PhysAllocator::PhysAllocator(PhysAddr base, std::size_t size)
+    : base_(base), size_(size)
+{
+    if (base % PAGE_SIZE != 0 || size % PAGE_SIZE != 0)
+        fatal("PhysAllocator range must be page aligned");
+    freeList_.reserve(size / PAGE_SIZE);
+    // Push in reverse so allocation proceeds from low addresses up.
+    for (PhysAddr frame = base + size; frame > base;)
+        freeList_.push_back(frame -= PAGE_SIZE);
+    totalFrames_ = freeList_.size();
+}
+
+void
+PhysAllocator::reserveRange(PhysAddr base, std::size_t size)
+{
+    const PhysAddr end = base + size;
+    freeList_.erase(std::remove_if(freeList_.begin(), freeList_.end(),
+                                   [&](PhysAddr frame) {
+                                       return frame >= base && frame < end;
+                                   }),
+                    freeList_.end());
+    totalFrames_ = freeList_.size() + allocated_.size();
+}
+
+PhysAddr
+PhysAllocator::allocFrame()
+{
+    if (freeList_.empty())
+        fatal("out of physical memory (%zu frames allocated)",
+              allocated_.size());
+    const PhysAddr frame = freeList_.back();
+    freeList_.pop_back();
+    allocated_.insert(frame);
+    return frame;
+}
+
+PhysAddr
+PhysAllocator::allocContiguous(std::size_t frames)
+{
+    if (frames == 0)
+        panic("allocContiguous of zero frames");
+
+    std::vector<PhysAddr> sorted(freeList_);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t runStart = 0;
+    for (std::size_t i = 1; i <= sorted.size(); ++i) {
+        const bool contiguous =
+            i < sorted.size() && sorted[i] == sorted[i - 1] + PAGE_SIZE;
+        if (!contiguous) {
+            if (i - runStart >= frames) {
+                const PhysAddr base = sorted[runStart];
+                for (std::size_t f = 0; f < frames; ++f) {
+                    const PhysAddr frame = base + f * PAGE_SIZE;
+                    freeList_.erase(std::remove(freeList_.begin(),
+                                                freeList_.end(), frame),
+                                    freeList_.end());
+                    allocated_.insert(frame);
+                }
+                return base;
+            }
+            runStart = i;
+        }
+    }
+    fatal("no contiguous run of %zu frames available", frames);
+}
+
+void
+PhysAllocator::freeFrame(PhysAddr frame)
+{
+    if (allocated_.erase(frame) == 0)
+        panic("double free of frame 0x%llx",
+              static_cast<unsigned long long>(frame));
+    freeList_.push_back(frame);
+}
+
+} // namespace sentry::os

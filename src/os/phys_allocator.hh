@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Physical page-frame allocator over the DRAM window.
+ */
+
+#ifndef SENTRY_OS_PHYS_ALLOCATOR_HH
+#define SENTRY_OS_PHYS_ALLOCATOR_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sentry::os
+{
+
+/** Stack-based free-frame allocator (4 KiB frames). */
+class PhysAllocator
+{
+  public:
+    /** Manage frames in [base, base+size); both page aligned. */
+    PhysAllocator(PhysAddr base, std::size_t size);
+
+    /** Remove [base, base+size) from the pool (device carve-outs). */
+    void reserveRange(PhysAddr base, std::size_t size);
+
+    /** @return a free frame; fatal when exhausted. */
+    PhysAddr allocFrame();
+
+    /**
+     * Allocate @p frames physically contiguous frames (for buffers that
+     * are addressed without a page table, e.g. crypto state regions).
+     * @return base of the run; fatal when no run exists.
+     */
+    PhysAddr allocContiguous(std::size_t frames);
+
+    /** Return @p frame to the pool. */
+    void freeFrame(PhysAddr frame);
+
+    /** @return frames currently free. */
+    std::size_t freeFrames() const { return freeList_.size(); }
+
+    /** @return total frames managed (free + allocated). */
+    std::size_t totalFrames() const { return totalFrames_; }
+
+    /** @return true if @p frame is currently allocated. */
+    bool isAllocated(PhysAddr frame) const
+    {
+        return allocated_.contains(frame);
+    }
+
+  private:
+    PhysAddr base_;
+    std::size_t size_;
+    std::vector<PhysAddr> freeList_;
+    std::unordered_set<PhysAddr> allocated_;
+    std::size_t totalFrames_ = 0;
+};
+
+} // namespace sentry::os
+
+#endif // SENTRY_OS_PHYS_ALLOCATOR_HH

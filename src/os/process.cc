@@ -1,0 +1,2 @@
+// Process is header-only; this translation unit anchors the target.
+#include "os/process.hh"

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A simulated process: page table, address space, scheduling state, and
+ * the Sentry attributes (sensitive flag, unschedulable-while-locked).
+ */
+
+#ifndef SENTRY_OS_PROCESS_HH
+#define SENTRY_OS_PROCESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "os/address_space.hh"
+#include "os/page_table.hh"
+
+namespace sentry::os
+{
+
+/** One process. */
+class Process
+{
+  public:
+    Process(int pid, std::string name) : pid_(pid), name_(std::move(name)) {}
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    int pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    PageTable &pageTable() { return pageTable_; }
+    const PageTable &pageTable() const { return pageTable_; }
+
+    AddressSpace &addressSpace() { return addressSpace_; }
+    const AddressSpace &addressSpace() const { return addressSpace_; }
+
+    /** Sentry: the user marked this app for protection. */
+    bool sensitive() const { return sensitive_; }
+    void setSensitive(bool sensitive) { sensitive_ = sensitive; }
+
+    /** Encrypted processes are parked off the run queue while locked. */
+    bool schedulable() const { return schedulable_; }
+    void setSchedulable(bool schedulable) { schedulable_ = schedulable; }
+
+    /** Physical address of this process's kernel stack top (in DRAM). */
+    PhysAddr kernelStackTop() const { return kernelStackTop_; }
+    void setKernelStackTop(PhysAddr top) { kernelStackTop_ = top; }
+
+  private:
+    int pid_;
+    std::string name_;
+    PageTable pageTable_;
+    AddressSpace addressSpace_;
+    bool sensitive_ = false;
+    bool schedulable_ = true;
+    PhysAddr kernelStackTop_ = 0;
+};
+
+} // namespace sentry::os
+
+#endif // SENTRY_OS_PROCESS_HH

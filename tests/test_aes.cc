@@ -1,0 +1,229 @@
+/**
+ * @file
+ * AES core validation: FIPS-197 known-answer vectors for every key
+ * size, T-table vs canonical cross-checks, round-trip properties, and
+ * key-schedule details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/aes_tables.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+encryptOnce(const std::string &key_hex, const std::string &pt_hex)
+{
+    const auto key = fromHex(key_hex);
+    const auto pt = fromHex(pt_hex);
+    Aes aes(key);
+    std::vector<std::uint8_t> ct(16);
+    aes.encryptBlock(pt.data(), ct.data());
+    return ct;
+}
+
+} // namespace
+
+TEST(AesTables, SboxMatchesKnownValues)
+{
+    const AesTables &t = aesTables();
+    // FIPS-197 table: S[0x00]=0x63, S[0x01]=0x7c, S[0x53]=0xed,
+    // S[0xff]=0x16.
+    EXPECT_EQ(t.sbox[0x00], 0x63);
+    EXPECT_EQ(t.sbox[0x01], 0x7c);
+    EXPECT_EQ(t.sbox[0x53], 0xed);
+    EXPECT_EQ(t.sbox[0xff], 0x16);
+}
+
+TEST(AesTables, InverseSboxInvertsSbox)
+{
+    const AesTables &t = aesTables();
+    for (unsigned i = 0; i < 256; ++i)
+        EXPECT_EQ(t.invSbox[t.sbox[i]], i);
+}
+
+TEST(AesTables, RconMatchesStandard)
+{
+    const AesTables &t = aesTables();
+    EXPECT_EQ(t.rcon[0], 0x01000000u);
+    EXPECT_EQ(t.rcon[1], 0x02000000u);
+    EXPECT_EQ(t.rcon[7], 0x80000000u);
+    EXPECT_EQ(t.rcon[8], 0x1b000000u); // wraps through the polynomial
+    EXPECT_EQ(t.rcon[9], 0x36000000u);
+}
+
+TEST(AesTables, RotatedTablesAreConsistent)
+{
+    const AesTables &t = aesTables();
+    for (unsigned i = 0; i < 256; ++i) {
+        const std::uint32_t te0 = t.te[0][i];
+        EXPECT_EQ(t.te[1][i], (te0 >> 8) | (te0 << 24));
+        const std::uint32_t td0 = t.td[0][i];
+        EXPECT_EQ(t.td[1][i], (td0 >> 8) | (td0 << 24));
+    }
+}
+
+TEST(GfMul, BasicIdentities)
+{
+    EXPECT_EQ(gfMul(0x57, 0x83), 0xc1); // FIPS-197 example
+    EXPECT_EQ(gfMul(0x57, 0x13), 0xfe);
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+}
+
+TEST(Aes, Fips197Appendix128)
+{
+    EXPECT_EQ(toHex(encryptOnce("000102030405060708090a0b0c0d0e0f",
+                                "00112233445566778899aabbccddeeff")),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Appendix192)
+{
+    EXPECT_EQ(
+        toHex(encryptOnce("000102030405060708090a0b0c0d0e0f1011121314151617",
+                          "00112233445566778899aabbccddeeff")),
+        "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Appendix256)
+{
+    EXPECT_EQ(toHex(encryptOnce(
+                  "000102030405060708090a0b0c0d0e0f"
+                  "101112131415161718191a1b1c1d1e1f",
+                  "00112233445566778899aabbccddeeff")),
+              "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Fips197AppendixBExample)
+{
+    EXPECT_EQ(toHex(encryptOnce("2b7e151628aed2a6abf7158809cf4f3c",
+                                "3243f6a8885a308d313198a2e0370734")),
+              "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes, DecryptInvertsKnownVector)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto ct = fromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    Aes aes(key);
+    std::uint8_t pt[16];
+    aes.decryptBlock(ct.data(), pt);
+    EXPECT_EQ(toHex({pt, 16}), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes, RejectsBadKeySizes)
+{
+    const std::vector<std::uint8_t> bad(17, 0);
+    EXPECT_EXIT({ Aes aes(bad); }, testing::ExitedWithCode(1), "AES key");
+}
+
+class AesKeySizeTest : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AesKeySizeTest, CanonicalMatchesTablePath)
+{
+    Rng rng(GetParam() * 7919);
+    std::vector<std::uint8_t> key(GetParam());
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    Aes aes(key);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint8_t pt[16], fast[16], canonical[16];
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        aes.encryptBlock(pt, fast);
+        aes.encryptBlockCanonical(pt, canonical);
+        EXPECT_EQ(toHex({fast, 16}), toHex({canonical, 16}));
+
+        std::uint8_t decFast[16], decCanonical[16];
+        aes.decryptBlock(fast, decFast);
+        aes.decryptBlockCanonical(fast, decCanonical);
+        EXPECT_EQ(toHex({decFast, 16}), toHex({pt, 16}));
+        EXPECT_EQ(toHex({decCanonical, 16}), toHex({pt, 16}));
+    }
+}
+
+TEST_P(AesKeySizeTest, EncryptDecryptRoundTrip)
+{
+    Rng rng(GetParam() * 104729);
+    std::vector<std::uint8_t> key(GetParam());
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    Aes aes(key);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        std::uint8_t pt[16], ct[16], back[16];
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        aes.encryptBlock(pt, ct);
+        aes.decryptBlock(ct, back);
+        EXPECT_EQ(toHex({back, 16}), toHex({pt, 16}));
+        // A cipher must not be the identity.
+        EXPECT_NE(toHex({ct, 16}), toHex({pt, 16}));
+    }
+}
+
+TEST_P(AesKeySizeTest, RoundCountsFollowFips)
+{
+    std::vector<std::uint8_t> key(GetParam(), 0);
+    Aes aes(key);
+    EXPECT_EQ(aes.rounds(), GetParam() / 4 + 6);
+    EXPECT_EQ(aes.schedule().encWords().size(), 4 * (aes.rounds() + 1));
+    EXPECT_EQ(aes.schedule().decWords().size(), 4 * (aes.rounds() + 1));
+}
+
+TEST_P(AesKeySizeTest, SingleBitKeyChangeChangesCiphertext)
+{
+    std::vector<std::uint8_t> key(GetParam(), 0xa5);
+    const std::uint8_t pt[16] = {};
+    Aes aes1(key);
+    key[0] ^= 0x01;
+    Aes aes2(key);
+
+    std::uint8_t ct1[16], ct2[16];
+    aes1.encryptBlock(pt, ct1);
+    aes2.encryptBlock(pt, ct2);
+    EXPECT_NE(toHex({ct1, 16}), toHex({ct2, 16}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesKeySizeTest,
+                         testing::Values(16u, 24u, 32u),
+                         [](const auto &info) {
+                             return "key" +
+                                    std::to_string(info.param * 8);
+                         });
+
+TEST(AesKeySchedule, ScrubZeroesState)
+{
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    AesKeySchedule schedule(key);
+    ASSERT_NE(schedule.encWords()[0], 0u);
+    schedule.scrub();
+    for (std::uint32_t w : schedule.encWords())
+        EXPECT_EQ(w, 0u);
+    for (std::uint32_t w : schedule.decWords())
+        EXPECT_EQ(w, 0u);
+}
+
+TEST(AesKeySchedule, FirstRoundKeyIsTheKeyItself)
+{
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    AesKeySchedule schedule(key);
+    EXPECT_EQ(schedule.encWords()[0], 0x2b7e1516u);
+    EXPECT_EQ(schedule.encWords()[3], 0x09cf4f3cu);
+    // FIPS-197 A.1: w4 of the expanded AES-128 key.
+    EXPECT_EQ(schedule.encWords()[4], 0xa0fafe17u);
+    EXPECT_EQ(schedule.encWords()[43], 0xb6630ca6u);
+}

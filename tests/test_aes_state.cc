@@ -1,0 +1,132 @@
+/**
+ * @file
+ * AES state classification (the paper's Table 4): sizes, sensitivity
+ * classes, and the properties the paper derives from them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes_state.hh"
+
+using namespace sentry::crypto;
+
+class AesStateTest : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AesStateTest, ComponentsAreAlignedAndNonOverlapping)
+{
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    std::size_t previousEnd = 0;
+    for (const auto &c : layout.components()) {
+        EXPECT_EQ(c.offset % 32, 0u) << c.name; // cache-line aligned
+        EXPECT_GE(c.offset, previousEnd) << c.name;
+        EXPECT_LT(c.offset - previousEnd, 32u) << c.name; // minimal pad
+        previousEnd = c.offset + c.bytes;
+    }
+    EXPECT_EQ(layout.totalBytes(), previousEnd);
+}
+
+TEST_P(AesStateTest, SensitivityPartitionCoversEverything)
+{
+    // Component bytes partition the state exactly; totalBytes() adds
+    // only the inter-component alignment padding.
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    const std::size_t sum = layout.bytesOf(Sensitivity::Secret) +
+                            layout.bytesOf(Sensitivity::Public) +
+                            layout.bytesOf(Sensitivity::AccessProtected);
+    EXPECT_LE(sum, layout.totalBytes());
+    EXPECT_LT(layout.totalBytes() - sum,
+              32 * layout.components().size());
+}
+
+TEST_P(AesStateTest, RoundKeysScaleWithKeySize)
+{
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    const unsigned rounds = GetParam() / 4 + 6;
+    EXPECT_EQ(layout.find("Enc round keys").bytes, 16u * (rounds + 1));
+    EXPECT_EQ(layout.find("Dec round keys").bytes, 16u * (rounds + 1));
+    EXPECT_EQ(layout.rounds(), rounds);
+}
+
+TEST_P(AesStateTest, Table4FixedRows)
+{
+    // Rows of Table 4 that do not depend on key size.
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    EXPECT_EQ(layout.find("Input block").bytes, 16u);
+    EXPECT_EQ(layout.find("Key").bytes, GetParam());
+    EXPECT_EQ(layout.find("Round index").bytes, 1u);
+    EXPECT_EQ(layout.find("S-box").bytes, 256u);
+    EXPECT_EQ(layout.find("Inverse S-box").bytes, 256u);
+    EXPECT_EQ(layout.find("Rcon").bytes, 40u);
+    EXPECT_EQ(layout.find("Block index").bytes, 1u);
+    EXPECT_EQ(layout.find("CBC block/ivec").bytes, 16u);
+}
+
+TEST_P(AesStateTest, Table4SensitivityClasses)
+{
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    EXPECT_EQ(layout.find("Input block").sensitivity, Sensitivity::Secret);
+    EXPECT_EQ(layout.find("Key").sensitivity, Sensitivity::Secret);
+    EXPECT_EQ(layout.find("Enc round keys").sensitivity,
+              Sensitivity::Secret);
+    EXPECT_EQ(layout.find("Round index").sensitivity, Sensitivity::Public);
+    EXPECT_EQ(layout.find("CBC block/ivec").sensitivity,
+              Sensitivity::Public);
+    EXPECT_EQ(layout.find("S-box").sensitivity,
+              Sensitivity::AccessProtected);
+    EXPECT_EQ(layout.find("Rcon").sensitivity,
+              Sensitivity::AccessProtected);
+    EXPECT_EQ(layout.find("Enc round tables (Te0-3)").sensitivity,
+              Sensitivity::AccessProtected);
+}
+
+TEST_P(AesStateTest, AccessProtectedStateDominates)
+{
+    // The paper's key observation: the round tables account for an
+    // order of magnitude more state than everything else combined,
+    // which is why register-only schemes (TRESOR etc.) cannot guard it.
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    EXPECT_GT(layout.bytesOf(Sensitivity::AccessProtected),
+              4 * layout.bytesOf(Sensitivity::Secret));
+}
+
+TEST_P(AesStateTest, PublicStateIsTiny)
+{
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    EXPECT_EQ(layout.bytesOf(Sensitivity::Public), 18u); // 1 + 1 + 16
+}
+
+TEST_P(AesStateTest, FitsInOneLockedWay)
+{
+    // Section 6.2: "the size of one way is 128KB, which is plentiful".
+    const auto layout = AesStateLayout::forKeyBytes(GetParam());
+    EXPECT_LT(layout.protectedBytes(), 128u * 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesStateTest,
+                         testing::Values(16u, 24u, 32u),
+                         [](const auto &info) {
+                             return "aes" + std::to_string(info.param * 8);
+                         });
+
+TEST(AesState, RejectsBadKeySize)
+{
+    EXPECT_EXIT(AesStateLayout::forKeyBytes(20),
+                testing::ExitedWithCode(1), "key length");
+}
+
+TEST(AesState, FindUnknownComponentDies)
+{
+    const auto layout = AesStateLayout::forKeyBytes(16);
+    EXPECT_EXIT(layout.find("No Such Row"), testing::ExitedWithCode(1),
+                "no component");
+}
+
+TEST(AesState, SensitivityNames)
+{
+    EXPECT_STREQ(sensitivityName(Sensitivity::Secret), "Secret");
+    EXPECT_STREQ(sensitivityName(Sensitivity::Public), "Public");
+    EXPECT_STREQ(sensitivityName(Sensitivity::AccessProtected),
+                 "Access-protected");
+}

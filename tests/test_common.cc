@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the common utilities: byte helpers, RNG, SimClock, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/rng.hh"
+#include "common/sim_clock.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace sentry;
+
+TEST(Bytes, FillAndCountPattern)
+{
+    std::vector<std::uint8_t> buf(64);
+    const auto pattern = fromHex("deadbeefcafef00d");
+    fillPattern(buf, pattern);
+    EXPECT_EQ(countPattern(buf, pattern), 8u);
+
+    buf[8] ^= 0xff; // corrupt the second occurrence
+    EXPECT_EQ(countPattern(buf, pattern), 7u);
+}
+
+TEST(Bytes, CountPatternIsAlignedNotSliding)
+{
+    // An occurrence shifted by one byte must not count.
+    std::vector<std::uint8_t> buf(17, 0);
+    const std::vector<std::uint8_t> pattern{1, 2, 3, 4, 5, 6, 7, 8};
+    std::copy(pattern.begin(), pattern.end(), buf.begin() + 1);
+    EXPECT_EQ(countPattern(buf, pattern), 0u);
+}
+
+TEST(Bytes, ContainsBytesFindsUnalignedNeedles)
+{
+    std::vector<std::uint8_t> hay(100, 0);
+    const std::vector<std::uint8_t> needle{9, 8, 7};
+    std::copy(needle.begin(), needle.end(), hay.begin() + 41);
+    EXPECT_TRUE(containsBytes(hay, needle));
+    EXPECT_FALSE(containsBytes(hay, fromHex("010203")));
+    EXPECT_FALSE(containsBytes(needle, hay)); // needle longer than hay
+}
+
+TEST(Bytes, HexRoundTrip)
+{
+    const auto bytes = fromHex("00ff10abCDef");
+    EXPECT_EQ(toHex(bytes), "00ff10abcdef");
+}
+
+TEST(Bytes, SecureZero)
+{
+    std::vector<std::uint8_t> buf(32, 0xaa);
+    secureZero(buf.data(), buf.size());
+    for (std::uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(456);
+    EXPECT_EQ(a.next64(), b.next64());
+    EXPECT_NE(a.next64(), c.next64());
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(99);
+    double sum = 0;
+    constexpr int N = 100000;
+    for (int i = 0; i < N; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    constexpr int N = 100000;
+    for (int i = 0; i < N; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / N, 0.25, 0.01);
+}
+
+TEST(SimClock, AdvancesAndConverts)
+{
+    SimClock clock(1e9); // 1 GHz
+    clock.advance(500);
+    EXPECT_EQ(clock.now(), 500u);
+    EXPECT_DOUBLE_EQ(clock.seconds(), 500e-9);
+
+    clock.advanceSeconds(1.0);
+    EXPECT_NEAR(clock.seconds(), 1.0 + 500e-9, 1e-12);
+}
+
+TEST(SimClock, StopwatchMeasuresWindows)
+{
+    SimClock clock(2e9);
+    SimStopwatch watch(clock);
+    clock.advance(2'000'000);
+    EXPECT_DOUBLE_EQ(watch.elapsedSeconds(), 1e-3);
+    watch.restart();
+    EXPECT_DOUBLE_EQ(watch.elapsedSeconds(), 0.0);
+}
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.stddev(), 2.138, 0.001); // sample stddev
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat stat;
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+    stat.add(3.5);
+    EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(Types, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+}

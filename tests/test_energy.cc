@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Energy model tests: accounting, battery fraction, and the paper's
+ * Nexus 4 calibration anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/energy.hh"
+#include "hw/platform.hh"
+
+using namespace sentry;
+using namespace sentry::hw;
+
+TEST(EnergyModel, ChargesPerCategory)
+{
+    EnergyModel energy(EnergyParams{}, 100.0);
+    energy.charge(EnergyCategory::CpuAes, 1.5);
+    energy.charge(EnergyCategory::Zeroing, 0.5);
+    energy.charge(EnergyCategory::CpuAes, 0.5);
+
+    EXPECT_DOUBLE_EQ(energy.consumed(EnergyCategory::CpuAes), 2.0);
+    EXPECT_DOUBLE_EQ(energy.consumed(EnergyCategory::Zeroing), 0.5);
+    EXPECT_DOUBLE_EQ(energy.consumed(EnergyCategory::Dma), 0.0);
+    EXPECT_DOUBLE_EQ(energy.totalConsumed(), 2.5);
+    EXPECT_DOUBLE_EQ(energy.batteryFractionUsed(), 0.025);
+}
+
+TEST(EnergyModel, ResetClearsAccumulators)
+{
+    EnergyModel energy(EnergyParams{}, 0.0);
+    energy.charge(EnergyCategory::Other, 3.0);
+    energy.reset();
+    EXPECT_DOUBLE_EQ(energy.totalConsumed(), 0.0);
+    EXPECT_DOUBLE_EQ(energy.batteryFractionUsed(), 0.0); // no battery
+}
+
+TEST(EnergyModel, NegativeChargePanics)
+{
+    EnergyModel energy(EnergyParams{}, 0.0);
+    EXPECT_DEATH(energy.charge(EnergyCategory::Other, -1.0), "negative");
+}
+
+TEST(EnergyModel, CategoryNamesAreDistinct)
+{
+    EXPECT_STRNE(energyCategoryName(EnergyCategory::CpuAes),
+                 energyCategoryName(EnergyCategory::CryptoAccel));
+    EXPECT_STRNE(energyCategoryName(EnergyCategory::Zeroing),
+                 energyCategoryName(EnergyCategory::MemCopy));
+}
+
+TEST(EnergyCalibration, BatterySurvives410FullMemoryEncryptions)
+{
+    // Paper anchor: >70 J per 2 GB encryption, battery dead after
+    // ~410 suspend/resume cycles.
+    const PlatformConfig nexus = PlatformConfig::nexus4();
+    const double perEncrypt = nexus.cost.fullMemEncryptJoulesPerByte *
+                              2.0 * static_cast<double>(GiB);
+    EXPECT_GT(perEncrypt, 70.0);
+    const double cycles = nexus.batteryJoules / perEncrypt;
+    EXPECT_NEAR(cycles, 410.0, 25.0);
+}
+
+TEST(EnergyCalibration, ZeroingCostMatchesPaper)
+{
+    // 2.8 micro-J per MB.
+    const EnergyParams params;
+    EXPECT_NEAR(params.zeroingPerByte * 1024.0 * 1024.0, 2.8e-6, 1e-9);
+}
+
+TEST(EnergyCalibration, Figure12Ordering)
+{
+    // OpenSSL < CryptoAPI < HW-accelerated (for 4 KB requests).
+    const EnergyParams params;
+    const double userAes = params.cpuAesPerByte;
+    const double kernelAes =
+        params.cpuAesPerByte + params.kernelAesExtraPerByte;
+    const double accel =
+        params.accelPerByte + params.accelPerRequest / 4096.0;
+    EXPECT_LT(userAes, kernelAes);
+    EXPECT_LT(kernelAes, accel);
+    EXPECT_GT(accel, 2.0 * kernelAes);
+}

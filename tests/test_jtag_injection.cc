@@ -1,0 +1,117 @@
+/**
+ * @file
+ * JTAG-policy and code-injection tests (paper section 3.2): which
+ * vendor JTAG policies actually hold, and why the write-side attack
+ * vectors (DMA injection, firmware replacement) fail on a properly
+ * provisioned device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/code_injection.hh"
+#include "common/bytes.hh"
+#include "core/device.hh"
+#include "hw/jtag.hh"
+
+using namespace sentry;
+using namespace sentry::attacks;
+using namespace sentry::hw;
+
+namespace
+{
+const auto SECRET = fromHex("c0dec0dec0dec0dec0dec0dec0dec0de");
+}
+
+TEST(Jtag, EnabledPortDumpsEverything)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    soc.iram().write(0x4000, SECRET.data(), SECRET.size());
+
+    JtagPort jtag(JtagPolicy::Enabled);
+    ASSERT_EQ(jtag.connect(), JtagStatus::Connected);
+    const auto dump =
+        jtag.dumpMemory(soc, IRAM_BASE, soc.iramRaw().size());
+    // JTAG sees even on-SoC storage: it MUST be disabled in production.
+    EXPECT_TRUE(containsBytes(dump, SECRET));
+}
+
+TEST(Jtag, DepopulatedConnectorIsResolderable)
+{
+    // The paper's point: depopulating the connector is NOT a defence.
+    JtagPort jtag(JtagPolicy::Depopulated);
+    EXPECT_EQ(jtag.connect(), JtagStatus::NoConnector);
+    jtag.resolderConnector();
+    EXPECT_EQ(jtag.connect(), JtagStatus::Connected);
+}
+
+TEST(Jtag, BurnedFuseIsPermanent)
+{
+    JtagPort jtag(JtagPolicy::FuseDisabled);
+    EXPECT_EQ(jtag.connect(), JtagStatus::Disabled);
+    jtag.resolderConnector(); // soldering does not help against a fuse
+    EXPECT_EQ(jtag.connect(), JtagStatus::Disabled);
+}
+
+TEST(Jtag, AuthenticatedPortNeedsTheCredential)
+{
+    JtagPort jtag(JtagPolicy::Authenticated, "vendor-secret");
+    EXPECT_EQ(jtag.connect(""), JtagStatus::AuthRequired);
+    EXPECT_EQ(jtag.connect("guess"), JtagStatus::AuthRequired);
+    EXPECT_EQ(jtag.connect("vendor-secret"), JtagStatus::Connected);
+}
+
+TEST(Jtag, DisconnectedPortDumpsNothing)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    JtagPort jtag(JtagPolicy::FuseDisabled);
+    jtag.connect();
+    EXPECT_TRUE(jtag.dumpMemory(soc, DRAM_BASE, 4096).empty());
+}
+
+TEST(CodeInjection, DmaWriteLandsOnUnprotectedDram)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    CodeInjectionAttack attack;
+    const auto result =
+        attack.injectViaDma(soc, DRAM_BASE + 1 * MiB, SECRET,
+                            "kernel text (unprotected)");
+    EXPECT_TRUE(result.secretRecovered);
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), SECRET));
+}
+
+TEST(CodeInjection, TrustZoneBlocksDmaWrites)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    {
+        SecureWorldGuard guard(soc.trustzone());
+        ASSERT_TRUE(guard.entered());
+        soc.trustzone().protectRegionFromDma(DRAM_BASE + 1 * MiB,
+                                             1 * MiB);
+    }
+    CodeInjectionAttack attack;
+    const auto result = attack.injectViaDma(
+        soc, DRAM_BASE + 1 * MiB + 4096, SECRET, "kernel text (TZ)");
+    EXPECT_FALSE(result.secretRecovered);
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), SECRET));
+}
+
+TEST(CodeInjection, SentryProtectsIramAgainstInjection)
+{
+    core::Device device(hw::PlatformConfig::tegra3(32 * MiB));
+    CodeInjectionAttack attack;
+    // Overwriting the volatile key in iRAM would be as bad as reading
+    // it (attacker-known key). Sentry's TrustZone programming covers
+    // writes too.
+    const auto result = attack.injectViaDma(
+        device.soc(), IRAM_BASE + 100 * KiB, SECRET, "volatile key");
+    EXPECT_FALSE(result.secretRecovered);
+}
+
+TEST(CodeInjection, UnsignedFirmwareIsRejected)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    CodeInjectionAttack attack;
+    const std::vector<std::uint8_t> evilImage(4096, 0x90);
+    const auto result = attack.replaceFirmware(soc, evilImage);
+    EXPECT_FALSE(result.secretRecovered);
+}

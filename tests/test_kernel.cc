@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Kernel tests: process lifecycle, virtual-memory access path with
+ * young-bit faults, freed-page zeroing, screen lock state machine, and
+ * kernel-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+#include "os/kernel.hh"
+
+using namespace sentry;
+using namespace sentry::hw;
+using namespace sentry::os;
+
+namespace
+{
+
+struct KernelFixture : testing::Test
+{
+    KernelFixture() : soc(PlatformConfig::tegra3(32 * MiB)), kernel(soc) {}
+
+    Soc soc;
+    Kernel kernel;
+};
+
+} // namespace
+
+TEST_F(KernelFixture, ProcessLifecycle)
+{
+    Process &p = kernel.createProcess("app");
+    EXPECT_EQ(p.pid(), 1);
+    EXPECT_TRUE(p.schedulable());
+    EXPECT_FALSE(p.sensitive());
+    EXPECT_NE(p.kernelStackTop(), 0u);
+    EXPECT_EQ(kernel.processes().size(), 1u);
+
+    kernel.destroyProcess(p);
+    EXPECT_EQ(kernel.processes().size(), 0u);
+}
+
+TEST_F(KernelFixture, VirtualReadWriteRoundTrip)
+{
+    Process &p = kernel.createProcess("app");
+    const Vma &vma = kernel.addVma(p, "heap", VmaType::Heap, 8 * PAGE_SIZE);
+
+    std::vector<std::uint8_t> data(3 * PAGE_SIZE);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13);
+
+    kernel.writeVirt(p, vma.base + 100, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    kernel.readVirt(p, vma.base + 100, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(KernelFixture, UnmappedAccessPanics)
+{
+    Process &p = kernel.createProcess("app");
+    std::uint8_t buf[4];
+    EXPECT_DEATH(kernel.readVirt(p, 0xdead0000, buf, 4), "segfault");
+}
+
+TEST_F(KernelFixture, YoungBitFaultsReachTheHandler)
+{
+    Process &p = kernel.createProcess("app");
+    const Vma &vma = kernel.addVma(p, "heap", VmaType::Heap, 4 * PAGE_SIZE);
+
+    // Clear young on one page; the next touch must trap.
+    Pte *pte = p.pageTable().find(vma.base + PAGE_SIZE);
+    ASSERT_NE(pte, nullptr);
+    pte->young = false;
+
+    int faults = 0;
+    kernel.setFaultHandler([&](Process &, VirtAddr va, Pte &entry) {
+        ++faults;
+        EXPECT_EQ(PageTable::pageOf(va), vma.base + PAGE_SIZE);
+        entry.young = true;
+        return true;
+    });
+
+    kernel.touchRange(p, vma.base + PAGE_SIZE + 8, 8);
+    EXPECT_EQ(faults, 1);
+    EXPECT_EQ(kernel.faultCount(), 1u);
+
+    // Young is set now: no further faults.
+    kernel.touchRange(p, vma.base + PAGE_SIZE, 8);
+    EXPECT_EQ(faults, 1);
+}
+
+TEST_F(KernelFixture, DefaultFaultHandlingSetsYoung)
+{
+    Process &p = kernel.createProcess("app");
+    const Vma &vma = kernel.addVma(p, "heap", VmaType::Heap, PAGE_SIZE);
+    p.pageTable().find(vma.base)->young = false;
+
+    kernel.touchRange(p, vma.base, 8);
+    EXPECT_TRUE(p.pageTable().find(vma.base)->young);
+    EXPECT_EQ(kernel.faultCount(), 1u);
+}
+
+TEST_F(KernelFixture, FaultsChargeTimeAndEnergy)
+{
+    Process &p = kernel.createProcess("app");
+    const Vma &vma = kernel.addVma(p, "heap", VmaType::Heap, PAGE_SIZE);
+    p.pageTable().find(vma.base)->young = false;
+
+    const Cycles before = soc.clock().now();
+    kernel.touchRange(p, vma.base, 8);
+    EXPECT_GE(soc.clock().now() - before,
+              soc.config().cost.pageFaultCycles);
+    EXPECT_GT(soc.energy().consumed(EnergyCategory::PageFault), 0.0);
+}
+
+TEST_F(KernelFixture, DestroyedProcessPagesStayDirtyUntilZeroed)
+{
+    Process &p = kernel.createProcess("app");
+    const Vma &vma = kernel.addVma(p, "heap", VmaType::Heap, 4 * PAGE_SIZE);
+
+    const auto secret = fromHex("feedfacecafebeef");
+    kernel.writeVirt(p, vma.base, secret.data(), secret.size());
+    soc.l2().cleanAllMasked(); // push to DRAM
+
+    kernel.destroyProcess(p);
+    // Paper: freed pages keep their contents until the zero thread
+    // runs — a real risk for sensitive apps.
+    EXPECT_GT(kernel.freedPendingBytes(), 0u);
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), secret));
+
+    const double seconds = kernel.zeroFreedPages();
+    EXPECT_GT(seconds, 0.0);
+    EXPECT_EQ(kernel.freedPendingBytes(), 0u);
+    soc.l2().cleanAllMasked();
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), secret));
+}
+
+TEST_F(KernelFixture, ZeroingRateMatchesPlatformAnchor)
+{
+    Process &p = kernel.createProcess("app");
+    kernel.addVma(p, "heap", VmaType::Heap, 1 * MiB);
+    kernel.destroyProcess(p);
+
+    const std::size_t bytes = kernel.freedPendingBytes();
+    const double seconds = kernel.zeroFreedPages();
+    EXPECT_NEAR(static_cast<double>(bytes) / seconds,
+                soc.config().cost.zeroingBytesPerSec,
+                soc.config().cost.zeroingBytesPerSec * 0.01);
+}
+
+TEST_F(KernelFixture, ScreenLockStateMachine)
+{
+    kernel.setPin("1234");
+    int locks = 0, unlocks = 0;
+    kernel.setLockHooks([&] { ++locks; }, [&] { ++unlocks; });
+
+    EXPECT_EQ(kernel.powerState(), PowerState::Awake);
+    kernel.lockScreen();
+    EXPECT_EQ(kernel.powerState(), PowerState::Locked);
+    EXPECT_EQ(locks, 1);
+
+    kernel.lockScreen(); // idempotent
+    EXPECT_EQ(locks, 1);
+
+    EXPECT_FALSE(kernel.unlockScreen("0000"));
+    EXPECT_EQ(kernel.powerState(), PowerState::Locked);
+    EXPECT_TRUE(kernel.unlockScreen("1234"));
+    EXPECT_EQ(kernel.powerState(), PowerState::Awake);
+    EXPECT_EQ(unlocks, 1);
+}
+
+TEST_F(KernelFixture, FiveBadPinsEnterDeepLock)
+{
+    kernel.setPin("1234");
+    kernel.lockScreen();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(kernel.unlockScreen("9999"));
+    EXPECT_EQ(kernel.powerState(), PowerState::DeepLock);
+    // Even the right PIN no longer works (brute-force protection).
+    EXPECT_FALSE(kernel.unlockScreen("1234"));
+}
+
+TEST_F(KernelFixture, KernelTimerAttributesNestedScopesOnce)
+{
+    const Cycles before = kernel.kernelCycles();
+    {
+        Kernel::KernelTimer outer(kernel);
+        soc.clock().advance(1000);
+        {
+            Kernel::KernelTimer inner(kernel);
+            soc.clock().advance(500);
+        }
+        soc.clock().advance(1000);
+    }
+    EXPECT_EQ(kernel.kernelCycles() - before, 2500u);
+    kernel.resetKernelCycles();
+    EXPECT_EQ(kernel.kernelCycles(), 0u);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Key-manager tests: volatile key generation and on-SoC residency,
+ * persistent key derivation from fuse + password, and scrubbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "core/key_manager.hh"
+#include "core/onsoc_allocator.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::core;
+using namespace sentry::hw;
+
+namespace
+{
+
+struct KeyFixture : testing::Test
+{
+    KeyFixture()
+        : soc(PlatformConfig::tegra3(16 * MiB)),
+          alloc(OnSocAllocator::forIram(soc.iram().size())),
+          keys(soc, alloc.alloc(32))
+    {}
+
+    Soc soc;
+    OnSocAllocator alloc;
+    KeyManager keys;
+};
+
+} // namespace
+
+TEST_F(KeyFixture, VolatileKeyLivesInIramNotDram)
+{
+    keys.generateVolatileKey();
+    const RootKey key = keys.volatileKey();
+
+    bool nonZero = false;
+    for (std::uint8_t b : key)
+        nonZero |= (b != 0);
+    EXPECT_TRUE(nonZero);
+
+    EXPECT_TRUE(containsBytes(soc.iramRaw(), key));
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), key));
+}
+
+TEST_F(KeyFixture, VolatileKeyDiffersPerBoot)
+{
+    keys.generateVolatileKey();
+    const RootKey first = keys.volatileKey();
+    keys.generateVolatileKey();
+    EXPECT_NE(toHex(first), toHex(keys.volatileKey()));
+}
+
+TEST_F(KeyFixture, PersistentKeyRequiresSecureWorld)
+{
+    EXPECT_FALSE(keys.hasPersistentKey());
+    ASSERT_TRUE(keys.derivePersistentKey("correct horse"));
+    EXPECT_TRUE(keys.hasPersistentKey());
+
+    const RootKey key = keys.persistentKey();
+    EXPECT_TRUE(containsBytes(soc.iramRaw(), key));
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), key));
+}
+
+TEST_F(KeyFixture, PersistentKeyIsStableAcrossDerivations)
+{
+    ASSERT_TRUE(keys.derivePersistentKey("pw"));
+    const RootKey a = keys.persistentKey();
+    ASSERT_TRUE(keys.derivePersistentKey("pw"));
+    EXPECT_EQ(toHex(a), toHex(keys.persistentKey()));
+
+    ASSERT_TRUE(keys.derivePersistentKey("other"));
+    EXPECT_NE(toHex(a), toHex(keys.persistentKey()));
+}
+
+TEST_F(KeyFixture, PersistentKeyBeforeDerivationPanics)
+{
+    EXPECT_DEATH(keys.persistentKey(), "before derivation");
+}
+
+TEST_F(KeyFixture, ScrubErasesBothKeys)
+{
+    keys.generateVolatileKey();
+    const RootKey key = keys.volatileKey();
+    keys.scrub();
+    EXPECT_FALSE(containsBytes(soc.iramRaw(), key));
+    EXPECT_FALSE(keys.hasPersistentKey());
+}
+
+TEST(KeyManagerNexus, NoPersistentKeyWithoutSecureWorld)
+{
+    Soc nexus(PlatformConfig::nexus4(16 * MiB));
+    OnSocAllocator alloc = OnSocAllocator::forIram(nexus.iram().size());
+    KeyManager keys(nexus, alloc.alloc(32));
+    EXPECT_FALSE(keys.derivePersistentKey("pw"));
+    EXPECT_FALSE(keys.hasPersistentKey());
+}
+
+TEST(KeyManagerChecks, TinyRegionRejected)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    EXPECT_EXIT(KeyManager(soc, OnSocRegion{IRAM_BASE, 16}),
+                testing::ExitedWithCode(1), "two 16-byte keys");
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Locked-way manager tests: the section 4.5 locking protocol, data
+ * pinning, scrub-on-unlock, and the Nexus (locked firmware) failure
+ * mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "core/locked_way_manager.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::core;
+using namespace sentry::hw;
+
+namespace
+{
+
+struct LockedWayFixture : testing::Test
+{
+    LockedWayFixture()
+        : soc(PlatformConfig::tegra3(16 * MiB)),
+          manager(soc, DRAM_BASE + 8 * MiB)
+    {}
+
+    Soc soc;
+    LockedWayManager manager;
+};
+
+} // namespace
+
+TEST_F(LockedWayFixture, LockWayReturnsWaySizedRegion)
+{
+    ASSERT_TRUE(manager.available());
+    const auto region = manager.lockWay();
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->size, 128 * KiB);
+    EXPECT_EQ(region->base, DRAM_BASE + 8 * MiB);
+    EXPECT_EQ(manager.lockedWays(), 1u);
+    EXPECT_EQ(soc.l2().lockdownReg(), 0x1u);
+    EXPECT_EQ(soc.l2().flushWayMask(), 0x1u);
+}
+
+TEST_F(LockedWayFixture, LockedDataStaysOnSocUnderPressure)
+{
+    const auto region = manager.lockWay();
+    ASSERT_TRUE(region.has_value());
+
+    const auto secret = fromHex("c0ffee00dec0de00c0ffee00dec0de00");
+    soc.memory().write(region->base, secret.data(), secret.size());
+
+    // Hammer the cache with 4 MiB of traffic.
+    for (PhysAddr a = DRAM_BASE; a < DRAM_BASE + 4 * MiB; a += 64)
+        soc.memory().read32(a);
+
+    // The locked line still hits and never reached DRAM.
+    std::vector<std::uint8_t> back(secret.size());
+    soc.memory().read(region->base, back.data(), back.size());
+    EXPECT_EQ(toHex(back), toHex(secret));
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), secret));
+}
+
+TEST_F(LockedWayFixture, KernelFlushesPreserveLockedData)
+{
+    const auto region = manager.lockWay();
+    const auto secret = fromHex("feedc0de5ec2e700");
+    soc.memory().write(region->base, secret.data(), secret.size());
+
+    // The patched-OS flush path (flush mask set by the manager).
+    soc.l2().flushAllMasked();
+
+    std::vector<std::uint8_t> back(secret.size());
+    soc.memory().read(region->base, back.data(), back.size());
+    EXPECT_EQ(toHex(back), toHex(secret));
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), secret));
+}
+
+TEST_F(LockedWayFixture, RawFlushWouldLeakWithoutTheOsChange)
+{
+    // Ablation: the unpatched flush leaks the locked way — exactly the
+    // hazard the 428->676-line Linux change exists to prevent.
+    const auto region = manager.lockWay();
+    const auto secret = fromHex("feedc0de5ec2e700");
+    soc.memory().write(region->base, secret.data(), secret.size());
+
+    soc.l2().rawFlushAll();
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), secret));
+}
+
+TEST_F(LockedWayFixture, MultipleWaysLockIndependently)
+{
+    const auto first = manager.lockWay();
+    const auto second = manager.lockWay();
+    ASSERT_TRUE(first && second);
+    EXPECT_NE(first->base, second->base);
+    EXPECT_EQ(manager.lockedWays(), 2u);
+    EXPECT_EQ(soc.l2().lockdownReg(), 0x3u);
+
+    // Data in the first way survives locking the second.
+    const auto secret = fromHex("0011223344556677");
+    soc.memory().write(first->base, secret.data(), secret.size());
+    std::vector<std::uint8_t> back(secret.size());
+    soc.memory().read(first->base, back.data(), back.size());
+    EXPECT_EQ(toHex(back), toHex(secret));
+}
+
+TEST_F(LockedWayFixture, AtLeastOneWayMustStayUnlocked)
+{
+    for (unsigned i = 0; i < soc.l2().ways() - 1; ++i)
+        EXPECT_TRUE(manager.lockWay().has_value()) << i;
+    EXPECT_FALSE(manager.lockWay().has_value());
+    EXPECT_EQ(manager.lockedWays(), soc.l2().ways() - 1);
+}
+
+TEST_F(LockedWayFixture, UnlockScrubsBeforeReleasing)
+{
+    const auto region = manager.lockWay();
+    const auto secret = fromHex("a5a5a5a5b6b6b6b6");
+    soc.memory().write(region->base, secret.data(), secret.size());
+
+    manager.unlockWay(*region);
+    EXPECT_EQ(manager.lockedWays(), 0u);
+    EXPECT_EQ(soc.l2().lockdownReg(), 0u);
+    EXPECT_EQ(soc.l2().flushWayMask(), 0u);
+
+    // No trace of the secret anywhere: the way was scrubbed with 0xFF
+    // before unlocking.
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), secret));
+    std::vector<std::uint8_t> back(secret.size());
+    soc.memory().read(region->base, back.data(), back.size());
+    EXPECT_NE(toHex(back), toHex(secret));
+}
+
+TEST(LockedWayNexus, UnavailableOnLockedFirmware)
+{
+    Soc nexus(PlatformConfig::nexus4(16 * MiB));
+    LockedWayManager manager(nexus, DRAM_BASE + 8 * MiB);
+    EXPECT_FALSE(manager.available());
+    EXPECT_FALSE(manager.lockWay().has_value());
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Block-mode validation: NIST SP 800-38A known-answer vectors for CBC,
+ * CTR, and ECB, plus round-trip and padding properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/modes.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+
+namespace
+{
+
+const std::string NIST_KEY = "2b7e151628aed2a6abf7158809cf4f3c";
+const std::string NIST_PT =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+
+Iv
+ivFromHex(const std::string &hex)
+{
+    const auto bytes = fromHex(hex);
+    Iv iv{};
+    std::copy(bytes.begin(), bytes.end(), iv.begin());
+    return iv;
+}
+
+} // namespace
+
+TEST(CbcMode, Nist38aVector128)
+{
+    const auto key = fromHex(NIST_KEY);
+    auto data = fromHex(NIST_PT);
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+
+    cbcEncrypt(cipher, ivFromHex("000102030405060708090a0b0c0d0e0f"),
+               data);
+    EXPECT_EQ(toHex(data),
+              "7649abac8119b246cee98e9b12e9197d"
+              "5086cb9b507219ee95db113a917678b2"
+              "73bed6b8e3c1743b7116e69e22229516"
+              "3ff1caa1681fac09120eca307586e1a7");
+}
+
+TEST(CbcMode, Nist38aVector256)
+{
+    const auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    auto data = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+
+    cbcEncrypt(cipher, ivFromHex("000102030405060708090a0b0c0d0e0f"),
+               data);
+    EXPECT_EQ(toHex(data), "f58c4c04d6e5f1ba779eabfb5f7bfbd6");
+}
+
+TEST(CbcMode, DecryptInverts)
+{
+    const auto key = fromHex(NIST_KEY);
+    auto data = fromHex(NIST_PT);
+    const auto original = data;
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+    const Iv iv = ivFromHex("000102030405060708090a0b0c0d0e0f");
+
+    cbcEncrypt(cipher, iv, data);
+    cbcDecrypt(cipher, iv, data);
+    EXPECT_EQ(toHex(data), toHex(original));
+}
+
+TEST(CbcMode, IdenticalPlaintextBlocksDiffer)
+{
+    const auto key = fromHex(NIST_KEY);
+    std::vector<std::uint8_t> data(64, 0x42); // four identical blocks
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+    cbcEncrypt(cipher, Iv{}, data);
+
+    // CBC chaining must break block-level repetition (unlike ECB).
+    EXPECT_NE(std::memcmp(data.data(), data.data() + 16, 16), 0);
+    EXPECT_NE(std::memcmp(data.data() + 16, data.data() + 32, 16), 0);
+}
+
+TEST(CtrMode, Nist38aVector128)
+{
+    const auto key = fromHex(NIST_KEY);
+    auto data = fromHex(NIST_PT);
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+
+    ctrTransform(cipher,
+                 ivFromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"), data);
+    EXPECT_EQ(toHex(data),
+              "874d6191b620e3261bef6864990db6ce"
+              "9806f66b7970fdff8617187bb9fffdff"
+              "5ae4df3edbd5d35e5b4f09020db03eab"
+              "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(CtrMode, IsItsOwnInverse)
+{
+    const auto key = fromHex(NIST_KEY);
+    Rng rng(42);
+    std::vector<std::uint8_t> data(1000); // deliberately not 16-aligned
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const auto original = data;
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+    const Iv iv = ivFromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+
+    ctrTransform(cipher, iv, data);
+    EXPECT_NE(toHex(data), toHex(original));
+    ctrTransform(cipher, iv, data);
+    EXPECT_EQ(toHex(data), toHex(original));
+}
+
+TEST(EcbMode, Nist38aVector128)
+{
+    const auto key = fromHex(NIST_KEY);
+    auto data = fromHex(NIST_PT);
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+
+    ecbEncrypt(cipher, data);
+    EXPECT_EQ(toHex(data),
+              "3ad77bb40d7a3660a89ecaf32466ef97"
+              "f5d3d58503b9699de785895a96fdbaaf"
+              "43b1cd7f598ece23881b00e3ed030688"
+              "7b0c785e27e8ad3f8223207104725dd4");
+
+    ecbDecrypt(cipher, data);
+    EXPECT_EQ(toHex(data), NIST_PT);
+}
+
+TEST(EcbMode, LeaksBlockRepetition)
+{
+    const auto key = fromHex(NIST_KEY);
+    std::vector<std::uint8_t> data(32, 0x42); // two identical blocks
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+    ecbEncrypt(cipher, data);
+    // The well-known ECB weakness — and why Sentry uses CBC.
+    EXPECT_EQ(std::memcmp(data.data(), data.data() + 16, 16), 0);
+}
+
+TEST(Pkcs7, PadUnpadRoundTripAllResidues)
+{
+    const auto key = fromHex(NIST_KEY);
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+
+    for (std::size_t len = 0; len <= 48; ++len) {
+        std::vector<std::uint8_t> data(len, 0x37);
+        const auto original = data;
+        pkcs7Pad(data);
+        ASSERT_EQ(data.size() % 16, 0u);
+        ASSERT_GT(data.size(), len); // always at least one pad byte
+
+        cbcEncrypt(cipher, Iv{}, data);
+        cbcDecrypt(cipher, Iv{}, data);
+        ASSERT_TRUE(pkcs7Unpad(data));
+        EXPECT_EQ(data, original);
+    }
+}
+
+TEST(Pkcs7, RejectsCorruptPadding)
+{
+    std::vector<std::uint8_t> data(16, 0x10);
+    data.back() = 0x00; // invalid pad length
+    EXPECT_FALSE(pkcs7Unpad(data));
+
+    std::vector<std::uint8_t> tooBig(16, 0x11); // pad 17 > block
+    EXPECT_FALSE(pkcs7Unpad(tooBig));
+
+    std::vector<std::uint8_t> inconsistent(16, 0x04);
+    inconsistent[13] = 0x05; // one pad byte wrong
+    EXPECT_FALSE(pkcs7Unpad(inconsistent));
+
+    std::vector<std::uint8_t> unaligned(15, 0x01);
+    EXPECT_FALSE(pkcs7Unpad(unaligned));
+}
+
+TEST(Modes, RejectUnalignedBuffers)
+{
+    const auto key = fromHex(NIST_KEY);
+    Aes aes(key);
+    AesBlockCipher cipher(aes);
+    std::vector<std::uint8_t> data(20, 0);
+    EXPECT_EXIT(cbcEncrypt(cipher, Iv{}, data),
+                testing::ExitedWithCode(1), "multiple of 16");
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-SoC region allocator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/onsoc_allocator.hh"
+
+using namespace sentry;
+using namespace sentry::core;
+
+TEST(OnSocAllocator, IramFactorySkipsFirmwareRegion)
+{
+    OnSocAllocator alloc = OnSocAllocator::forIram(256 * KiB);
+    EXPECT_EQ(alloc.capacity(), 192 * KiB);
+
+    const OnSocRegion region = alloc.alloc(1024);
+    EXPECT_GE(region.base, IRAM_BASE + IRAM_FIRMWARE_RESERVED);
+}
+
+TEST(OnSocAllocator, AllocationsAreDisjointAndAligned)
+{
+    OnSocAllocator alloc(IRAM_BASE, 64 * KiB);
+    const OnSocRegion a = alloc.alloc(100);
+    const OnSocRegion b = alloc.alloc(100);
+    EXPECT_EQ(a.base % 16, 0u);
+    EXPECT_EQ(b.base % 16, 0u);
+    EXPECT_GE(b.base, a.base + a.size);
+    EXPECT_EQ(a.size, 112u); // rounded up to 16
+}
+
+TEST(OnSocAllocator, ExhaustionBehaviour)
+{
+    OnSocAllocator alloc(IRAM_BASE, 1024);
+    EXPECT_TRUE(alloc.tryAlloc(1024).valid());
+    EXPECT_FALSE(alloc.tryAlloc(16).valid());
+    EXPECT_EXIT(alloc.alloc(16), testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(OnSocAllocator, FreeCoalescesNeighbours)
+{
+    OnSocAllocator alloc(IRAM_BASE, 4096);
+    const OnSocRegion a = alloc.alloc(1024);
+    const OnSocRegion b = alloc.alloc(1024);
+    const OnSocRegion c = alloc.alloc(2048);
+    EXPECT_EQ(alloc.freeBytes(), 0u);
+
+    alloc.free(a);
+    alloc.free(c);
+    EXPECT_EQ(alloc.freeBytes(), 3072u);
+    // Fragmented: the full span is not allocatable yet.
+    EXPECT_FALSE(alloc.tryAlloc(3072).valid());
+
+    alloc.free(b);
+    // Fully coalesced again.
+    EXPECT_TRUE(alloc.tryAlloc(4096).valid());
+}
+
+TEST(OnSocAllocator, FreeOutsideWindowPanics)
+{
+    OnSocAllocator alloc(IRAM_BASE, 4096);
+    EXPECT_DEATH(alloc.free({IRAM_BASE + 8192, 64}), "outside");
+}
+
+TEST(OnSocAllocator, FreeInvalidRegionIsNoop)
+{
+    OnSocAllocator alloc(IRAM_BASE, 4096);
+    alloc.free(OnSocRegion{});
+    EXPECT_EQ(alloc.freeBytes(), 4096u);
+}

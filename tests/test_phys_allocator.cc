@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Physical frame allocator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/phys_allocator.hh"
+
+using namespace sentry;
+using namespace sentry::os;
+
+TEST(PhysAllocator, AllocatesDistinctAlignedFrames)
+{
+    PhysAllocator alloc(DRAM_BASE, 16 * PAGE_SIZE);
+    EXPECT_EQ(alloc.totalFrames(), 16u);
+
+    std::set<PhysAddr> frames;
+    for (int i = 0; i < 16; ++i) {
+        const PhysAddr frame = alloc.allocFrame();
+        EXPECT_EQ(frame % PAGE_SIZE, 0u);
+        EXPECT_GE(frame, DRAM_BASE);
+        EXPECT_LT(frame, DRAM_BASE + 16 * PAGE_SIZE);
+        EXPECT_TRUE(frames.insert(frame).second) << "duplicate frame";
+    }
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+}
+
+TEST(PhysAllocator, ExhaustionIsFatal)
+{
+    PhysAllocator alloc(DRAM_BASE, PAGE_SIZE);
+    alloc.allocFrame();
+    EXPECT_EXIT(alloc.allocFrame(), testing::ExitedWithCode(1),
+                "out of physical memory");
+}
+
+TEST(PhysAllocator, FreeReturnsFramesToPool)
+{
+    PhysAllocator alloc(DRAM_BASE, 2 * PAGE_SIZE);
+    const PhysAddr a = alloc.allocFrame();
+    EXPECT_TRUE(alloc.isAllocated(a));
+    alloc.freeFrame(a);
+    EXPECT_FALSE(alloc.isAllocated(a));
+    EXPECT_EQ(alloc.freeFrames(), 2u);
+}
+
+TEST(PhysAllocator, DoubleFreePanics)
+{
+    PhysAllocator alloc(DRAM_BASE, 2 * PAGE_SIZE);
+    const PhysAddr a = alloc.allocFrame();
+    alloc.freeFrame(a);
+    EXPECT_DEATH(alloc.freeFrame(a), "double free");
+}
+
+TEST(PhysAllocator, ReserveRangeRemovesFrames)
+{
+    PhysAllocator alloc(DRAM_BASE, 8 * PAGE_SIZE);
+    alloc.reserveRange(DRAM_BASE + 2 * PAGE_SIZE, 4 * PAGE_SIZE);
+    EXPECT_EQ(alloc.freeFrames(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const PhysAddr frame = alloc.allocFrame();
+        const bool inReserved = frame >= DRAM_BASE + 2 * PAGE_SIZE &&
+                                frame < DRAM_BASE + 6 * PAGE_SIZE;
+        EXPECT_FALSE(inReserved);
+    }
+}
+
+TEST(PhysAllocator, AllocContiguousFindsRuns)
+{
+    PhysAllocator alloc(DRAM_BASE, 8 * PAGE_SIZE);
+    const PhysAddr base = alloc.allocContiguous(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(alloc.isAllocated(base + i * PAGE_SIZE));
+    EXPECT_EQ(alloc.freeFrames(), 4u);
+}
+
+TEST(PhysAllocator, AllocContiguousFailsWhenFragmented)
+{
+    PhysAllocator alloc(DRAM_BASE, 4 * PAGE_SIZE);
+    // Allocate everything, free alternating frames.
+    std::vector<PhysAddr> frames;
+    for (int i = 0; i < 4; ++i)
+        frames.push_back(alloc.allocFrame());
+    std::sort(frames.begin(), frames.end());
+    alloc.freeFrame(frames[0]);
+    alloc.freeFrame(frames[2]);
+    EXPECT_EXIT(alloc.allocContiguous(2), testing::ExitedWithCode(1),
+                "contiguous");
+}
+
+TEST(PhysAllocator, UnalignedRangeIsFatal)
+{
+    EXPECT_EXIT(PhysAllocator(DRAM_BASE + 1, PAGE_SIZE),
+                testing::ExitedWithCode(1), "aligned");
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Remanence-model validation: survival probabilities against the
+ * Table 2 calibration anchors, temperature behaviour (the freezer
+ * trick), and statistical behaviour of the decay pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "hw/remanence.hh"
+
+using namespace sentry;
+using namespace sentry::hw;
+
+TEST(Remanence, NoDecayAtZeroSeconds)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    EXPECT_DOUBLE_EQ(model.bitSurvival(0.0, 22.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.unitSurvival(0.0, 22.0), 1.0);
+}
+
+TEST(Remanence, Table2AnchorReflash)
+{
+    // ~7 ms reset tap preserves ~97.5% of 8-byte units at room temp.
+    RemanenceModel model(MemoryTech::Dram);
+    EXPECT_NEAR(model.unitSurvival(0.007, 22.0), 0.975, 0.005);
+}
+
+TEST(Remanence, Table2AnchorTwoSeconds)
+{
+    // A 2 s power loss preserves ~0.1% of units.
+    RemanenceModel model(MemoryTech::Dram);
+    EXPECT_NEAR(model.unitSurvival(2.0, 22.0), 0.001, 0.001);
+}
+
+TEST(Remanence, SurvivalIsMonotonicInTime)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    double prev = 1.0;
+    for (double t : {0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 10.0}) {
+        const double s = model.unitSurvival(t, 22.0);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(Remanence, FreezerExtendsRetention)
+{
+    // The Frost attack: cooling the phone in a household freezer makes
+    // a 2-second disconnect survivable.
+    RemanenceModel model(MemoryTech::Dram);
+    const double room = model.unitSurvival(2.0, 22.0);
+    const double freezer = model.unitSurvival(2.0, -18.0);
+    EXPECT_GT(freezer, 100.0 * room);
+    EXPECT_GT(freezer, 0.3);
+}
+
+TEST(Remanence, SramDecaysSlowerThanDram)
+{
+    // Skorobogatov: SRAM retains data longer than DRAM.
+    RemanenceModel dram(MemoryTech::Dram);
+    RemanenceModel sram(MemoryTech::Sram);
+    EXPECT_GT(sram.unitSurvival(2.0, 22.0), dram.unitSurvival(2.0, 22.0));
+}
+
+TEST(Remanence, DecayPassMatchesAnalyticSurvival)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    Rng rng(42);
+
+    std::vector<std::uint8_t> memory(4 * MiB);
+    const auto pattern = fromHex("a5a5a5a55a5a5a5a");
+    fillPattern(memory, pattern);
+    const std::size_t before = countPattern(memory, pattern);
+
+    model.decay(memory, 0.007, 22.0, rng);
+    const double survived =
+        static_cast<double>(countPattern(memory, pattern)) /
+        static_cast<double>(before);
+    EXPECT_NEAR(survived, model.unitSurvival(0.007, 22.0), 0.01);
+}
+
+TEST(Remanence, HeavyDecayDestroysAlmostEverything)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    Rng rng(43);
+
+    std::vector<std::uint8_t> memory(1 * MiB);
+    const auto pattern = fromHex("0123456789abcdef");
+    fillPattern(memory, pattern);
+    const std::size_t before = countPattern(memory, pattern);
+
+    model.decay(memory, 2.0, 22.0, rng);
+    const double survived =
+        static_cast<double>(countPattern(memory, pattern)) /
+        static_cast<double>(before);
+    EXPECT_LT(survived, 0.01);
+}
+
+TEST(Remanence, DecayedBytesCollapseToGroundPolarity)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    Rng rng(44);
+
+    std::vector<std::uint8_t> memory(64 * KiB, 0x3c);
+    model.decay(memory, 10.0, 22.0, rng); // near-total decay
+    // After total decay only ground bytes (0x00 / 0xff) and rare
+    // survivors (0x3c) remain.
+    for (std::uint8_t b : memory)
+        EXPECT_TRUE(b == 0x00 || b == 0xff || b == 0x3c) << int(b);
+}
+
+TEST(Remanence, DecayIsDeterministicPerSeed)
+{
+    RemanenceModel model(MemoryTech::Dram);
+    std::vector<std::uint8_t> a(64 * KiB, 0x77), b(64 * KiB, 0x77);
+    Rng rngA(7), rngB(7);
+    model.decay(a, 0.5, 22.0, rngA);
+    model.decay(b, 0.5, 22.0, rngB);
+    EXPECT_EQ(a, b);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Scheduler tests: round-robin rotation, the unschedulable queue
+ * Sentry parks encrypted processes on, and register spills on context
+ * switches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+#include "os/kernel.hh"
+
+using namespace sentry;
+using namespace sentry::hw;
+using namespace sentry::os;
+
+namespace
+{
+
+struct SchedulerFixture : testing::Test
+{
+    SchedulerFixture() : soc(PlatformConfig::tegra3(16 * MiB)), kernel(soc)
+    {
+        a = &kernel.createProcess("a");
+        b = &kernel.createProcess("b");
+        c = &kernel.createProcess("c");
+    }
+
+    Soc soc;
+    Kernel kernel;
+    Process *a, *b, *c;
+};
+
+} // namespace
+
+TEST_F(SchedulerFixture, RoundRobinRotation)
+{
+    Scheduler &sched = kernel.scheduler();
+    EXPECT_EQ(sched.tick(), a);
+    EXPECT_EQ(sched.tick(), b);
+    EXPECT_EQ(sched.tick(), c);
+    EXPECT_EQ(sched.tick(), a); // wraps around
+}
+
+TEST_F(SchedulerFixture, UnschedulableProcessesAreSkipped)
+{
+    Scheduler &sched = kernel.scheduler();
+    sched.makeUnschedulable(b);
+    EXPECT_FALSE(b->schedulable());
+    EXPECT_EQ(sched.parked().size(), 1u);
+
+    for (int i = 0; i < 6; ++i)
+        EXPECT_NE(sched.tick(), b);
+
+    sched.makeSchedulable(b);
+    EXPECT_TRUE(b->schedulable());
+    bool sawB = false;
+    for (int i = 0; i < 3; ++i)
+        sawB |= (sched.tick() == b);
+    EXPECT_TRUE(sawB);
+}
+
+TEST_F(SchedulerFixture, ParkingTheRunningProcessDeschedulesIt)
+{
+    Scheduler &sched = kernel.scheduler();
+    Process *running = sched.tick();
+    sched.makeUnschedulable(running);
+    EXPECT_EQ(sched.current(), nullptr);
+    EXPECT_NE(sched.tick(), running);
+}
+
+TEST_F(SchedulerFixture, EmptyQueueYieldsNull)
+{
+    Scheduler &sched = kernel.scheduler();
+    sched.makeUnschedulable(a);
+    sched.makeUnschedulable(b);
+    sched.makeUnschedulable(c);
+    EXPECT_EQ(sched.tick(), nullptr);
+}
+
+TEST_F(SchedulerFixture, ContextSwitchSpillsOutgoingRegisters)
+{
+    Scheduler &sched = kernel.scheduler();
+    sched.tick(); // someone is running now
+    const std::uint64_t spillsBefore = soc.cpu().spillCount();
+    sched.tick(); // switching away spills
+    EXPECT_EQ(soc.cpu().spillCount(), spillsBefore + 1);
+}
+
+TEST_F(SchedulerFixture, RemoveDropsProcessEverywhere)
+{
+    Scheduler &sched = kernel.scheduler();
+    sched.makeUnschedulable(c);
+    sched.remove(c);
+    EXPECT_TRUE(sched.parked().empty());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NE(sched.tick(), c);
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * SimAesEngine tests: cryptographic correctness in every placement,
+ * state residency (where the key schedule physically lives), bus
+ * visibility of table lookups, irq-guard discipline, cost charging,
+ * and scrubbing — the core of the paper's section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "core/locked_way_manager.hh"
+#include "core/onsoc_allocator.hh"
+#include "crypto/aes.hh"
+#include "crypto/aes_on_soc.hh"
+#include "hw/bus_monitor.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+using namespace sentry::hw;
+
+namespace
+{
+
+struct EngineFixture : testing::Test
+{
+    EngineFixture()
+        : soc(PlatformConfig::tegra3(32 * MiB)),
+          iramAlloc(core::OnSocAllocator::forIram(soc.iram().size())),
+          wayManager(soc, DRAM_BASE + 16 * MiB)
+    {
+        key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    }
+
+    std::unique_ptr<SimAesEngine>
+    makeEngine(StatePlacement placement)
+    {
+        const auto layout = AesStateLayout::forKeyBytes(16);
+        PhysAddr base = 0;
+        switch (placement) {
+          case StatePlacement::Dram:
+            base = DRAM_BASE + 4 * MiB;
+            break;
+          case StatePlacement::Iram:
+            base = iramAlloc.alloc(layout.totalBytes()).base;
+            break;
+          case StatePlacement::LockedL2:
+            base = wayManager.lockWay()->base;
+            break;
+        }
+        return std::make_unique<SimAesEngine>(soc, base, key, placement);
+    }
+
+    Soc soc;
+    core::OnSocAllocator iramAlloc;
+    core::LockedWayManager wayManager;
+    std::vector<std::uint8_t> key;
+};
+
+class EnginePlacementTest
+    : public EngineFixture,
+      public testing::WithParamInterface<StatePlacement>
+{
+};
+
+} // namespace
+
+TEST_P(EnginePlacementTest, AuditedBlocksMatchReferenceAes)
+{
+    auto engine = makeEngine(GetParam());
+    Aes reference(key);
+
+    Rng rng(1);
+    for (int i = 0; i < 8; ++i) {
+        std::uint8_t pt[16], viaEngine[16], viaRef[16], back[16];
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        engine->encryptBlock(pt, viaEngine);
+        reference.encryptBlock(pt, viaRef);
+        EXPECT_EQ(toHex({viaEngine, 16}), toHex({viaRef, 16}));
+
+        engine->decryptBlock(viaEngine, back);
+        EXPECT_EQ(toHex({back, 16}), toHex({pt, 16}));
+    }
+}
+
+TEST_P(EnginePlacementTest, BulkCbcMatchesReference)
+{
+    auto engine = makeEngine(GetParam());
+    Aes reference(key);
+    AesBlockCipher cipher(reference);
+
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31);
+    auto expected = data;
+
+    Iv iv{};
+    iv[5] = 9;
+    engine->cbcEncrypt(iv, data);
+    cbcEncrypt(cipher, iv, expected);
+    EXPECT_EQ(toHex(data), toHex(expected));
+
+    engine->cbcDecrypt(iv, data);
+    cbcDecrypt(cipher, iv, expected);
+    EXPECT_EQ(toHex(data), toHex(expected));
+}
+
+TEST_P(EnginePlacementTest, PhysOpsTransformSimulatedMemory)
+{
+    auto engine = makeEngine(GetParam());
+    const PhysAddr page = DRAM_BASE + 8 * MiB;
+
+    std::vector<std::uint8_t> plain(PAGE_SIZE);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(i);
+    soc.memory().write(page, plain.data(), plain.size());
+
+    Iv iv{};
+    engine->cbcEncryptPhys(page, PAGE_SIZE, iv);
+    std::vector<std::uint8_t> cipherText(PAGE_SIZE);
+    soc.memory().read(page, cipherText.data(), cipherText.size());
+    EXPECT_NE(toHex(cipherText), toHex(plain));
+
+    engine->cbcDecryptPhys(page, PAGE_SIZE, iv);
+    std::vector<std::uint8_t> back(PAGE_SIZE);
+    soc.memory().read(page, back.data(), back.size());
+    EXPECT_EQ(toHex(back), toHex(plain));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacements, EnginePlacementTest,
+                         testing::Values(StatePlacement::Dram,
+                                         StatePlacement::Iram,
+                                         StatePlacement::LockedL2),
+                         [](const auto &info) {
+                             std::string name =
+                                 statePlacementName(info.param);
+                             for (char &c : name) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+TEST_F(EngineFixture, DramPlacementLeaksScheduleToDram)
+{
+    auto engine = makeEngine(StatePlacement::Dram);
+    soc.l2().cleanAllMasked(); // push state writes out to DRAM
+
+    // The first four round-key words of AES-128 are the key itself
+    // (big-endian words): exactly what a cold-boot key hunter greps for.
+    const auto keySchedulePrefix = fromHex("2b7e151628aed2a6");
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), key));
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), keySchedulePrefix));
+}
+
+TEST_F(EngineFixture, IramPlacementKeepsScheduleOffDram)
+{
+    auto engine = makeEngine(StatePlacement::Iram);
+    soc.l2().cleanAllMasked();
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), key));
+    EXPECT_TRUE(containsBytes(soc.iramRaw(), key));
+}
+
+TEST_F(EngineFixture, LockedL2PlacementKeepsScheduleOffDram)
+{
+    auto engine = makeEngine(StatePlacement::LockedL2);
+    std::uint8_t pt[16] = {}, ct[16];
+    engine->encryptBlock(pt, ct); // exercise the audited path too
+    soc.l2().cleanAllMasked();
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), key));
+    EXPECT_FALSE(containsBytes(soc.iramRaw(), key));
+}
+
+TEST_F(EngineFixture, DramTableLookupsCrossTheBus)
+{
+    auto engine = makeEngine(StatePlacement::Dram);
+    BusMonitor monitor;
+    soc.bus().addObserver(&monitor);
+
+    soc.l2().flushAllMasked(); // evict the tables
+    std::uint8_t pt[16] = {1, 2, 3}, ct[16];
+    engine->encryptBlock(pt, ct);
+
+    const PhysAddr teBase =
+        engine->stateBase() +
+        engine->layout().find("Enc round tables (Te0-3)").offset;
+    bool sawTableRead = false;
+    for (const auto &txn : monitor.trace()) {
+        if (!txn.isWrite && txn.addr >= teBase &&
+            txn.addr < teBase + 4096) {
+            sawTableRead = true;
+        }
+    }
+    EXPECT_TRUE(sawTableRead);
+    soc.bus().removeObserver(&monitor);
+}
+
+TEST_F(EngineFixture, OnSocTableLookupsInvisibleOnBus)
+{
+    auto engine = makeEngine(StatePlacement::Iram);
+    BusMonitor monitor;
+    soc.bus().addObserver(&monitor);
+
+    soc.l2().flushAllMasked();
+    monitor.clear();
+    std::uint8_t pt[16] = {1, 2, 3}, ct[16];
+    engine->encryptBlock(pt, ct);
+
+    const PhysAddr base = engine->stateBase();
+    for (const auto &txn : monitor.trace()) {
+        const bool inState =
+            txn.addr >= base &&
+            txn.addr < base + engine->layout().totalBytes();
+        EXPECT_FALSE(inState) << "AES state crossed the memory bus";
+    }
+    soc.bus().removeObserver(&monitor);
+}
+
+TEST_F(EngineFixture, OnSocBulkOpsRunWithIrqProtection)
+{
+    auto engine = makeEngine(StatePlacement::Iram);
+    soc.cpu().setCurrentStack(DRAM_BASE + 0x10000);
+    soc.cpu().requestPreemption();
+
+    std::vector<std::uint8_t> data(4096, 0x42);
+    engine->cbcEncrypt(Iv{}, data);
+
+    // The preemption stayed pending through the guarded section, and
+    // registers were scrubbed, so delivering it now leaks nothing.
+    EXPECT_TRUE(soc.cpu().preemptionPending());
+    soc.cpu().pollPreemption();
+    soc.l2().cleanAllMasked();
+    EXPECT_FALSE(containsBytes(soc.dramRaw(), key));
+}
+
+TEST_F(EngineFixture, DramBulkOpsSpillRegistersOnPreemption)
+{
+    auto engine = makeEngine(StatePlacement::Dram);
+    soc.cpu().setCurrentStack(DRAM_BASE + 0x10000);
+    soc.cpu().requestPreemption();
+
+    std::vector<std::uint8_t> data(4096, 0x42);
+    engine->cbcEncrypt(Iv{}, data);
+
+    // Generic AES: the context switch landed mid-operation and wrote
+    // live round-key words to the stack in DRAM.
+    EXPECT_FALSE(soc.cpu().preemptionPending());
+    EXPECT_GE(soc.cpu().spillCount(), 1u);
+    soc.l2().cleanAllMasked();
+    const auto keyWordBigEndian = fromHex("2b7e1516");
+    // The spilled register holds the big-endian round-key word stored
+    // little-endian in memory: 16 15 7e 2b.
+    const auto spilled = fromHex("16157e2b");
+    EXPECT_TRUE(containsBytes(soc.dramRaw(), spilled) ||
+                containsBytes(soc.dramRaw(), keyWordBigEndian));
+}
+
+TEST_F(EngineFixture, BulkOpsChargeTimeAtPlatformRate)
+{
+    auto engine = makeEngine(StatePlacement::Iram);
+    std::vector<std::uint8_t> data(1 * MiB, 7);
+
+    SimStopwatch watch(soc.clock());
+    engine->cbcEncrypt(Iv{}, data);
+    const double seconds = watch.elapsedSeconds();
+
+    const double expectedRate =
+        soc.clock().frequency() /
+        (soc.config().cost.aesCyclesPerByteUser *
+         soc.config().cost.aesOnSocFactor);
+    EXPECT_NEAR(static_cast<double>(data.size()) / seconds, expectedRate,
+                expectedRate * 0.05);
+    EXPECT_EQ(engine->bytesProcessed(), data.size());
+}
+
+TEST_F(EngineFixture, KernelPathIsSlowerThanUserPath)
+{
+    const auto layout = AesStateLayout::forKeyBytes(16);
+    SimAesEngine userEngine(soc, iramAlloc.alloc(layout.totalBytes()).base,
+                            key, StatePlacement::Iram, false);
+    SimAesEngine kernelEngine(soc,
+                              iramAlloc.alloc(layout.totalBytes()).base,
+                              key, StatePlacement::Iram, true);
+
+    std::vector<std::uint8_t> data(256 * KiB, 1);
+    SimStopwatch watch(soc.clock());
+    userEngine.cbcEncrypt(Iv{}, data);
+    const double userTime = watch.elapsedSeconds();
+    watch.restart();
+    kernelEngine.cbcEncrypt(Iv{}, data);
+    const double kernelTime = watch.elapsedSeconds();
+    EXPECT_GT(kernelTime, userTime);
+}
+
+TEST_F(EngineFixture, ScrubErasesSensitiveStateEverywhere)
+{
+    auto engine = makeEngine(StatePlacement::Iram);
+    ASSERT_TRUE(containsBytes(soc.iramRaw(), key));
+
+    engine->scrub();
+    EXPECT_FALSE(containsBytes(soc.iramRaw(), key));
+
+    std::uint8_t pt[16] = {}, ct[16];
+    EXPECT_DEATH(engine->encryptBlock(pt, ct), "after scrub");
+}
+
+TEST_F(EngineFixture, AesOnSocOverheadIsUnderOnePercent)
+{
+    // Paper: "using AES On SoC adds negligible overhead (less than 1%)".
+    const double factor = soc.config().cost.aesOnSocFactor;
+    EXPECT_GT(factor, 1.0);
+    EXPECT_LT(factor, 1.01);
+}
