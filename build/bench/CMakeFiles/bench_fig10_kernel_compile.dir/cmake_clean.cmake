@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_kernel_compile.dir/bench_fig10_kernel_compile.cc.o"
+  "CMakeFiles/bench_fig10_kernel_compile.dir/bench_fig10_kernel_compile.cc.o.d"
+  "bench_fig10_kernel_compile"
+  "bench_fig10_kernel_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kernel_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

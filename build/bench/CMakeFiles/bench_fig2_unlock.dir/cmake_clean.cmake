@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_unlock.dir/bench_fig2_unlock.cc.o"
+  "CMakeFiles/bench_fig2_unlock.dir/bench_fig2_unlock.cc.o.d"
+  "bench_fig2_unlock"
+  "bench_fig2_unlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_unlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

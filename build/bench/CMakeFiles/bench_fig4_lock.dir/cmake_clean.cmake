@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lock.dir/bench_fig4_lock.cc.o"
+  "CMakeFiles/bench_fig4_lock.dir/bench_fig4_lock.cc.o.d"
+  "bench_fig4_lock"
+  "bench_fig4_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

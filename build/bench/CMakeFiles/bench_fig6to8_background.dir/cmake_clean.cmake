@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6to8_background.dir/bench_fig6to8_background.cc.o"
+  "CMakeFiles/bench_fig6to8_background.dir/bench_fig6to8_background.cc.o.d"
+  "bench_fig6to8_background"
+  "bench_fig6to8_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6to8_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dmcrypt.dir/bench_fig9_dmcrypt.cc.o"
+  "CMakeFiles/bench_fig9_dmcrypt.dir/bench_fig9_dmcrypt.cc.o.d"
+  "bench_fig9_dmcrypt"
+  "bench_fig9_dmcrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dmcrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

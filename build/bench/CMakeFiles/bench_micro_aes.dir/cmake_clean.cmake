@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_aes.dir/bench_micro_aes.cc.o"
+  "CMakeFiles/bench_micro_aes.dir/bench_micro_aes.cc.o.d"
+  "bench_micro_aes"
+  "bench_micro_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_pl310_validation.dir/bench_sec42_pl310_validation.cc.o"
+  "CMakeFiles/bench_sec42_pl310_validation.dir/bench_sec42_pl310_validation.cc.o.d"
+  "bench_sec42_pl310_validation"
+  "bench_sec42_pl310_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_pl310_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

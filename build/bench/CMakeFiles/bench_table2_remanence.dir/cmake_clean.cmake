@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_remanence.dir/bench_table2_remanence.cc.o"
+  "CMakeFiles/bench_table2_remanence.dir/bench_table2_remanence.cc.o.d"
+  "bench_table2_remanence"
+  "bench_table2_remanence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_remanence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

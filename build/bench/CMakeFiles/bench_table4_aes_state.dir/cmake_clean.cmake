@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_aes_state.dir/bench_table4_aes_state.cc.o"
+  "CMakeFiles/bench_table4_aes_state.dir/bench_table4_aes_state.cc.o.d"
+  "bench_table4_aes_state"
+  "bench_table4_aes_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_aes_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

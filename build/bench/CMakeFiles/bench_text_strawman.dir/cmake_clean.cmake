@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_strawman.dir/bench_text_strawman.cc.o"
+  "CMakeFiles/bench_text_strawman.dir/bench_text_strawman.cc.o.d"
+  "bench_text_strawman"
+  "bench_text_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_lab.dir/attack_lab.cpp.o"
+  "CMakeFiles/example_attack_lab.dir/attack_lab.cpp.o.d"
+  "example_attack_lab"
+  "example_attack_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

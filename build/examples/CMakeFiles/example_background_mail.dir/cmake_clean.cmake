@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_background_mail.dir/background_mail.cpp.o"
+  "CMakeFiles/example_background_mail.dir/background_mail.cpp.o.d"
+  "example_background_mail"
+  "example_background_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_background_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_encryption.dir/disk_encryption.cpp.o"
+  "CMakeFiles/example_disk_encryption.dir/disk_encryption.cpp.o.d"
+  "example_disk_encryption"
+  "example_disk_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pinned_keystore.dir/pinned_keystore.cpp.o"
+  "CMakeFiles/example_pinned_keystore.dir/pinned_keystore.cpp.o.d"
+  "example_pinned_keystore"
+  "example_pinned_keystore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pinned_keystore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_profile.cc" "src/CMakeFiles/sentry.dir/apps/app_profile.cc.o" "gcc" "src/CMakeFiles/sentry.dir/apps/app_profile.cc.o.d"
+  "/root/repo/src/apps/background_app.cc" "src/CMakeFiles/sentry.dir/apps/background_app.cc.o" "gcc" "src/CMakeFiles/sentry.dir/apps/background_app.cc.o.d"
+  "/root/repo/src/apps/kernel_compile.cc" "src/CMakeFiles/sentry.dir/apps/kernel_compile.cc.o" "gcc" "src/CMakeFiles/sentry.dir/apps/kernel_compile.cc.o.d"
+  "/root/repo/src/apps/synthetic_app.cc" "src/CMakeFiles/sentry.dir/apps/synthetic_app.cc.o" "gcc" "src/CMakeFiles/sentry.dir/apps/synthetic_app.cc.o.d"
+  "/root/repo/src/attacks/bus_monitor_attack.cc" "src/CMakeFiles/sentry.dir/attacks/bus_monitor_attack.cc.o" "gcc" "src/CMakeFiles/sentry.dir/attacks/bus_monitor_attack.cc.o.d"
+  "/root/repo/src/attacks/code_injection.cc" "src/CMakeFiles/sentry.dir/attacks/code_injection.cc.o" "gcc" "src/CMakeFiles/sentry.dir/attacks/code_injection.cc.o.d"
+  "/root/repo/src/attacks/cold_boot.cc" "src/CMakeFiles/sentry.dir/attacks/cold_boot.cc.o" "gcc" "src/CMakeFiles/sentry.dir/attacks/cold_boot.cc.o.d"
+  "/root/repo/src/attacks/dma_attack.cc" "src/CMakeFiles/sentry.dir/attacks/dma_attack.cc.o" "gcc" "src/CMakeFiles/sentry.dir/attacks/dma_attack.cc.o.d"
+  "/root/repo/src/attacks/report.cc" "src/CMakeFiles/sentry.dir/attacks/report.cc.o" "gcc" "src/CMakeFiles/sentry.dir/attacks/report.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/sentry.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/sentry.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sentry.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sentry.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/sentry.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/sentry.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sentry.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sentry.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/dram_scanner.cc" "src/CMakeFiles/sentry.dir/core/dram_scanner.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/dram_scanner.cc.o.d"
+  "/root/repo/src/core/key_manager.cc" "src/CMakeFiles/sentry.dir/core/key_manager.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/key_manager.cc.o.d"
+  "/root/repo/src/core/locked_cache_pager.cc" "src/CMakeFiles/sentry.dir/core/locked_cache_pager.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/locked_cache_pager.cc.o.d"
+  "/root/repo/src/core/locked_way_manager.cc" "src/CMakeFiles/sentry.dir/core/locked_way_manager.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/locked_way_manager.cc.o.d"
+  "/root/repo/src/core/onsoc_allocator.cc" "src/CMakeFiles/sentry.dir/core/onsoc_allocator.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/onsoc_allocator.cc.o.d"
+  "/root/repo/src/core/pinned_memory.cc" "src/CMakeFiles/sentry.dir/core/pinned_memory.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/pinned_memory.cc.o.d"
+  "/root/repo/src/core/security_audit.cc" "src/CMakeFiles/sentry.dir/core/security_audit.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/security_audit.cc.o.d"
+  "/root/repo/src/core/sentry.cc" "src/CMakeFiles/sentry.dir/core/sentry.cc.o" "gcc" "src/CMakeFiles/sentry.dir/core/sentry.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/sentry.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/aes_on_soc.cc" "src/CMakeFiles/sentry.dir/crypto/aes_on_soc.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/aes_on_soc.cc.o.d"
+  "/root/repo/src/crypto/aes_state.cc" "src/CMakeFiles/sentry.dir/crypto/aes_state.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/aes_state.cc.o.d"
+  "/root/repo/src/crypto/aes_tables.cc" "src/CMakeFiles/sentry.dir/crypto/aes_tables.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/aes_tables.cc.o.d"
+  "/root/repo/src/crypto/crypto_api.cc" "src/CMakeFiles/sentry.dir/crypto/crypto_api.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/crypto_api.cc.o.d"
+  "/root/repo/src/crypto/kdf.cc" "src/CMakeFiles/sentry.dir/crypto/kdf.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/kdf.cc.o.d"
+  "/root/repo/src/crypto/modes.cc" "src/CMakeFiles/sentry.dir/crypto/modes.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/modes.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/sentry.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/sentry.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/hw/bus.cc" "src/CMakeFiles/sentry.dir/hw/bus.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/bus.cc.o.d"
+  "/root/repo/src/hw/bus_monitor.cc" "src/CMakeFiles/sentry.dir/hw/bus_monitor.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/bus_monitor.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/sentry.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/crypto_accel.cc" "src/CMakeFiles/sentry.dir/hw/crypto_accel.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/crypto_accel.cc.o.d"
+  "/root/repo/src/hw/devices.cc" "src/CMakeFiles/sentry.dir/hw/devices.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/devices.cc.o.d"
+  "/root/repo/src/hw/dma.cc" "src/CMakeFiles/sentry.dir/hw/dma.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/dma.cc.o.d"
+  "/root/repo/src/hw/dram.cc" "src/CMakeFiles/sentry.dir/hw/dram.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/dram.cc.o.d"
+  "/root/repo/src/hw/energy.cc" "src/CMakeFiles/sentry.dir/hw/energy.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/energy.cc.o.d"
+  "/root/repo/src/hw/firmware.cc" "src/CMakeFiles/sentry.dir/hw/firmware.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/firmware.cc.o.d"
+  "/root/repo/src/hw/iram.cc" "src/CMakeFiles/sentry.dir/hw/iram.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/iram.cc.o.d"
+  "/root/repo/src/hw/jtag.cc" "src/CMakeFiles/sentry.dir/hw/jtag.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/jtag.cc.o.d"
+  "/root/repo/src/hw/l2_cache.cc" "src/CMakeFiles/sentry.dir/hw/l2_cache.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/l2_cache.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/CMakeFiles/sentry.dir/hw/platform.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/platform.cc.o.d"
+  "/root/repo/src/hw/remanence.cc" "src/CMakeFiles/sentry.dir/hw/remanence.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/remanence.cc.o.d"
+  "/root/repo/src/hw/soc.cc" "src/CMakeFiles/sentry.dir/hw/soc.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/soc.cc.o.d"
+  "/root/repo/src/hw/trustzone.cc" "src/CMakeFiles/sentry.dir/hw/trustzone.cc.o" "gcc" "src/CMakeFiles/sentry.dir/hw/trustzone.cc.o.d"
+  "/root/repo/src/os/address_space.cc" "src/CMakeFiles/sentry.dir/os/address_space.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/address_space.cc.o.d"
+  "/root/repo/src/os/block_device.cc" "src/CMakeFiles/sentry.dir/os/block_device.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/block_device.cc.o.d"
+  "/root/repo/src/os/buffer_cache.cc" "src/CMakeFiles/sentry.dir/os/buffer_cache.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/buffer_cache.cc.o.d"
+  "/root/repo/src/os/dm_crypt.cc" "src/CMakeFiles/sentry.dir/os/dm_crypt.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/dm_crypt.cc.o.d"
+  "/root/repo/src/os/filebench.cc" "src/CMakeFiles/sentry.dir/os/filebench.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/filebench.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/sentry.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/sentry.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/page_table.cc.o.d"
+  "/root/repo/src/os/phys_allocator.cc" "src/CMakeFiles/sentry.dir/os/phys_allocator.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/phys_allocator.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/sentry.dir/os/process.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/process.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/sentry.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/sentry.dir/os/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

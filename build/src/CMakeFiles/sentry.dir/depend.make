@@ -1,0 +1,2 @@
+# Empty dependencies file for sentry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes.cc" "tests/CMakeFiles/sentry_tests.dir/test_aes.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_aes.cc.o.d"
+  "/root/repo/tests/test_aes_state.cc" "tests/CMakeFiles/sentry_tests.dir/test_aes_state.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_aes_state.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/sentry_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_attacks.cc" "tests/CMakeFiles/sentry_tests.dir/test_attacks.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_attacks.cc.o.d"
+  "/root/repo/tests/test_block_stack.cc" "tests/CMakeFiles/sentry_tests.dir/test_block_stack.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_block_stack.cc.o.d"
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/sentry_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/sentry_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cpu_irq.cc" "tests/CMakeFiles/sentry_tests.dir/test_cpu_irq.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_cpu_irq.cc.o.d"
+  "/root/repo/tests/test_crypto_accel.cc" "tests/CMakeFiles/sentry_tests.dir/test_crypto_accel.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_crypto_accel.cc.o.d"
+  "/root/repo/tests/test_crypto_api.cc" "tests/CMakeFiles/sentry_tests.dir/test_crypto_api.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_crypto_api.cc.o.d"
+  "/root/repo/tests/test_deep_lock.cc" "tests/CMakeFiles/sentry_tests.dir/test_deep_lock.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_deep_lock.cc.o.d"
+  "/root/repo/tests/test_dma.cc" "tests/CMakeFiles/sentry_tests.dir/test_dma.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_dma.cc.o.d"
+  "/root/repo/tests/test_dram_iram.cc" "tests/CMakeFiles/sentry_tests.dir/test_dram_iram.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_dram_iram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/sentry_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_fuzz_invariants.cc" "tests/CMakeFiles/sentry_tests.dir/test_fuzz_invariants.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_fuzz_invariants.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sentry_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_jtag_injection.cc" "tests/CMakeFiles/sentry_tests.dir/test_jtag_injection.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_jtag_injection.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/sentry_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_key_manager.cc" "tests/CMakeFiles/sentry_tests.dir/test_key_manager.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_key_manager.cc.o.d"
+  "/root/repo/tests/test_l2_cache.cc" "tests/CMakeFiles/sentry_tests.dir/test_l2_cache.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_l2_cache.cc.o.d"
+  "/root/repo/tests/test_l2_geometry.cc" "tests/CMakeFiles/sentry_tests.dir/test_l2_geometry.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_l2_geometry.cc.o.d"
+  "/root/repo/tests/test_locked_way.cc" "tests/CMakeFiles/sentry_tests.dir/test_locked_way.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_locked_way.cc.o.d"
+  "/root/repo/tests/test_modes.cc" "tests/CMakeFiles/sentry_tests.dir/test_modes.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_modes.cc.o.d"
+  "/root/repo/tests/test_multi_app.cc" "tests/CMakeFiles/sentry_tests.dir/test_multi_app.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_multi_app.cc.o.d"
+  "/root/repo/tests/test_onsoc_allocator.cc" "tests/CMakeFiles/sentry_tests.dir/test_onsoc_allocator.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_onsoc_allocator.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/sentry_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_pager.cc" "tests/CMakeFiles/sentry_tests.dir/test_pager.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_pager.cc.o.d"
+  "/root/repo/tests/test_persistence.cc" "tests/CMakeFiles/sentry_tests.dir/test_persistence.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_persistence.cc.o.d"
+  "/root/repo/tests/test_phys_allocator.cc" "tests/CMakeFiles/sentry_tests.dir/test_phys_allocator.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_phys_allocator.cc.o.d"
+  "/root/repo/tests/test_pinned_memory.cc" "tests/CMakeFiles/sentry_tests.dir/test_pinned_memory.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_pinned_memory.cc.o.d"
+  "/root/repo/tests/test_remanence.cc" "tests/CMakeFiles/sentry_tests.dir/test_remanence.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_remanence.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/sentry_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_security_audit.cc" "tests/CMakeFiles/sentry_tests.dir/test_security_audit.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_security_audit.cc.o.d"
+  "/root/repo/tests/test_sentry_lock.cc" "tests/CMakeFiles/sentry_tests.dir/test_sentry_lock.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_sentry_lock.cc.o.d"
+  "/root/repo/tests/test_sha256_kdf.cc" "tests/CMakeFiles/sentry_tests.dir/test_sha256_kdf.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_sha256_kdf.cc.o.d"
+  "/root/repo/tests/test_side_channel.cc" "tests/CMakeFiles/sentry_tests.dir/test_side_channel.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_side_channel.cc.o.d"
+  "/root/repo/tests/test_sim_aes_engine.cc" "tests/CMakeFiles/sentry_tests.dir/test_sim_aes_engine.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_sim_aes_engine.cc.o.d"
+  "/root/repo/tests/test_soc.cc" "tests/CMakeFiles/sentry_tests.dir/test_soc.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_soc.cc.o.d"
+  "/root/repo/tests/test_suspend.cc" "tests/CMakeFiles/sentry_tests.dir/test_suspend.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_suspend.cc.o.d"
+  "/root/repo/tests/test_trustzone.cc" "tests/CMakeFiles/sentry_tests.dir/test_trustzone.cc.o" "gcc" "tests/CMakeFiles/sentry_tests.dir/test_trustzone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
