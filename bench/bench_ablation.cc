@@ -34,6 +34,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("ablation");
     bench::banner("Ablations", "design-choice experiments");
 
     // --- A: lazy vs eager decryption at unlock --------------------
@@ -63,6 +64,9 @@ main()
             std::printf("   %-22s unlock-to-usable: %6.2f s\n",
                         eager ? "eager (everything)" : "lazy (paper)",
                         watch.elapsedSeconds());
+            session.metric(eager ? "sim_unlock_seconds_eager"
+                                 : "sim_unlock_seconds_lazy",
+                           watch.elapsedSeconds());
         }
     }
 
@@ -93,6 +97,9 @@ main()
                         "reset: %s\n",
                         clean ? "on" : "off",
                         leak ? "YES (leak!)" : "no");
+            session.metric(clean ? "sim_leak_clean_on"
+                                 : "sim_leak_clean_off",
+                           static_cast<std::uint64_t>(leak));
         }
     }
 
@@ -120,6 +127,8 @@ main()
                         "%s\n",
                         wait ? "on" : "off",
                         leak ? "YES (leak!)" : "no");
+            session.metric(wait ? "sim_leak_wait_on" : "sim_leak_wait_off",
+                           static_cast<std::uint64_t>(leak));
         }
     }
 
@@ -147,6 +156,9 @@ main()
             std::printf("   %u way(s) = %3u KB: kernel time %6.3f s\n",
                         pagerWays, pagerWays * 128,
                         result.kernelSeconds);
+            session.metric("sim_kernel_seconds_ways" +
+                               std::to_string(pagerWays),
+                           result.kernelSeconds);
         }
     }
     return 0;

@@ -25,6 +25,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig10_kernel_compile");
     bench::banner("Figure 10: kernel compile vs locked cache ways",
                   "make -j5 model on Tegra 3 (1 MB, 8-way L2), "
                   "5 trials per point");
@@ -57,6 +58,10 @@ main()
                     minutes.mean(),
                     100.0 * (minutes.mean() / baselineMinutes - 1.0),
                     100.0 * missRate.mean());
+        session.metric("sim_minutes_ways" + std::to_string(ways),
+                       minutes.mean());
+        session.metric("sim_missrate_ways" + std::to_string(ways),
+                       missRate.mean());
     }
 
     std::printf("\nPaper: 14.41 min unlocked, 14.53 min with one way "

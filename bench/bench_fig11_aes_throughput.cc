@@ -12,13 +12,16 @@
  * within 1% of generic AES.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hh"
 #include "common/bytes.hh"
 #include "core/locked_way_manager.hh"
 #include "core/onsoc_allocator.hh"
 #include "crypto/aes_on_soc.hh"
+#include "crypto/sha256.hh"
 #include "hw/platform.hh"
 #include "hw/soc.hh"
 
@@ -42,12 +45,54 @@ engineRate(hw::Soc &soc, SimAesEngine &engine)
            watch.elapsedSeconds();
 }
 
+/** Result of one audited CBC pass over a fresh Tegra 3 machine. */
+struct AuditedRun
+{
+    double hostSeconds = 0.0;
+    hw::L2Stats l2;
+    hw::BusStats bus;
+    Cycles cycles = 0;
+    Sha256Digest digest{};
+};
+
+/**
+ * Run the fully audited DRAM-placement CBC path over @p bytes of data
+ * with the host fast path on or off. Everything except hostSeconds is
+ * required to be bit-identical between the two settings.
+ */
+AuditedRun
+auditedPass(std::size_t bytes, bool fast_path)
+{
+    hw::Soc soc(hw::PlatformConfig::tegra3(64 * MiB));
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    SimAesEngine engine(soc, DRAM_BASE + 16 * MiB, key,
+                        StatePlacement::Dram);
+    engine.setFastPath(fast_path);
+
+    std::vector<std::uint8_t> data(bytes);
+    for (std::size_t i = 0; i < bytes; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+
+    AuditedRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.cbcEncryptAudited(Iv{}, data);
+    run.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    run.l2 = soc.l2().stats();
+    run.bus = soc.bus().stats();
+    run.cycles = soc.clock().now();
+    run.digest = Sha256::hash(data);
+    return run;
+}
+
 } // namespace
 
 int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig11_aes_throughput");
     bench::banner("Figure 11: AES performance (MB/s, 4 KB requests)",
                   "Nexus 4 (left) and Tegra 3 (right)");
 
@@ -60,13 +105,16 @@ main()
 
         SimAesEngine user(soc, DRAM_BASE + 16 * MiB, key,
                           StatePlacement::Dram, /*kernel_path=*/false);
-        std::printf("  %-28s %8.1f MB/s\n", "Generic AES (user)",
-                    engineRate(soc, user));
+        const double userRate = engineRate(soc, user);
+        std::printf("  %-28s %8.1f MB/s\n", "Generic AES (user)", userRate);
+        session.metric("sim_nexus4_user_mbps", userRate);
 
         SimAesEngine kernel(soc, DRAM_BASE + 17 * MiB, key,
                             StatePlacement::Dram, /*kernel_path=*/true);
+        const double kernelRate = engineRate(soc, kernel);
         std::printf("  %-28s %8.1f MB/s\n", "Generic AES (in kernel)",
-                    engineRate(soc, kernel));
+                    kernelRate);
+        session.metric("sim_nexus4_kernel_mbps", kernelRate);
 
         // The crypto engine, down-scaled as it is while locked.
         soc.accel()->setKey(key);
@@ -91,6 +139,9 @@ main()
         std::printf("  %-28s %8.1f MB/s  (%.1fx the locked rate)\n",
                     "Crypto Hardware (awake)", awakeRate,
                     awakeRate / lockedRate);
+        session.metric("sim_nexus4_accel_locked_mbps", lockedRate);
+        session.metric("sim_nexus4_accel_awake_mbps", awakeRate);
+        session.socStats(soc, "nexus4");
     }
 
     std::printf("Tegra 3:\n");
@@ -99,22 +150,68 @@ main()
 
         SimAesEngine generic(soc, DRAM_BASE + 16 * MiB, key,
                              StatePlacement::Dram);
-        std::printf("  %-28s %8.1f MB/s\n", "Generic AES",
-                    engineRate(soc, generic));
+        const double genericRate = engineRate(soc, generic);
+        std::printf("  %-28s %8.1f MB/s\n", "Generic AES", genericRate);
+        session.metric("sim_tegra3_generic_mbps", genericRate);
 
         core::LockedWayManager ways(soc, DRAM_BASE + 32 * MiB);
         SimAesEngine lockedL2(soc, ways.lockWay()->base, key,
                               StatePlacement::LockedL2);
+        const double lockedRate = engineRate(soc, lockedL2);
         std::printf("  %-28s %8.1f MB/s\n", "AES_On_SoC (Locked L2)",
-                    engineRate(soc, lockedL2));
+                    lockedRate);
+        session.metric("sim_tegra3_lockedl2_mbps", lockedRate);
 
         core::OnSocAllocator iram =
             core::OnSocAllocator::forIram(soc.iram().size());
         SimAesEngine iramEngine(soc, iram.alloc(layout.totalBytes()).base,
                                 key, StatePlacement::Iram);
-        std::printf("  %-28s %8.1f MB/s\n", "AES_On_SoC (iRAM)",
-                    engineRate(soc, iramEngine));
+        const double iramRate = engineRate(soc, iramEngine);
+        std::printf("  %-28s %8.1f MB/s\n", "AES_On_SoC (iRAM)", iramRate);
+        session.metric("sim_tegra3_iram_mbps", iramRate);
+        session.socStats(soc, "tegra3");
     }
+
+    // Host fast path: the audited DRAM-placement CBC pipeline with the
+    // resident-line/native-block fast layer on vs off. The simulation
+    // must be indistinguishable; only host wall-clock may change.
+    std::printf("\nHost fast path (audited CBC, DRAM placement, %zu KiB):\n",
+                (128 * KiB) / KiB);
+    const AuditedRun fast = auditedPass(128 * KiB, /*fast_path=*/true);
+    const AuditedRun slow = auditedPass(128 * KiB, /*fast_path=*/false);
+
+    const bool identical =
+        fast.cycles == slow.cycles && fast.l2.hits == slow.l2.hits &&
+        fast.l2.misses == slow.l2.misses &&
+        fast.l2.fills == slow.l2.fills &&
+        fast.l2.writebacks == slow.l2.writebacks &&
+        fast.l2.uncachedAccesses == slow.l2.uncachedAccesses &&
+        fast.bus.reads == slow.bus.reads &&
+        fast.bus.writes == slow.bus.writes && fast.digest == slow.digest;
+    const double speedup = slow.hostSeconds / fast.hostSeconds;
+    std::printf("  fast path on : %8.3f s host\n", fast.hostSeconds);
+    std::printf("  fast path off: %8.3f s host\n", slow.hostSeconds);
+    std::printf("  speedup      : %8.1fx  (simulation %s)\n", speedup,
+                identical ? "bit-identical" : "DIVERGED");
+    if (!identical) {
+        std::fprintf(stderr, "fig11: fast path diverged from reference "
+                             "simulation — counters or ciphertext differ\n");
+        return 1;
+    }
+
+    session.metric("host_fastpath_seconds", fast.hostSeconds);
+    session.metric("host_slowpath_seconds", slow.hostSeconds);
+    session.metric("host_fastpath_speedup", speedup);
+    session.metric("sim_audited_cycles",
+                   static_cast<std::uint64_t>(fast.cycles));
+    session.metric("sim_audited_l2_hits", fast.l2.hits);
+    session.metric("sim_audited_l2_misses", fast.l2.misses);
+    session.metric("sim_audited_l2_fills", fast.l2.fills);
+    session.metric("sim_audited_l2_writebacks", fast.l2.writebacks);
+    session.metric("sim_audited_bus_reads", fast.bus.reads);
+    session.metric("sim_audited_bus_writes", fast.bus.writes);
+    session.metric("sim_audited_ciphertext_sha256",
+                   toHex(std::span<const std::uint8_t>(fast.digest)));
 
     std::printf("\nPaper shape: accelerator slower than CPU on 4 KB "
                 "pages while locked (and ~4x faster awake);\nNexus >> "

@@ -41,6 +41,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig12_aes_energy");
     bench::banner("Figure 12: AES energy overhead (uJ/byte)",
                   "Nexus 4, 4 KB requests");
 
@@ -72,6 +73,10 @@ main()
     std::printf("%-20s %10.4f uJ/byte\n", "OpenSSL", openssl);
     std::printf("%-20s %10.4f uJ/byte\n", "CryptoAPI", cryptoApi);
     std::printf("%-20s %10.4f uJ/byte\n", "HW Accelerated", hw);
+    session.metric("sim_uj_per_byte_openssl", openssl);
+    session.metric("sim_uj_per_byte_cryptoapi", cryptoApi);
+    session.metric("sim_uj_per_byte_accel", hw);
+    session.socStats(soc);
 
     std::printf("\nPaper shape: OpenSSL < CryptoAPI << HW-accelerated "
                 "(~0.02 / ~0.03 / ~0.10 uJ/B):\nthe accelerator's low "

@@ -26,6 +26,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig2_unlock");
     bench::banner("Figure 2: performance overhead upon device unlock",
                   "resume latency and MBytes decrypted per app "
                   "(Nexus 4 model, 10 trials)");
@@ -58,6 +59,10 @@ main()
         std::printf("%-10s %10.3f ± %-5.3f %12.1f MB\n",
                     profile.name.c_str(), seconds.mean(),
                     seconds.stddev(), megabytes.mean());
+        session.metric("sim_resume_seconds_" + profile.name,
+                       seconds.mean());
+        session.metric("sim_decrypted_mb_" + profile.name,
+                       megabytes.mean());
     }
     std::printf("\nPaper: Contacts ~0.2 s ... Maps ~1.5 s / ~38 MB; "
                 "overhead proportional to data decrypted.\n");

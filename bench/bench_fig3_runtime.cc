@@ -24,6 +24,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig3_runtime");
     bench::banner("Figure 3: performance overhead at runtime",
                   "scripted runs with on-demand decryption "
                   "(Nexus 4 model, 10 trials)");
@@ -55,6 +56,10 @@ main()
         std::printf("%-10s %14.1f %10.2f%%    %9.1f MB\n",
                     profile.name.c_str(), profile.scriptSeconds,
                     overheadPct.mean(), megabytes.mean());
+        session.metric("sim_overhead_pct_" + profile.name,
+                       overheadPct.mean());
+        session.metric("sim_decrypted_mb_" + profile.name,
+                       megabytes.mean());
     }
     std::printf("\nPaper: Contacts 4.3%%, Maps 1.2%%, Twitter 1.3%%, "
                 "MP3 0.2%% — small while apps run.\n");

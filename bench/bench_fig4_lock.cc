@@ -24,6 +24,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig4_lock");
     bench::banner("Figure 4: performance overhead upon device lock",
                   "encrypt-on-lock latency and MBytes encrypted "
                   "(Nexus 4 model, 10 trials)");
@@ -47,6 +48,9 @@ main()
         std::printf("%-10s %10.3f ± %-5.3f %12.1f MB\n",
                     profile.name.c_str(), seconds.mean(),
                     seconds.stddev(), megabytes.mean());
+        session.metric("sim_lock_seconds_" + profile.name, seconds.mean());
+        session.metric("sim_encrypted_mb_" + profile.name,
+                       megabytes.mean());
     }
     std::printf("\nPaper: 0.7-2 s per app; proportional to data "
                 "encrypted (Maps ~48 MB).\n");

@@ -22,6 +22,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig5_energy");
     bench::banner("Figure 5: energy overhead of lock and unlock",
                   "Joules per operation, one sensitive app "
                   "(Nexus 4 energy model)");
@@ -57,9 +58,13 @@ main()
         std::printf("%-10s %14.2f ± %-5.2f %15.2f ± %-5.2f\n",
                     profile.name.c_str(), lockJ.mean(), lockJ.stddev(),
                     unlockJ.mean(), unlockJ.stddev());
+        session.metric("sim_lock_joules_" + profile.name, lockJ.mean());
+        session.metric("sim_unlock_joules_" + profile.name,
+                       unlockJ.mean());
     }
 
     const double daily = 150.0 * mapsCycleJoules / batteryJoules;
+    session.metric("sim_daily_battery_pct", 100.0 * daily);
     std::printf("\nDaily budget (150 unlocks/day, protecting Maps): "
                 "%.1f%% of battery\n", 100.0 * daily);
     std::printf("Paper: up to ~2.3 J for Maps; ~2%% of battery per "

@@ -55,7 +55,8 @@ measureKernelSeconds(const BackgroundProfile &profile, unsigned pager_ways,
 }
 
 void
-runFigure(const char *figure, const BackgroundProfile &profile)
+runFigure(bench::Session &session, const char *figure,
+          const BackgroundProfile &profile)
 {
     RunningStat baseline, with256, with512;
     for (unsigned trial = 0; trial < bench::TRIALS; ++trial) {
@@ -63,6 +64,12 @@ runFigure(const char *figure, const BackgroundProfile &profile)
         with256.add(measureKernelSeconds(profile, 2, 200 + trial));
         with512.add(measureKernelSeconds(profile, 4, 300 + trial));
     }
+    session.metric("sim_baseline_seconds_" + profile.name,
+                   baseline.mean());
+    session.metric("sim_sentry256_seconds_" + profile.name,
+                   with256.mean());
+    session.metric("sim_sentry512_seconds_" + profile.name,
+                   with512.mean());
     std::printf("%s %s: time in kernel over %u steps\n", figure,
                 profile.name.c_str(), STEPS);
     std::printf("  %-24s %8.3f ± %.3f s\n", "Without Sentry",
@@ -81,13 +88,14 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("fig6to8_background");
     bench::banner("Figures 6-8: background computation while locked",
                   "kernel time with/without Sentry at 256/512 KB of "
                   "locked cache (Tegra 3, 10 trials)");
 
-    runFigure("Figure 6:", BackgroundProfile::alpine());
-    runFigure("Figure 7:", BackgroundProfile::vlock());
-    runFigure("Figure 8:", BackgroundProfile::xmms2());
+    runFigure(session, "Figure 6:", BackgroundProfile::alpine());
+    runFigure(session, "Figure 7:", BackgroundProfile::vlock());
+    runFigure(session, "Figure 8:", BackgroundProfile::xmms2());
 
     std::printf("Paper: alpine 2.74x @256KB; xmms2 +48%% @512KB; "
                 "vlock near baseline; apps stay responsive.\n");

@@ -27,6 +27,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("sec42_pl310_validation");
     bench::banner("Section 4.2: PL310 locked-way write-back validation",
                   "the UART-loopback DMA experiment");
 
@@ -60,14 +61,21 @@ main()
 
     // Step 4a: masked flush (the patched kernel): still safe.
     soc.l2().flushAllMasked();
+    const bool afterMasked = containsBytes(soc.dramRaw(), pattern);
     std::printf("after masked flush, pattern in DRAM?      %s\n",
-                containsBytes(soc.dramRaw(), pattern) ? "YES" : "no");
+                afterMasked ? "YES" : "no");
 
     // Step 4b: the stock full flush: unlocks and leaks.
     soc.l2().rawFlushAll();
+    const bool afterRaw = containsBytes(soc.dramRaw(), pattern);
     std::printf("after RAW full flush, pattern in DRAM?    %s  "
                 "(the hazard the OS change prevents)\n",
-                containsBytes(soc.dramRaw(), pattern) ? "YES" : "no");
+                afterRaw ? "YES" : "no");
+    session.metric("sim_dma_leaked", static_cast<std::uint64_t>(leaked));
+    session.metric("sim_leak_after_masked_flush",
+                   static_cast<std::uint64_t>(afterMasked));
+    session.metric("sim_leak_after_raw_flush",
+                   static_cast<std::uint64_t>(afterRaw));
     std::printf("lockdown register after raw flush:        0x%x "
                 "(ways unlocked)\n",
                 soc.l2().lockdownReg());

@@ -51,6 +51,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("table2_remanence");
     bench::banner("Table 2: iRAM and DRAM data remanence rates",
                   "memory preserved after each reset type "
                   "(5 trials, room temperature)");
@@ -69,10 +70,12 @@ main()
         {ColdBootVariant::TwoSecondReset, "2 Second Reset (power loss)",
          0.0, 0.1},
     };
+    const char *slugs[] = {"os_reboot", "reflash", "two_second"};
 
     std::printf("%-30s %14s %14s %20s\n", "Memory Preserved", "iRAM",
                 "DRAM", "(paper: iRAM/DRAM)");
-    for (const Row &row : rows) {
+    for (std::size_t r = 0; r < std::size(rows); ++r) {
+        const Row &row = rows[r];
         RunningStat iram, dram;
         for (unsigned trial = 0; trial < 5; ++trial) {
             const RemanenceMeasurement m =
@@ -83,6 +86,10 @@ main()
         std::printf("%-30s %13.1f%% %13.1f%% %11.1f%% /%5.1f%%\n",
                     row.label, iram.mean(), dram.mean(), row.paperIram,
                     row.paperDram);
+        session.metric(std::string("sim_iram_pct_") + slugs[r],
+                       iram.mean());
+        session.metric(std::string("sim_dram_pct_") + slugs[r],
+                       dram.mean());
     }
 
     std::printf("\nFreezer variant (2 s reset at -18 C, Frost-style):\n");
@@ -97,6 +104,7 @@ main()
         std::printf("%-30s %13.1f%% %13.1f%%\n",
                     "2 Second Reset (frozen)", 100.0 * m.iramFraction,
                     100.0 * m.dramFraction);
+        session.metric("sim_dram_pct_frozen", 100.0 * m.dramFraction);
     }
     return 0;
 }

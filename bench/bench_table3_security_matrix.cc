@@ -151,18 +151,32 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("table3_security_matrix");
     bench::banner("Table 3: security analysis of storage alternatives",
                   "each cell = outcome of actually running the attack");
 
+    const char *storageSlugs[] = {"dram", "iram_tz", "iram_plain",
+                                  "locked_l2"};
+    const Storage storages[] = {Storage::Dram, Storage::Iram,
+                                Storage::IramUnprotected,
+                                Storage::LockedL2};
     std::printf("%-22s %-16s %-16s %-16s\n", "", "Cold Boot",
                 "Bus Monitoring", "DMA Attacks");
-    for (Storage storage :
-         {Storage::Dram, Storage::Iram, Storage::IramUnprotected,
-          Storage::LockedL2}) {
+    for (std::size_t s = 0; s < std::size(storages); ++s) {
+        const Storage storage = storages[s];
+        const bool cold = coldBootUnsafe(storage);
+        const bool busmon = busMonitorUnsafe(storage);
+        const bool dma = dmaUnsafe(storage);
         std::printf("%-22s %-16s %-16s %-16s\n", storageName(storage),
-                    coldBootUnsafe(storage) ? "UNSAFE" : "Safe",
-                    busMonitorUnsafe(storage) ? "UNSAFE" : "Safe",
-                    dmaUnsafe(storage) ? "UNSAFE" : "Safe");
+                    cold ? "UNSAFE" : "Safe", busmon ? "UNSAFE" : "Safe",
+                    dma ? "UNSAFE" : "Safe");
+        session.metric(std::string("sim_unsafe_coldboot_") +
+                           storageSlugs[s],
+                       static_cast<std::uint64_t>(cold));
+        session.metric(std::string("sim_unsafe_busmon_") + storageSlugs[s],
+                       static_cast<std::uint64_t>(busmon));
+        session.metric(std::string("sim_unsafe_dma_") + storageSlugs[s],
+                       static_cast<std::uint64_t>(dma));
     }
     std::printf("\nPaper: iRAM Safe/Safe/Safe (DMA safety requires ARM "
                 "TrustZone);\n       locked L2 Safe/Safe/Safe; "
@@ -195,6 +209,11 @@ main()
         std::printf("  (bus monitor recovered the top 5 bits of %zu/16 "
                     "key bytes from table accesses)\n",
                     sideChannel.recoveredBytes());
+        session.metric("sim_tresor_key_in_dram",
+                       static_cast<std::uint64_t>(keyInDram));
+        session.metric(
+            "sim_tresor_recovered_bytes",
+            static_cast<std::uint64_t>(sideChannel.recoveredBytes()));
     }
     return 0;
 }

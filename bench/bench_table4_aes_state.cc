@@ -24,6 +24,7 @@ using namespace sentry::crypto;
 int
 main()
 {
+    bench::Session session("table4_aes_state");
     bench::banner("Table 4: the breakdown of AES state in bytes",
                   "measured from the AES On SoC state layout");
 
@@ -49,12 +50,20 @@ main()
     std::printf("%-28s %10zu %10zu %10zu\n", "TOTAL",
                 layouts[0].totalBytes(), layouts[1].totalBytes(),
                 layouts[2].totalBytes());
+    session.metric("sim_total_bytes_aes128",
+                   static_cast<std::uint64_t>(layouts[0].totalBytes()));
+    session.metric("sim_total_bytes_aes192",
+                   static_cast<std::uint64_t>(layouts[1].totalBytes()));
+    session.metric("sim_total_bytes_aes256",
+                   static_cast<std::uint64_t>(layouts[2].totalBytes()));
 
     std::printf("\nPer sensitivity class (AES-128):\n");
     for (auto s : {Sensitivity::Secret, Sensitivity::AccessProtected,
                    Sensitivity::Public}) {
         std::printf("  %-18s %6zu bytes\n", sensitivityName(s),
                     layouts[0].bytesOf(s));
+        session.metric(std::string("sim_bytes_") + sensitivityName(s),
+                       static_cast<std::uint64_t>(layouts[0].bytesOf(s)));
     }
     std::printf("\nPaper (OpenSSL single-direction accounting, AES-128): "
                 "352 secret + 2600 access-protected + 18 public = 2970 "

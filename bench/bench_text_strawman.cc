@@ -23,6 +23,7 @@ int
 main()
 {
     setQuiet(true);
+    bench::Session session("text_strawman");
     bench::banner("Section 7 anchors: the strawman vs selective "
                   "encryption",
                   "Nexus 4 model");
@@ -44,6 +45,8 @@ main()
                     joules);
         std::printf("  battery dead after   : %6.0f cycles (paper: 410)\n",
                     cycles);
+        session.metric("sim_strawman_seconds", seconds);
+        session.metric("sim_strawman_joules", joules);
     }
 
     // Freed-page zeroing.
@@ -74,6 +77,8 @@ main()
         std::printf("AES On SoC irq-off window (Tegra 3):  %.0f us "
                     "(paper: ~160 us)\n",
                     device.soc().cpu().maxIrqOffSeconds() * 1e6);
+        session.metric("sim_irq_off_us",
+                       device.soc().cpu().maxIrqOffSeconds() * 1e6);
     }
 
     // Selective encryption: Sentry's actual cost for one app.
@@ -89,6 +94,10 @@ main()
                     "%.2f J — the design Sentry ships.\n",
                     device.sentry().stats().lastLockSeconds,
                     device.soc().energy().totalConsumed());
+        session.metric("sim_selective_seconds",
+                       device.sentry().stats().lastLockSeconds);
+        session.metric("sim_selective_joules",
+                       device.soc().energy().totalConsumed());
     }
     return 0;
 }

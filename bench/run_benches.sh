@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-smoke driver: build and run the two benchmarks that exercise the
+# host fast path (bench_fig11_aes_throughput) and the batched kcryptd
+# pipeline (bench_fig9_dmcrypt), then compare every `sim_`-prefixed
+# metric in their BENCH_*.json records against the committed references
+# in bench/reference/. Simulated quantities are deterministic, so ANY
+# drift is a correctness regression in the fast path and fails the run.
+#
+# Usage: bench/run_benches.sh
+#   BUILD_DIR=...  override the build tree (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j --target bench_fig11_aes_throughput \
+    bench_fig9_dmcrypt
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+for bench in fig11_aes_throughput fig9_dmcrypt; do
+    echo "== bench_$bench =="
+    SENTRY_BENCH_JSON_DIR="$OUT" "$BUILD/bench/bench_$bench"
+done
+
+python3 - "$ROOT/bench/reference" "$OUT" <<'EOF'
+import json, math, sys
+from pathlib import Path
+
+refdir, outdir = Path(sys.argv[1]), Path(sys.argv[2])
+failures = 0
+for ref_path in sorted(refdir.glob("BENCH_*.json")):
+    new_path = outdir / ref_path.name
+    if not new_path.exists():
+        print(f"DRIFT: {ref_path.name} was not produced by this run")
+        failures += 1
+        continue
+    ref = json.load(ref_path.open())["metrics"]
+    new = json.load(new_path.open())["metrics"]
+    for key, want in ref.items():
+        if not key.startswith("sim_"):
+            continue
+        got = new.get(key)
+        if isinstance(want, float):
+            ok = got is not None and math.isclose(
+                want, got, rel_tol=1e-12, abs_tol=1e-12)
+        else:
+            ok = want == got
+        if not ok:
+            print(f"DRIFT: {ref_path.name}: {key}: "
+                  f"reference {want!r} != current {got!r}")
+            failures += 1
+    for key in new:
+        if key.startswith("sim_") and key not in ref:
+            print(f"DRIFT: {ref_path.name}: new metric {key} not in "
+                  f"reference (regenerate bench/reference/)")
+            failures += 1
+if failures:
+    print(f"{failures} deterministic metric(s) drifted")
+    sys.exit(1)
+print("all sim_ metrics match the committed references")
+EOF

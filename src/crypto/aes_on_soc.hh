@@ -28,6 +28,7 @@
 #define SENTRY_CRYPTO_AES_ON_SOC_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "crypto/aes.hh"
@@ -66,6 +67,52 @@ enum class SecretResidency
     RegistersOnly,
 };
 
+class SimAesEngine;
+
+/**
+ * A thread-confined host-side AES-CBC cipher cloned from a
+ * SimAesEngine's key schedule.
+ *
+ * kcryptd worker threads must not touch the simulated machine (the Soc
+ * is single-threaded state); each worker gets one of these clones and
+ * performs only host computation with it. Ciphertext is bit-identical
+ * to the engine's own bulk path because both run the same schedule
+ * through the same native round engine.
+ */
+class HostAesCbc
+{
+  public:
+    explicit HostAesCbc(const AesKeySchedule &schedule);
+
+    /** CBC-encrypt @p data (multiple of 16 bytes) in place. */
+    void cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data) const;
+
+    /** CBC-decrypt @p data in place. */
+    void cbcDecrypt(const Iv &iv, std::span<std::uint8_t> data) const;
+
+  private:
+    AesKeySchedule schedule_;
+};
+
+/**
+ * RAII scope for SimAesEngine::setChargeDivisor: restores the previous
+ * divisor on scope exit, so an exception on the bulk path can no longer
+ * leave the engine charging divided time forever.
+ */
+class ScopedChargeDivisor
+{
+  public:
+    ScopedChargeDivisor(SimAesEngine &engine, double divisor);
+    ~ScopedChargeDivisor();
+
+    ScopedChargeDivisor(const ScopedChargeDivisor &) = delete;
+    ScopedChargeDivisor &operator=(const ScopedChargeDivisor &) = delete;
+
+  private:
+    SimAesEngine &engine_;
+    double previous_;
+};
+
 /**
  * An AES-CBC engine bound to a physical state region inside the
  * simulated machine.
@@ -87,6 +134,8 @@ class SimAesEngine : public BlockCipher
                  bool kernel_path = false,
                  SecretResidency secrets = SecretResidency::OnRegion);
 
+    ~SimAesEngine() override; // out of line: FastEnv is incomplete here
+
     /** Audited single-block encrypt: exact per-lookup memory traffic. */
     void encryptBlock(const std::uint8_t in[16],
                       std::uint8_t out[16]) const override;
@@ -94,6 +143,43 @@ class SimAesEngine : public BlockCipher
     /** Audited single-block decrypt. */
     void decryptBlock(const std::uint8_t in[16],
                       std::uint8_t out[16]) const override;
+
+    /**
+     * Batched audited encrypt: semantically identical to calling
+     * encryptBlock() once per 16-byte block, but the fast path resolves
+     * the state region's cache lines once per call and replays the
+     * audited lookups against them. Simulated clock, L2Stats, bus
+     * traffic, and memory contents match the per-block loop exactly at
+     * every block boundary (see DESIGN.md "fast-path invariants").
+     */
+    void encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                       std::size_t nblocks) const;
+
+    /** Batched audited decrypt; same equivalence as encryptBlocks(). */
+    void decryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                       std::size_t nblocks) const;
+
+    /**
+     * Audited CBC encrypt of a host buffer: equivalent to host-side
+     * chaining around an encryptBlock() loop, with every table lookup
+     * an individual simulated access.
+     */
+    void cbcEncryptAudited(const Iv &iv,
+                           std::span<std::uint8_t> data) const;
+
+    /** Audited CBC decrypt of a host buffer. */
+    void cbcDecryptAudited(const Iv &iv,
+                           std::span<std::uint8_t> data) const;
+
+    /**
+     * Toggle the batched fast path (on by default). With it off the
+     * batched entry points fall back to the per-block reference loop;
+     * tests use the toggle to assert the two are indistinguishable.
+     */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+
+    /** @return true while the batched fast path is enabled. */
+    bool fastPathEnabled() const { return fastPath_; }
 
     /** Bulk CBC encrypt of a host buffer (e.g. a dm-crypt sector). */
     void cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data);
@@ -144,10 +230,29 @@ class SimAesEngine : public BlockCipher
     /** @return the current bulk-charge divisor. */
     double chargeDivisor() const { return chargeDivisor_; }
 
+    /** @return a host-side CBC clone for a kcryptd worker thread. */
+    HostAesCbc hostCipherClone() const { return HostAesCbc(schedule_); }
+
+    /**
+     * Replay the bulk path's *simulated* side effects (ivec write,
+     * register touches, irq-guarded chunks, time/energy charges at
+     * 1/@p workers wall-clock) for data whose host-side crypto already
+     * ran on kcryptd worker threads. Charges are identical to
+     * cbcEncrypt() of the same size under the same divisor.
+     */
+    void chargeParallelBulk(const Iv &iv, std::size_t bytes,
+                            double workers);
+
   private:
-    class SimEnv; // audited state-access environment
+    class SimEnv;  // audited state-access environment
+    class FastEnv; // audited fast path (pinned line handles)
 
     bool onSoc() const { return placement_ != StatePlacement::Dram; }
+    /** Batched audited core; non-null @p cbc_iv selects CBC chaining
+     *  (in == out == the data buffer). */
+    void cryptBlocks(const Iv *cbc_iv, const std::uint8_t *in,
+                     std::uint8_t *out, std::size_t nblocks,
+                     bool encrypt) const;
     void materialiseState(std::span<const std::uint8_t> key);
     void chargeBulk(std::size_t bytes);
     void touchRegistersWithSecrets() const;
@@ -162,6 +267,8 @@ class SimAesEngine : public BlockCipher
     std::uint64_t bytesProcessed_ = 0;
     bool scrubbed_ = false;
     double chargeDivisor_ = 1.0;
+    bool fastPath_ = true;
+    mutable std::unique_ptr<FastEnv> fastEnv_; // lazily built line map
 
     // Component offsets resolved once for the audited path.
     PhysAddr inputOff_, keyOff_, encKeysOff_, decKeysOff_, teOff_, tdOff_,

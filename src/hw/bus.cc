@@ -48,12 +48,27 @@ Bus::covers(PhysAddr addr, std::size_t len) const
 const Bus::Mapping &
 Bus::route(PhysAddr addr, std::size_t len) const
 {
-    for (const auto &m : mappings_) {
+    if (lastRoute_ < mappings_.size()) {
+        const Mapping &m = mappings_[lastRoute_];
         if (addr >= m.base && addr + len <= m.base + m.size)
             return m;
     }
+    for (std::size_t i = 0; i < mappings_.size(); ++i) {
+        const Mapping &m = mappings_[i];
+        if (addr >= m.base && addr + len <= m.base + m.size) {
+            lastRoute_ = i;
+            return m;
+        }
+    }
     panic("bus access to unmapped address 0x%llx (+%zu)",
           static_cast<unsigned long long>(addr), len);
+}
+
+void
+Bus::notify(const BusTransaction &txn)
+{
+    for (auto *obs : observers_)
+        obs->onTransaction(txn);
 }
 
 void
@@ -62,9 +77,11 @@ Bus::read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
 {
     const Mapping &m = route(addr, len);
     m.target->busRead(addr - m.base, buf, len);
-    for (auto *obs : observers_)
-        obs->onTransaction({addr, static_cast<std::uint32_t>(len), false,
-                            initiator, buf});
+    ++stats_.reads;
+    stats_.readBytes += len;
+    if (!observers_.empty())
+        notify({addr, static_cast<std::uint32_t>(len), false, initiator,
+                buf});
 }
 
 void
@@ -73,9 +90,11 @@ Bus::write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
 {
     const Mapping &m = route(addr, len);
     m.target->busWrite(addr - m.base, buf, len);
-    for (auto *obs : observers_)
-        obs->onTransaction({addr, static_cast<std::uint32_t>(len), true,
-                            initiator, buf});
+    ++stats_.writes;
+    stats_.writeBytes += len;
+    if (!observers_.empty())
+        notify({addr, static_cast<std::uint32_t>(len), true, initiator,
+                buf});
 }
 
 } // namespace sentry::hw

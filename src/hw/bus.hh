@@ -64,6 +64,18 @@ class BusTarget
                           std::size_t len) = 0;
 };
 
+/** External-bus traffic counters (cheap enough to keep always-on). */
+struct BusStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+
+    /** @return total transactions of either direction. */
+    std::uint64_t transactions() const { return reads + writes; }
+};
+
 /** Address-routing bus with probe support. */
 class Bus
 {
@@ -89,6 +101,15 @@ class Bus
     void write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
                BusInitiator initiator);
 
+    /** @return true while at least one probe is attached. */
+    bool hasObservers() const { return !observers_.empty(); }
+
+    /** @return transaction counters. */
+    const BusStats &stats() const { return stats_; }
+
+    /** Zero the transaction counters. */
+    void clearStats() { stats_ = BusStats{}; }
+
   private:
     struct Mapping
     {
@@ -99,9 +120,15 @@ class Bus
     };
 
     const Mapping &route(PhysAddr addr, std::size_t len) const;
+    void notify(const BusTransaction &txn);
 
     std::vector<Mapping> mappings_;
     std::vector<BusObserver *> observers_;
+    // Route cache: index of the last mapping hit. Line fills and
+    // writebacks stream against one target, so this turns the routing
+    // scan into a single range check on the hot path.
+    mutable std::size_t lastRoute_ = SIZE_MAX;
+    BusStats stats_;
 };
 
 } // namespace sentry::hw

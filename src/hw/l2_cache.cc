@@ -25,6 +25,7 @@ L2Cache::L2Cache(SimClock &clock, Bus &bus, TrustZone &tz,
     lines_.resize(sets_ * ways_);
     data_.assign(sets_ * ways_ * CACHE_LINE_SIZE, 0);
     rr_.assign(sets_, 0);
+    mru_.assign(sets_, 0);
 }
 
 bool
@@ -36,10 +37,20 @@ L2Cache::cacheable(PhysAddr addr) const
 int
 L2Cache::findWay(std::size_t set, std::uint64_t tag) const
 {
+    // MRU hint first: a tag can live in at most one way, so a hint hit
+    // is the same answer the scan would give.
+    const unsigned hint = mru_[set];
+    if (hint < ways_) {
+        const Line &line = lines_[lineIndex(set, hint)];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(hint);
+    }
     for (unsigned way = 0; way < ways_; ++way) {
         const Line &line = lines_[lineIndex(set, way)];
-        if (line.valid && line.tag == tag)
+        if (line.valid && line.tag == tag) {
+            mru_[set] = static_cast<std::uint8_t>(way);
             return static_cast<int>(way);
+        }
     }
     return -1;
 }
@@ -120,6 +131,7 @@ L2Cache::access(PhysAddr addr, std::uint8_t *rbuf, const std::uint8_t *wbuf,
         line.tag = tag;
         line.valid = true;
         line.dirty = false;
+        mru_[set] = static_cast<std::uint8_t>(way);
         ++stats_.fills;
     }
 
@@ -250,6 +262,23 @@ L2Cache::peek(PhysAddr addr, unsigned *way_out) const
         *way_out = static_cast<unsigned>(way);
     return lineData(set, static_cast<unsigned>(way)) +
            (addr % CACHE_LINE_SIZE);
+}
+
+const std::uint8_t *
+L2Cache::probeLine(PhysAddr addr, L2LineId &id) const
+{
+    if (!cacheable(addr))
+        return nullptr;
+    const std::size_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const int way = findWay(set, tag);
+    if (way < 0)
+        return nullptr;
+    const std::size_t index = lineIndex(set, static_cast<unsigned>(way));
+    id.line = &lines_[index];
+    id.tag = tag;
+    id.index = static_cast<std::uint32_t>(index);
+    return lineData(set, static_cast<unsigned>(way));
 }
 
 bool

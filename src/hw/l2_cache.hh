@@ -53,6 +53,30 @@ struct L2Timing
     Cycles writebackCycles = 30;
 };
 
+/** Tag-store state of one cache line (read-only outside L2Cache). */
+struct L2Line
+{
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+};
+
+/**
+ * Identity of a resident cache line handed out by L2Cache::probeLine.
+ *
+ * A fast path holds one of these per line it has pinned and revalidates
+ * it with L2Cache::lineResident before every use: the check is a single
+ * tag compare, and a stale id simply sends the access back down the
+ * regular (bit-exact) path. Ids never dangle — `line` points into the
+ * line-state array, which is allocated once in the constructor.
+ */
+struct L2LineId
+{
+    const L2Line *line = nullptr;
+    std::uint64_t tag = 0;
+    std::uint32_t index = 0; //!< set * ways + way
+};
+
 /** The shared L2 cache controller. */
 class L2Cache
 {
@@ -162,16 +186,59 @@ class L2Cache
      */
     const std::uint8_t *peek(PhysAddr addr, unsigned *way_out = nullptr) const;
 
+    /**
+     * Fast-path probe: if @p addr's line is resident, fill @p id with
+     * its identity and return a pointer to the line payload. Charges
+     * nothing — the caller accounts for its accesses with chargeHits().
+     * @return nullptr when the line is not resident (or not cacheable);
+     *         the caller must then use the regular read()/write() path.
+     */
+    const std::uint8_t *probeLine(PhysAddr addr, L2LineId &id) const;
+
+    /** @return true while @p id still names a valid line with its tag. */
+    bool
+    lineResident(const L2LineId &id) const
+    {
+        return id.line->valid && id.line->tag == id.tag;
+    }
+
+    /** @return payload pointer for a resident line id. */
+    const std::uint8_t *
+    linePayload(const L2LineId &id) const
+    {
+        return data_.data() + std::size_t{id.index} * CACHE_LINE_SIZE;
+    }
+
+    /**
+     * Payload pointer for a fast-path *write* to a resident line: marks
+     * the line dirty, exactly as a write() hit would.
+     */
+    std::uint8_t *
+    linePayloadForWrite(const L2LineId &id)
+    {
+        lines_[id.index].dirty = true;
+        return data_.data() + std::size_t{id.index} * CACHE_LINE_SIZE;
+    }
+
+    /**
+     * Account @p n fast-path hits in one batch: bumps the hit counter
+     * and charges n * hitCycles, identical in sum to n read()/write()
+     * hits. Fast paths accumulate counts and flush them here at
+     * transaction boundaries (end of an AES block, before any slow-path
+     * access, before an irq-guard exit reads the clock).
+     */
+    void
+    chargeHits(std::uint64_t n)
+    {
+        stats_.hits += n;
+        clock_.advance(n * timing_.hitCycles);
+    }
+
     /** @return true if any line of way @p way is valid and dirty. */
     bool wayHasDirtyLines(unsigned way) const;
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    using Line = L2Line;
 
     std::size_t lineIndex(std::size_t set, unsigned way) const
     {
@@ -227,6 +294,11 @@ class L2Cache
     std::vector<Line> lines_;       // sets_ * ways_
     std::vector<std::uint8_t> data_; // line payloads
     std::vector<std::uint32_t> rr_;  // per-set round-robin pointer
+    // Per-set most-recently-hit way: checked before the way scan so the
+    // pinned-AES-state access pattern (same handful of lines, millions
+    // of times) short-circuits in one compare. Pure lookup acceleration
+    // — never changes which way findWay() reports.
+    mutable std::vector<std::uint8_t> mru_;
     std::uint32_t lockdownMask_ = 0;
     std::uint32_t flushWayMask_ = 0;
 

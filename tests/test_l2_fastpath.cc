@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Fast-path equivalence tests: the batched audited AES path (L2 line
+ * pinning + native block tier) must be indistinguishable, inside the
+ * simulation, from the per-block reference loop. Two identically
+ * configured machines run the same workload with the fast path on and
+ * off; every observable — ciphertext, L2Stats, bus transaction log,
+ * simulated clock, DRAM contents, cached line contents — must match.
+ * Also unit-tests the L2 probe API the fast path is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "core/locked_way_manager.hh"
+#include "core/onsoc_allocator.hh"
+#include "crypto/aes_on_soc.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+using namespace sentry::hw;
+
+namespace
+{
+
+/** Records every bus transaction (addresses, sizes, directions). */
+struct RecordingObserver : BusObserver
+{
+    struct Rec
+    {
+        PhysAddr addr;
+        std::uint32_t size;
+        bool isWrite;
+        BusInitiator initiator;
+
+        bool
+        operator==(const Rec &o) const
+        {
+            return addr == o.addr && size == o.size &&
+                   isWrite == o.isWrite && initiator == o.initiator;
+        }
+    };
+
+    std::vector<Rec> log;
+
+    void
+    onTransaction(const BusTransaction &txn) override
+    {
+        log.push_back({txn.addr, txn.size, txn.isWrite, txn.initiator});
+    }
+};
+
+/** One machine plus an engine whose fast path is on or off. */
+struct Machine
+{
+    explicit Machine(bool fast)
+        : soc(PlatformConfig::tegra3(32 * MiB)),
+          iramAlloc(core::OnSocAllocator::forIram(soc.iram().size())),
+          wayManager(soc, DRAM_BASE + 16 * MiB), fastPath(fast)
+    {
+        soc.bus().addObserver(&observer);
+    }
+
+    ~Machine() { soc.bus().removeObserver(&observer); }
+
+    void
+    makeEngine(StatePlacement placement, std::span<const std::uint8_t> key)
+    {
+        const auto layout =
+            AesStateLayout::forKeyBytes(static_cast<unsigned>(key.size()));
+        PhysAddr base = 0;
+        switch (placement) {
+          case StatePlacement::Dram:
+            base = DRAM_BASE + 4 * MiB;
+            break;
+          case StatePlacement::Iram:
+            base = iramAlloc.alloc(layout.totalBytes()).base;
+            break;
+          case StatePlacement::LockedL2:
+            base = wayManager.lockWay()->base;
+            break;
+        }
+        engine = std::make_unique<SimAesEngine>(soc, base, key, placement);
+        engine->setFastPath(fastPath);
+    }
+
+    Soc soc;
+    core::OnSocAllocator iramAlloc;
+    core::LockedWayManager wayManager;
+    bool fastPath;
+    RecordingObserver observer;
+    std::unique_ptr<SimAesEngine> engine;
+};
+
+/** A deterministic byte pattern. */
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + 31 * i + (i >> 5));
+    return v;
+}
+
+class FastPathTwinTest : public testing::TestWithParam<StatePlacement>
+{
+  protected:
+    FastPathTwinTest() : fast(true), ref(false)
+    {
+        key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+        fast.makeEngine(GetParam(), key);
+        ref.makeEngine(GetParam(), key);
+    }
+
+    /** Assert every observable of the two machines matches. */
+    void
+    expectIndistinguishable()
+    {
+        const L2Stats &a = fast.soc.l2().stats();
+        const L2Stats &b = ref.soc.l2().stats();
+        EXPECT_EQ(a.hits, b.hits);
+        EXPECT_EQ(a.misses, b.misses);
+        EXPECT_EQ(a.fills, b.fills);
+        EXPECT_EQ(a.writebacks, b.writebacks);
+        EXPECT_EQ(a.uncachedAccesses, b.uncachedAccesses);
+
+        EXPECT_EQ(fast.soc.clock().now(), ref.soc.clock().now());
+
+        const BusStats &ba = fast.soc.bus().stats();
+        const BusStats &bb = ref.soc.bus().stats();
+        EXPECT_EQ(ba.reads, bb.reads);
+        EXPECT_EQ(ba.writes, bb.writes);
+        EXPECT_EQ(ba.readBytes, bb.readBytes);
+        EXPECT_EQ(ba.writeBytes, bb.writeBytes);
+
+        EXPECT_EQ(fast.observer.log, ref.observer.log);
+
+        const auto da = fast.soc.dram().raw();
+        const auto db = ref.soc.dram().raw();
+        ASSERT_EQ(da.size(), db.size());
+        EXPECT_TRUE(std::equal(da.begin(), da.end(), db.begin()));
+
+        // Cached contents over the state region must agree byte for
+        // byte (peek reports residency + payload without charging).
+        const PhysAddr base = fast.engine->stateBase();
+        const std::size_t len = fast.engine->layout().totalBytes();
+        for (PhysAddr a2 = alignDown(base, CACHE_LINE_SIZE);
+             a2 < base + len; a2 += CACHE_LINE_SIZE) {
+            const std::uint8_t *pa = fast.soc.l2().peek(a2);
+            const std::uint8_t *pb = ref.soc.l2().peek(a2);
+            ASSERT_EQ(pa == nullptr, pb == nullptr) << "residency @" << a2;
+            if (pa != nullptr)
+                EXPECT_EQ(0, std::memcmp(pa, pb, CACHE_LINE_SIZE))
+                    << "payload @" << a2;
+        }
+    }
+
+    Machine fast, ref;
+    std::vector<std::uint8_t> key;
+};
+
+} // namespace
+
+TEST_P(FastPathTwinTest, BatchedBlocksMatchReferenceLoop)
+{
+    const std::size_t nblocks = 96;
+    const auto pt = pattern(nblocks * AES_BLOCK_SIZE, 7);
+    std::vector<std::uint8_t> ctFast(pt.size()), ctRef(pt.size());
+
+    fast.engine->encryptBlocks(pt.data(), ctFast.data(), nblocks);
+    ref.engine->encryptBlocks(pt.data(), ctRef.data(), nblocks);
+    EXPECT_EQ(ctFast, ctRef);
+    expectIndistinguishable();
+
+    std::vector<std::uint8_t> backFast(pt.size()), backRef(pt.size());
+    fast.engine->decryptBlocks(ctFast.data(), backFast.data(), nblocks);
+    ref.engine->decryptBlocks(ctRef.data(), backRef.data(), nblocks);
+    EXPECT_EQ(backFast, pt);
+    EXPECT_EQ(backRef, pt);
+    expectIndistinguishable();
+}
+
+TEST_P(FastPathTwinTest, AuditedCbcMatchesReference)
+{
+    const Iv iv{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+    auto bufFast = pattern(4 * KiB, 77);
+    auto bufRef = bufFast;
+
+    fast.engine->cbcEncryptAudited(iv, bufFast);
+    ref.engine->cbcEncryptAudited(iv, bufRef);
+    EXPECT_EQ(bufFast, bufRef);
+    expectIndistinguishable();
+
+    fast.engine->cbcDecryptAudited(iv, bufFast);
+    ref.engine->cbcDecryptAudited(iv, bufRef);
+    EXPECT_EQ(bufFast, bufRef);
+    EXPECT_EQ(bufFast, pattern(4 * KiB, 77));
+    expectIndistinguishable();
+}
+
+TEST_P(FastPathTwinTest, MixedSingleAndBatchedTrafficMatches)
+{
+    // Interleave single-block calls, batched calls and unrelated
+    // memory traffic that can evict pinned lines between batches.
+    const auto pt = pattern(16 * AES_BLOCK_SIZE, 3);
+    std::vector<std::uint8_t> ct(pt.size());
+    const auto noise = pattern(64 * KiB, 99);
+    const PhysAddr noiseBase = DRAM_BASE + 24 * MiB;
+
+    for (Machine *m : {&fast, &ref}) {
+        std::uint8_t one[AES_BLOCK_SIZE];
+        m->engine->encryptBlock(pt.data(), one);
+        m->engine->encryptBlocks(pt.data(), ct.data(), 16);
+        m->soc.memory().write(noiseBase, noise.data(), noise.size());
+        std::vector<std::uint8_t> readBack(noise.size());
+        m->soc.memory().read(noiseBase, readBack.data(), readBack.size());
+        m->engine->encryptBlocks(pt.data(), ct.data(), 16);
+        m->engine->decryptBlocks(ct.data(),
+                                 std::vector<std::uint8_t>(pt.size()).data(),
+                                 16);
+    }
+    expectIndistinguishable();
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, FastPathTwinTest,
+                         testing::Values(StatePlacement::Dram,
+                                         StatePlacement::Iram,
+                                         StatePlacement::LockedL2),
+                         [](const testing::TestParamInfo<StatePlacement>
+                                &info) {
+                             switch (info.param) {
+                               case StatePlacement::Dram:
+                                 return std::string("Dram");
+                               case StatePlacement::Iram:
+                                 return std::string("Iram");
+                               default:
+                                 return std::string("LockedL2");
+                             }
+                         });
+
+namespace
+{
+
+class UncachedFallbackTest : public testing::Test
+{
+};
+
+} // namespace
+
+TEST_F(UncachedFallbackTest, AllWaysLockedMatchesReference)
+{
+    // Lock every way and invalidate: each audited access then misses,
+    // finds no victim, and falls back to an uncached DRAM transaction
+    // (src/hw/l2_cache.cc pickVictim() returning -1). The fast path
+    // must follow the reference bit for bit through that fallback.
+    Machine fast(true), ref(false);
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    fast.makeEngine(StatePlacement::Dram, key);
+    ref.makeEngine(StatePlacement::Dram, key);
+
+    const auto pt = pattern(4 * AES_BLOCK_SIZE, 11);
+    std::vector<std::uint8_t> ctFast(pt.size()), ctRef(pt.size());
+
+    for (Machine *m : {&fast, &ref}) {
+        ASSERT_TRUE(m->soc.trustzone().enterSecureWorld());
+        const std::uint32_t all =
+            (1u << m->soc.l2().ways()) - 1u;
+        ASSERT_TRUE(m->soc.l2().writeLockdownReg(all));
+        m->soc.trustzone().exitSecureWorld();
+        m->soc.l2().flushAllMasked(); // invalidate: everything now misses
+    }
+
+    fast.engine->encryptBlocks(pt.data(), ctFast.data(), 4);
+    ref.engine->encryptBlocks(pt.data(), ctRef.data(), 4);
+
+    EXPECT_EQ(ctFast, ctRef);
+    EXPECT_GT(fast.soc.l2().stats().uncachedAccesses, 0u);
+
+    const L2Stats &a = fast.soc.l2().stats();
+    const L2Stats &b = ref.soc.l2().stats();
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.uncachedAccesses, b.uncachedAccesses);
+    EXPECT_EQ(fast.soc.clock().now(), ref.soc.clock().now());
+    EXPECT_EQ(fast.observer.log, ref.observer.log);
+}
+
+namespace
+{
+
+class ProbeApiTest : public testing::Test
+{
+  protected:
+    ProbeApiTest() : soc(PlatformConfig::tegra3(16 * MiB)) {}
+
+    Soc soc;
+};
+
+} // namespace
+
+TEST_F(ProbeApiTest, ProbeMissesOutsideCacheableWindow)
+{
+    L2LineId id;
+    EXPECT_EQ(soc.l2().probeLine(IRAM_BASE, id), nullptr);
+}
+
+TEST_F(ProbeApiTest, ProbeFindsResidentLineAndTracksEviction)
+{
+    const PhysAddr addr = DRAM_BASE + 1 * MiB;
+    const auto data = pattern(CACHE_LINE_SIZE, 5);
+
+    L2LineId id;
+    EXPECT_EQ(soc.l2().probeLine(addr, id), nullptr); // not resident yet
+
+    soc.memory().write(addr, data.data(), data.size());
+    const std::uint8_t *payload = soc.l2().probeLine(addr, id);
+    ASSERT_NE(payload, nullptr);
+    EXPECT_TRUE(soc.l2().lineResident(id));
+    EXPECT_EQ(0, std::memcmp(payload, data.data(), CACHE_LINE_SIZE));
+    EXPECT_EQ(payload, soc.l2().linePayload(id));
+
+    soc.l2().flushAllMasked();
+    EXPECT_FALSE(soc.l2().lineResident(id)); // id is stale, not dangling
+}
+
+TEST_F(ProbeApiTest, PayloadForWriteDirtiesTheLine)
+{
+    const PhysAddr addr = DRAM_BASE + 2 * MiB;
+    const auto data = pattern(CACHE_LINE_SIZE, 9);
+    soc.memory().write(addr, data.data(), data.size());
+    soc.l2().cleanAllMasked(); // line now clean
+
+    L2LineId id;
+    std::uint8_t *payload = nullptr;
+    {
+        const std::uint8_t *p = soc.l2().probeLine(addr, id);
+        ASSERT_NE(p, nullptr);
+        payload = soc.l2().linePayloadForWrite(id); // marks dirty
+        ASSERT_EQ(payload, p);
+    }
+    payload[0] = 0xAB;
+
+    const std::uint64_t wbBefore = soc.l2().stats().writebacks;
+    soc.l2().cleanAllMasked();
+    EXPECT_EQ(soc.l2().stats().writebacks, wbBefore + 1);
+
+    std::uint8_t back = 0;
+    soc.memory().read(addr, &back, 1);
+    EXPECT_EQ(back, 0xAB);
+}
+
+TEST_F(ProbeApiTest, ChargeHitsBatchesCounterAndClock)
+{
+    const L2Timing &t = soc.config().timing.l2;
+    const std::uint64_t hitsBefore = soc.l2().stats().hits;
+    const Cycles before = soc.clock().now();
+
+    soc.l2().chargeHits(5);
+
+    EXPECT_EQ(soc.l2().stats().hits, hitsBefore + 5);
+    EXPECT_EQ(soc.clock().now(), before + 5 * t.hitCycles);
+}
