@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SentryFleet scaling benchmark: run the fleet-smoke scenario at 1, 4,
+ * 16, and 64 devices, report devices/sec (host throughput of the
+ * engine), and cross-check that the deterministic fleet metrics are
+ * byte-identical between 1-thread and multi-thread execution — the
+ * engine's replay guarantee.
+ *
+ * Every `sim_` metric is drift-checked against
+ * bench/reference/BENCH_fleet.json by bench/run_benches.sh.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench_util.hh"
+#include "fleet/fleet.hh"
+#include "fleet/scenario.hh"
+
+using namespace sentry;
+
+namespace
+{
+
+constexpr unsigned SCALES[] = {1, 4, 16, 64};
+
+fleet::FleetOptions
+baseOptions(unsigned devices, unsigned threads)
+{
+    fleet::FleetOptions options;
+    options.devices = devices;
+    options.threads = threads;
+    options.seed = 0x5e47ee1dULL;
+    return options;
+}
+
+/** Render a report's sim_ metrics as one comparable string. */
+std::string
+simFingerprint(const fleet::FleetReport &report)
+{
+    std::string out;
+    for (const fleet::FleetMetric &metric : report.metrics) {
+        if (metric.name.rfind("sim_", 0) == 0) {
+            out += metric.name;
+            out += '=';
+            out += metric.jsonValue();
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::Session session("fleet");
+    bench::banner("SentryFleet scaling (fleet-smoke scenario)",
+                  "devices/sec of the scenario engine; sim metrics are "
+                  "thread-count independent");
+
+    const fleet::Scenario scenario =
+        fleet::builtinScenario("fleet-smoke");
+    const unsigned hostThreads =
+        std::max(1u, std::min(8u, std::thread::hardware_concurrency()));
+
+    std::printf("%8s %10s %12s %14s %14s\n", "devices", "threads",
+                "host s", "devices/s", "unlock p95 us");
+    for (unsigned devices : SCALES) {
+        const fleet::FleetReport report =
+            fleet::runFleet(scenario, baseOptions(devices, hostThreads));
+        if (!report.allOk) {
+            std::fprintf(stderr, "fleet: invariants violated at %u "
+                                 "devices:\n%s",
+                         devices, report.summary().c_str());
+            return 1;
+        }
+        const fleet::FleetMetric *p95 = report.find("sim_unlock_p95_us");
+        std::printf("%8u %10u %12.3f %14.1f %14.2f\n", devices,
+                    report.threads, report.hostSeconds,
+                    report.hostSeconds > 0
+                        ? devices / report.hostSeconds
+                        : 0.0,
+                    p95 != nullptr ? p95->d : 0.0);
+
+        const std::string tag = "n" + std::to_string(devices);
+        for (const fleet::FleetMetric &metric : report.metrics) {
+            if (metric.name.rfind("sim_", 0) == 0) {
+                const std::string key =
+                    "sim_" + tag + "_" + metric.name.substr(4);
+                if (metric.isInt)
+                    session.metric(key, metric.u);
+                else
+                    session.metric(key, metric.d);
+            }
+        }
+        session.metric("host_" + tag + "_devices_per_sec",
+                       report.hostSeconds > 0
+                           ? devices / report.hostSeconds
+                           : 0.0);
+    }
+
+    // Replay guarantee: same seed => byte-identical sim metrics no
+    // matter how many worker threads executed the fleet.
+    const fleet::FleetReport serial =
+        fleet::runFleet(scenario, baseOptions(8, 1));
+    const fleet::FleetReport threaded =
+        fleet::runFleet(scenario, baseOptions(8, 4));
+    const bool identical =
+        simFingerprint(serial) == simFingerprint(threaded);
+    std::printf("\n1-thread vs 4-thread sim metrics: %s\n",
+                identical ? "bit-identical" : "DIVERGED");
+    if (!identical) {
+        std::fprintf(stderr,
+                     "fleet: thread count changed deterministic "
+                     "metrics\n--- 1 thread ---\n%s--- 4 threads ---\n%s",
+                     simFingerprint(serial).c_str(),
+                     simFingerprint(threaded).c_str());
+        return 1;
+    }
+
+    return 0;
+}

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Perf-smoke driver: build and run the two benchmarks that exercise the
-# host fast path (bench_fig11_aes_throughput) and the batched kcryptd
-# pipeline (bench_fig9_dmcrypt), then compare every `sim_`-prefixed
-# metric in their BENCH_*.json records against the committed references
-# in bench/reference/. Simulated quantities are deterministic, so ANY
-# drift is a correctness regression in the fast path and fails the run.
+# Perf-smoke driver: build and run the benchmarks that exercise the
+# host fast path (bench_fig11_aes_throughput), the batched kcryptd
+# pipeline (bench_fig9_dmcrypt), and the fleet scenario engine
+# (bench_fleet), then compare every `sim_`-prefixed metric in their
+# BENCH_*.json records against the committed references in
+# bench/reference/. Simulated quantities are deterministic, so ANY
+# drift is a correctness regression and fails the run.
+#
+# When the build was configured with -DSENTRY_TSAN=ON, the fleet test
+# label also runs under ThreadSanitizer at the end.
 #
 # Usage: bench/run_benches.sh
 #   BUILD_DIR=...  override the build tree (default: <repo>/build)
@@ -17,12 +21,12 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
     cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j --target bench_fig11_aes_throughput \
-    bench_fig9_dmcrypt
+    bench_fig9_dmcrypt bench_fleet
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-for bench in fig11_aes_throughput fig9_dmcrypt; do
+for bench in fig11_aes_throughput fig9_dmcrypt fleet; do
     echo "== bench_$bench =="
     SENTRY_BENCH_JSON_DIR="$OUT" "$BUILD/bench/bench_$bench"
 done
@@ -64,3 +68,12 @@ if failures:
     sys.exit(1)
 print("all sim_ metrics match the committed references")
 EOF
+
+# TSAN builds: run the fleet concurrency tests under the sanitizer
+# (the scenario engine, the per-device stacks, and the kcryptd pools
+# all spin real threads).
+if grep -q "^SENTRY_TSAN:BOOL=ON$" "$BUILD/CMakeCache.txt"; then
+    echo "== fleet tests under ThreadSanitizer =="
+    cmake --build "$BUILD" -j --target sentry_fleet_tests
+    ctest --test-dir "$BUILD" -L fleet --output-on-failure
+fi

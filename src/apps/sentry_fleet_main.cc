@@ -1,0 +1,160 @@
+/**
+ * @file
+ * sentry_fleet — run a fleet of simulated Sentry devices through a
+ * scenario and report aggregate metrics.
+ *
+ *   $ sentry_fleet --devices 32 --scenario attack-campaign --threads 8
+ *   $ sentry_fleet --scenario my_workload.scn --seed 42 --json out.json
+ *   $ sentry_fleet --list
+ *
+ * Exit status: 0 when every device finished with all Sentry invariants
+ * green; 1 on invariant violations; 2 on usage/parse errors (scenario
+ * parse failures print the offending line number).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "fleet/fleet.hh"
+#include "fleet/scenario.hh"
+
+using namespace sentry;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: sentry_fleet [options]\n"
+        "  --devices N          fleet size (default: scenario's, else 8)\n"
+        "  --threads N          worker threads (default 1)\n"
+        "  --scenario NAME|FILE built-in preset or .scn file\n"
+        "                       (default interactive-day)\n"
+        "  --seed HEX|DEC       fleet seed (default 0x5e47ee1d)\n"
+        "  --platform NAME      tegra3 or nexus4 (default: scenario's)\n"
+        "  --dram SIZE          per-device DRAM, e.g. 16MiB\n"
+        "  --json PATH          metrics record (default BENCH_fleet.json)\n"
+        "  --no-json            skip the JSON record\n"
+        "  --list               list built-in scenarios and exit\n");
+}
+
+[[noreturn]] void
+usageError(const std::string &what)
+{
+    std::fprintf(stderr, "sentry_fleet: %s\n", what.c_str());
+    usage();
+    std::exit(2);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc)
+        usageError(std::string(flag) + " needs a value");
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string scenarioName = "interactive-day";
+    std::string jsonPath = "BENCH_fleet.json";
+    bool wantJson = true;
+    unsigned devices = 0; // 0 = take the scenario's default
+    fleet::FleetOptions options;
+    bool platformOverride = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--devices") == 0) {
+            devices = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            options.threads = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            scenarioName = nextArg(argc, argv, i, arg);
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            options.seed =
+                std::strtoull(nextArg(argc, argv, i, arg), nullptr, 0);
+        } else if (std::strcmp(arg, "--platform") == 0) {
+            const std::string name = nextArg(argc, argv, i, arg);
+            if (name == "tegra3")
+                options.platform = fleet::FleetPlatform::Tegra3;
+            else if (name == "nexus4")
+                options.platform = fleet::FleetPlatform::Nexus4;
+            else
+                usageError("unknown platform '" + name + "'");
+            platformOverride = true;
+        } else if (std::strcmp(arg, "--dram") == 0) {
+            try {
+                options.dramBytes =
+                    fleet::parseSize(nextArg(argc, argv, i, arg), 0);
+            } catch (const fleet::ScenarioError &e) {
+                usageError(std::string("--dram: ") + e.what());
+            }
+        } else if (std::strcmp(arg, "--json") == 0) {
+            jsonPath = nextArg(argc, argv, i, arg);
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            wantJson = false;
+        } else if (std::strcmp(arg, "--list") == 0) {
+            for (const std::string &name : fleet::builtinScenarioNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usageError(std::string("unknown option '") + arg + "'");
+        }
+    }
+
+    fleet::Scenario scenario;
+    try {
+        scenario = fleet::isBuiltinScenario(scenarioName)
+                       ? fleet::builtinScenario(scenarioName)
+                       : fleet::loadScenarioFile(scenarioName);
+    } catch (const fleet::ScenarioError &e) {
+        std::fprintf(stderr, "sentry_fleet: %s: %s\n",
+                     scenarioName.c_str(), e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sentry_fleet: %s\n", e.what());
+        return 2;
+    }
+
+    options.devices = devices != 0            ? devices
+                      : scenario.defaultDevices != 0
+                          ? scenario.defaultDevices
+                          : 8;
+    if (platformOverride)
+        scenario.hasPlatform = false; // CLI wins over the directive
+
+    fleet::FleetReport report;
+    try {
+        report = fleet::runFleet(scenario, options);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sentry_fleet: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("%s", report.summary().c_str());
+    if (wantJson) {
+        if (!report.writeJson(jsonPath))
+            std::fprintf(stderr, "sentry_fleet: cannot write %s\n",
+                         jsonPath.c_str());
+        else
+            std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return report.allOk ? 0 : 1;
+}

@@ -45,13 +45,18 @@ containsBytes(std::span<const std::uint8_t> haystack,
 {
     if (needle.empty() || needle.size() > haystack.size())
         return false;
-    const auto *start = haystack.data();
+    // memchr-hop to candidate first bytes: the fleet audits scan every
+    // device's whole DRAM after every scenario step, so this path is hot.
+    const auto *p = haystack.data();
     const auto *end = haystack.data() + haystack.size() - needle.size() + 1;
-    for (const auto *p = start; p != end; ++p) {
-        if (*p == needle[0] &&
-            std::memcmp(p, needle.data(), needle.size()) == 0) {
+    while (p < end) {
+        const auto *hit = static_cast<const std::uint8_t *>(
+            std::memchr(p, needle[0], static_cast<std::size_t>(end - p)));
+        if (hit == nullptr)
+            return false;
+        if (std::memcmp(hit, needle.data(), needle.size()) == 0)
             return true;
-        }
+        p = hit + 1;
     }
     return false;
 }

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,9 @@ namespace sentry
 
 namespace
 {
-bool quietFlag = false;
+/** Atomic: fleet worker threads consult this concurrently (the only
+ *  process-global mutable state in the library — see DESIGN.md §7). */
+std::atomic<bool> quietFlag{false};
 
 void
 vreport(FILE *stream, const char *prefix, const char *fmt, va_list args)

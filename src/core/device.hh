@@ -2,6 +2,16 @@
  * @file
  * Convenience bundle wiring a complete simulated device: the SoC, the
  * kernel, and Sentry. Most examples, tests, and benchmarks start here.
+ *
+ * Concurrency: a Device is share-nothing. It owns its entire simulated
+ * stack and references no cross-device state, so any number of Device
+ * instances may run concurrently on different threads (the fleet engine
+ * in fleet/ does exactly that). A single Device is not internally
+ * synchronised: drive it from one thread at a time. The only
+ * process-global mutable state in the library is the atomic quiet flag
+ * in common/logging.cc; immutable lazily-initialised singletons (the
+ * canonical AES tables, the app profile list) use thread-safe magic
+ * statics.
  */
 
 #ifndef SENTRY_CORE_DEVICE_HH

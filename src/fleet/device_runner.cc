@@ -1,0 +1,409 @@
+#include "fleet/device_runner.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "attacks/cold_boot.hh"
+#include "attacks/dma_attack.hh"
+#include "common/bytes.hh"
+#include "core/device.hh"
+#include "core/security_audit.hh"
+#include "os/block_device.hh"
+#include "os/buffer_cache.hh"
+#include "os/dm_crypt.hh"
+#include "os/filebench.hh"
+
+namespace sentry::fleet
+{
+
+namespace
+{
+
+/** Per-spawned-process bookkeeping. */
+struct ProcInfo
+{
+    os::Process *process = nullptr;
+    VirtAddr heapBase = 0;
+    std::size_t heapBytes = 0;
+    bool sensitive = false;
+    bool background = false;
+    std::vector<std::uint8_t> secret; //!< plaintext marker in its heap
+};
+
+/** kcryptd workers per filebench step (bounds thread fan-out per
+ *  device; simulated results are worker-count independent). */
+constexpr unsigned FILEBENCH_WORKERS = 2;
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+class Runner
+{
+  public:
+    Runner(const Scenario &scenario, const FleetOptions &options,
+           unsigned index)
+        : scenario_(scenario), options_(options), index_(index),
+          seed_(fleetDeviceSeed(options.seed, index)),
+          workloadRng_(seed_ ^ 0xf1ee7a5c0ffee000ULL)
+    {}
+
+    DeviceResult
+    run()
+    {
+        DeviceResult result;
+        result.index = index_;
+        result.seed = seed_;
+        try {
+            boot();
+            for (const Step &step : scenario_.steps) {
+                executeStep(step, result);
+                ++result.stepsExecuted;
+                checkInvariants(step, result);
+            }
+        } catch (const std::exception &e) {
+            result.ok = false;
+            if (result.error.empty())
+                result.error = e.what();
+        }
+        if (device_)
+            snapshot(result);
+        return result;
+    }
+
+  private:
+    void
+    boot()
+    {
+        hw::PlatformConfig config =
+            options_.platform == FleetPlatform::Tegra3
+                ? hw::PlatformConfig::tegra3(options_.dramBytes)
+                : hw::PlatformConfig::nexus4(options_.dramBytes);
+        config.seed = seed_;
+
+        core::SentryOptions sentryOptions;
+        sentryOptions.placement = core::AesPlacement::LockedL2;
+        sentryOptions.backgroundMode = scenario_.needsBackground();
+        sentryOptions.pagerWays = 2;
+        device_ = std::make_unique<core::Device>(config, sentryOptions);
+        device_->sentry().registerCryptoProviders();
+    }
+
+    /** Per-device heterogeneity: scale by [1-j, 1+j] (see `jitter`). */
+    double
+    jitterFactor()
+    {
+        if (scenario_.jitter <= 0.0)
+            return 1.0;
+        return 1.0 - scenario_.jitter +
+               2.0 * scenario_.jitter * workloadRng_.uniform();
+    }
+
+    std::size_t
+    jitterBytes(std::size_t bytes, std::size_t quantum)
+    {
+        const auto scaled = static_cast<std::size_t>(
+            static_cast<double>(bytes) * jitterFactor());
+        return std::max(quantum, alignUp(scaled, quantum));
+    }
+
+    double
+    jitterSeconds(double seconds)
+    {
+        return seconds * jitterFactor();
+    }
+
+    [[noreturn]] void
+    stepError(const Step &step, const std::string &what) const
+    {
+        throw std::runtime_error("line " + std::to_string(step.line) +
+                                 ": " + what);
+    }
+
+    bool
+    deviceLocked() const
+    {
+        const os::PowerState state = device_->kernel().powerState();
+        return state != os::PowerState::Awake;
+    }
+
+    void
+    executeStep(const Step &step, DeviceResult &result)
+    {
+        if (coldBooted_ && step.op != Op::Attack && step.op != Op::Sleep)
+            stepError(step, "device was cold-booted; only attack/sleep "
+                            "steps may follow");
+
+        os::Kernel &kernel = device_->kernel();
+        switch (step.op) {
+          case Op::Spawn:
+            doSpawn(step);
+            break;
+          case Op::Lock:
+            kernel.lockScreen();
+            result.lockSeconds.push_back(
+                device_->sentry().stats().lastLockSeconds);
+            break;
+          case Op::Unlock:
+            if (kernel.unlockScreen(step.pin)) {
+                result.unlockSeconds.push_back(
+                    device_->sentry().stats().lastUnlockSeconds);
+            } else {
+                ++result.failedUnlocks;
+            }
+            break;
+          case Op::Sleep:
+            device_->soc().clock().advanceSeconds(
+                jitterSeconds(step.seconds));
+            break;
+          case Op::Suspend:
+            kernel.suspendToRam(jitterSeconds(step.seconds));
+            break;
+          case Op::Wake:
+            kernel.wakeUp(os::WakeReason::UserInteraction);
+            break;
+          case Op::Touch:
+            doTouch(step);
+            break;
+          case Op::Filebench:
+            doFilebench(step, result);
+            break;
+          case Op::Attack:
+            doAttack(step, result);
+            break;
+          case Op::ZeroFreed:
+            kernel.zeroFreedPages();
+            break;
+        }
+    }
+
+    void
+    doSpawn(const Step &step)
+    {
+        os::Kernel &kernel = device_->kernel();
+        os::Process &process = kernel.createProcess(step.name);
+        const os::Vma &heap =
+            kernel.addVma(process, "heap", os::VmaType::Heap,
+                          jitterBytes(step.bytes, PAGE_SIZE));
+
+        ProcInfo info;
+        info.process = &process;
+        info.heapBase = heap.base;
+        info.heapBytes = heap.size;
+        info.sensitive = step.sensitive;
+        info.background = step.background;
+        info.secret.resize(16);
+        for (auto &byte : info.secret)
+            byte = static_cast<std::uint8_t>(workloadRng_.next64());
+        // Plant the secret at the top of every heap page: the audits
+        // and attack greps look for exactly these bytes.
+        for (std::size_t off = 0; off < heap.size; off += PAGE_SIZE)
+            kernel.writeVirt(process, heap.base + off, info.secret.data(),
+                             info.secret.size());
+
+        // A DMA-region VMA makes unlock pay the paper's eager-decrypt
+        // cost (physically-addressed buffers cannot fault).
+        if (step.dmaBytes != 0) {
+            const os::Vma &dma = kernel.addVma(
+                process, "dma", os::VmaType::DmaRegion,
+                jitterBytes(step.dmaBytes, PAGE_SIZE));
+            for (std::size_t off = 0; off < dma.size; off += PAGE_SIZE)
+                kernel.writeVirt(process, dma.base + off,
+                                 info.secret.data(), info.secret.size());
+        }
+
+        if (step.sensitive)
+            device_->sentry().markSensitive(process);
+        if (step.background)
+            device_->sentry().markBackground(process);
+        procs_.emplace(step.name, info);
+    }
+
+    void
+    doTouch(const Step &step)
+    {
+        const ProcInfo &info = procs_.at(step.name);
+        if (deviceLocked() && info.sensitive && !info.background)
+            stepError(step, "touch of parked sensitive process '" +
+                                step.name +
+                                "' while locked would decrypt pages "
+                                "into DRAM (mark it background)");
+        const std::size_t len = std::min(
+            jitterBytes(step.bytes, PAGE_SIZE), info.heapBytes);
+        device_->kernel().touchRange(*info.process, info.heapBase, len);
+    }
+
+    void
+    doFilebench(const Step &step, DeviceResult &result)
+    {
+        hw::Soc &soc = device_->soc();
+        const std::size_t ioBytes = jitterBytes(step.bytes, 4 * KiB);
+        const std::size_t partition =
+            std::max<std::size_t>(4 * MiB, 2 * ioBytes);
+
+        std::vector<std::uint8_t> key(16);
+        for (auto &byte : key)
+            byte = static_cast<std::uint8_t>(workloadRng_.next64());
+
+        os::RamBlockDevice disk(soc.clock(), partition);
+        os::DmCrypt dm(disk,
+                       device_->kernel().cryptoApi().allocCipher("aes",
+                                                                 key),
+                       FILEBENCH_WORKERS);
+        os::BufferCache cache(soc.clock(), dm, partition / 2);
+        os::Filebench bench(soc.clock(), cache, partition / 2);
+        Rng ioRng(workloadRng_.next64());
+        const os::FilebenchResult fb =
+            bench.run(step.workload, ioBytes, step.directIo, ioRng);
+        result.filebenchMbps.push_back(fb.mbPerSec());
+    }
+
+    void
+    doAttack(const Step &step, DeviceResult &result)
+    {
+        if (!deviceLocked())
+            stepError(step, "attack against an awake device is outside "
+                            "the paper's threat model (lock first)");
+        hw::Soc &soc = device_->soc();
+        ++result.attacksRun;
+
+        std::vector<std::uint8_t> dramDump, iramDump;
+        if (step.attack == AttackKind::Dma) {
+            attacks::DmaAttack dma;
+            dramDump = dma.dumpRange(soc, DRAM_BASE, soc.dramRaw().size());
+            iramDump = dma.dumpRange(soc, IRAM_BASE, soc.iramRaw().size());
+        } else {
+            attacks::ColdBootVariant variant =
+                attacks::ColdBootVariant::DeviceReflash;
+            if (step.attack == AttackKind::OsReboot)
+                variant = attacks::ColdBootVariant::OsReboot;
+            else if (step.attack == AttackKind::TwoSecondReset)
+                variant = attacks::ColdBootVariant::TwoSecondReset;
+            const attacks::ColdBootAttack attack(
+                variant, step.frozen ? -18.0 : 22.0);
+            attack.performReset(soc);
+            coldBooted_ = true;
+            const auto dram = soc.dramRaw();
+            const auto iram = soc.iramRaw();
+            dramDump.assign(dram.begin(), dram.end());
+            iramDump.assign(iram.begin(), iram.end());
+        }
+
+        for (const auto &[name, info] : procs_) {
+            const bool recovered =
+                containsBytes(dramDump, info.secret) ||
+                containsBytes(iramDump, info.secret);
+            if (info.sensitive) {
+                ++result.sensitiveSecretsProbed;
+                if (recovered) {
+                    ++result.sensitiveSecretsLeaked;
+                    result.ok = false;
+                    if (result.error.empty())
+                        result.error =
+                            "line " + std::to_string(step.line) +
+                            ": attack " +
+                            attackKindName(step.attack) +
+                            " recovered the secret of sensitive "
+                            "process '" +
+                            name + "'";
+                }
+            } else if (recovered) {
+                ++result.nonSensitiveLeaks;
+            }
+        }
+    }
+
+    void
+    checkInvariants(const Step &step, DeviceResult &result)
+    {
+        // After a cold boot the stack below the kernel was reset: key
+        // residency and page states are no longer meaningful. The
+        // attack step itself asserted the leak invariant.
+        if (coldBooted_)
+            return;
+        if (!options_.auditEveryStep && step.op != Op::Attack &&
+            step.op != Op::Lock && step.op != Op::Unlock &&
+            step.op != Op::Suspend)
+            return;
+
+        std::vector<std::vector<std::uint8_t>> markers;
+        for (const auto &[name, info] : procs_) {
+            if (info.sensitive)
+                markers.push_back(info.secret);
+        }
+        core::SecurityAudit audit(device_->kernel(), device_->sentry());
+        const core::AuditReport report = audit.run(markers);
+        ++result.auditsRun;
+        if (!report.allPassed()) {
+            ++result.auditFailures;
+            result.ok = false;
+            if (result.error.empty()) {
+                std::string detail;
+                for (const auto &finding : report.findings) {
+                    if (!finding.passed) {
+                        detail = finding.check + " — " + finding.detail;
+                        break;
+                    }
+                }
+                result.error = "line " + std::to_string(step.line) +
+                               ": audit failed after step: " + detail;
+            }
+        }
+    }
+
+    void
+    snapshot(DeviceResult &result)
+    {
+        const core::SentryStats &stats = device_->sentry().stats();
+        result.faultsServiced = stats.faultsServiced;
+        result.bytesEncryptedOnLock = stats.bytesEncryptedOnLock;
+        result.bytesDecryptedOnDemand = stats.bytesDecryptedOnDemand;
+        result.bytesDecryptedEager = stats.bytesDecryptedEager;
+        hw::Soc &soc = device_->soc();
+        result.simCycles = soc.clock().now();
+        const hw::L2Stats &l2 = soc.l2().stats();
+        result.l2Hits = l2.hits;
+        result.l2Misses = l2.misses;
+        const hw::BusStats &bus = soc.bus().stats();
+        result.busReads = bus.reads;
+        result.busWrites = bus.writes;
+    }
+
+    const Scenario &scenario_;
+    const FleetOptions &options_;
+    unsigned index_;
+    std::uint64_t seed_;
+    Rng workloadRng_;
+
+    std::unique_ptr<core::Device> device_;
+    std::map<std::string, ProcInfo> procs_;
+    bool coldBooted_ = false;
+};
+
+} // namespace
+
+std::uint64_t
+fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index)
+{
+    std::uint64_t state =
+        fleet_seed + 0xa5a5a5a5'00000000ULL + index;
+    std::uint64_t mixed = splitmix64(state);
+    // Never hand out 0: some seed consumers treat it as "default".
+    return mixed != 0 ? mixed : 0x5e47ee1dULL;
+}
+
+DeviceResult
+runDevice(const Scenario &scenario, const FleetOptions &options,
+          unsigned index)
+{
+    return Runner(scenario, options, index).run();
+}
+
+} // namespace sentry::fleet

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * One fleet device: a fully independent hw::Soc + os::Kernel +
+ * core::Sentry stack driven step-by-step through a parsed Scenario.
+ *
+ * The runner is share-nothing: it owns every simulated object it
+ * touches and holds no references to other devices, so any number of
+ * runners may execute concurrently on different threads (see fleet.hh).
+ * Per-device randomness derives from a seed the engine computes from
+ * the fleet seed and the device index, making every run bit-replayable.
+ *
+ * After every step the runner asserts Sentry's invariants with
+ * core::SecurityAudit (volatile key on-SoC only, no decrypted sensitive
+ * page in DRAM while locked, flush-way mask covers locked ways, no
+ * plaintext markers in DRAM, freed pages scrubbed). Attack steps assert
+ * the paper's Table 3 result instead: a locked device must not leak a
+ * sensitive process's secret to the attacker.
+ */
+
+#ifndef SENTRY_FLEET_DEVICE_RUNNER_HH
+#define SENTRY_FLEET_DEVICE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fleet/scenario.hh"
+
+namespace sentry::fleet
+{
+
+/** Engine knobs shared by every device of a fleet run. */
+struct FleetOptions
+{
+    unsigned devices = 1;               //!< fleet size
+    unsigned threads = 1;               //!< worker threads
+    std::uint64_t seed = 0x5e47ee1dULL; //!< fleet seed
+    FleetPlatform platform = FleetPlatform::Tegra3;
+    /** Per-device DRAM; small keeps audits and attacks fast. */
+    std::size_t dramBytes = 16 * MiB;
+    /** Run the full security audit after every step (vs attacks only). */
+    bool auditEveryStep = true;
+};
+
+/** Deterministic per-device results (everything simulated). */
+struct DeviceResult
+{
+    unsigned index = 0;
+    std::uint64_t seed = 0;
+
+    bool ok = true;     //!< all invariants held, no semantic errors
+    std::string error;  //!< first failure (empty when ok)
+    unsigned stepsExecuted = 0;
+    unsigned auditsRun = 0;
+    unsigned auditFailures = 0;
+
+    std::vector<double> unlockSeconds; //!< per successful unlock
+    std::vector<double> lockSeconds;   //!< per lock
+    std::vector<double> filebenchMbps; //!< per filebench step
+    unsigned failedUnlocks = 0;
+
+    unsigned attacksRun = 0;
+    unsigned sensitiveSecretsProbed = 0; //!< sensitive greps attempted
+    unsigned sensitiveSecretsLeaked = 0; //!< ...that succeeded (bad)
+    unsigned nonSensitiveLeaks = 0;      //!< unprotected greps that hit
+
+    std::uint64_t faultsServiced = 0;
+    std::uint64_t bytesEncryptedOnLock = 0;
+    std::uint64_t bytesDecryptedOnDemand = 0;
+    std::uint64_t bytesDecryptedEager = 0;
+    Cycles simCycles = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t busReads = 0;
+    std::uint64_t busWrites = 0;
+};
+
+/**
+ * Derive device @p index's seed from @p fleet_seed (SplitMix64 step —
+ * consecutive indices give statistically independent streams).
+ */
+std::uint64_t fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index);
+
+/**
+ * Run one device through @p scenario. Never throws: failures are
+ * reported via DeviceResult::ok / error.
+ */
+DeviceResult runDevice(const Scenario &scenario,
+                       const FleetOptions &options, unsigned index);
+
+} // namespace sentry::fleet
+
+#endif // SENTRY_FLEET_DEVICE_RUNNER_HH

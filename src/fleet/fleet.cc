@@ -1,0 +1,307 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+namespace sentry::fleet
+{
+
+namespace
+{
+
+constexpr unsigned MAX_THREADS = 256;
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+/** Convert simulated seconds to microseconds for readable metrics. */
+double
+toUs(double seconds)
+{
+    return seconds * 1e6;
+}
+
+void
+addPercentiles(std::vector<FleetMetric> &metrics, const std::string &what,
+               const std::vector<double> &seconds)
+{
+    for (const auto &[tag, p] :
+         {std::pair{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
+        metrics.push_back(FleetMetric::ofDouble(
+            "sim_" + what + "_" + tag + "_us",
+            toUs(percentile(seconds, p))));
+    }
+}
+
+} // namespace
+
+FleetMetric
+FleetMetric::ofInt(std::string name, std::uint64_t value)
+{
+    FleetMetric metric;
+    metric.name = std::move(name);
+    metric.isInt = true;
+    metric.u = value;
+    return metric;
+}
+
+FleetMetric
+FleetMetric::ofDouble(std::string name, double value)
+{
+    FleetMetric metric;
+    metric.name = std::move(name);
+    metric.isInt = false;
+    metric.d = value;
+    return metric;
+}
+
+std::string
+FleetMetric::jsonValue() const
+{
+    return isInt ? std::to_string(u) : formatDouble(d);
+}
+
+const FleetMetric *
+FleetReport::find(const std::string &name) const
+{
+    for (const FleetMetric &metric : metrics) {
+        if (metric.name == name)
+            return &metric;
+    }
+    return nullptr;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: the smallest sample with at least p% of the mass
+    // at or below it.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+    return samples[rank == 0 ? 0 : rank - 1];
+}
+
+std::string
+FleetReport::summary() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "fleet: %u device(s) x scenario '%s', %u thread(s), "
+                  "seed 0x%llx\n",
+                  devices, scenario.c_str(), threads,
+                  static_cast<unsigned long long>(seed));
+    out += line;
+    unsigned failed = 0;
+    for (const DeviceResult &result : results) {
+        if (!result.ok) {
+            ++failed;
+            if (failed <= 8) {
+                std::snprintf(line, sizeof line, "  device %u FAILED: %s\n",
+                              result.index, result.error.c_str());
+                out += line;
+            }
+        }
+    }
+    if (failed > 8) {
+        std::snprintf(line, sizeof line, "  ... and %u more failure(s)\n",
+                      failed - 8);
+        out += line;
+    }
+    std::snprintf(line, sizeof line,
+                  "  invariants: %s (%u/%u devices green)\n",
+                  allOk ? "all green" : "VIOLATED", devices - failed,
+                  devices);
+    out += line;
+    for (const FleetMetric &metric : metrics) {
+        std::snprintf(line, sizeof line, "  %-36s %s\n",
+                      metric.name.c_str(), metric.jsonValue().c_str());
+        out += line;
+    }
+    std::snprintf(line, sizeof line, "  host: %.3f s, %.1f devices/s\n",
+                  hostSeconds,
+                  hostSeconds > 0 ? devices / hostSeconds : 0.0);
+    out += line;
+    return out;
+}
+
+bool
+FleetReport::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\n  \"bench\": \"fleet\",\n");
+    std::fprintf(f, "  \"scenario\": \"%s\",\n", scenario.c_str());
+    std::fprintf(f, "  \"host_wall_seconds\": %.6f,\n", hostSeconds);
+    std::fprintf(f, "  \"metrics\": {");
+    bool first = true;
+    const auto emit = [&](const std::string &key,
+                          const std::string &value) {
+        std::fprintf(f, "%s\n    \"%s\": %s", first ? "" : ",",
+                     key.c_str(), value.c_str());
+        first = false;
+    };
+    for (const FleetMetric &metric : metrics)
+        emit(metric.name, metric.jsonValue());
+    emit("threads", std::to_string(threads));
+    emit("host_devices_per_sec",
+         formatDouble(hostSeconds > 0 ? devices / hostSeconds : 0.0));
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+FleetReport
+runFleet(const Scenario &scenario, const FleetOptions &options)
+{
+    if (options.devices < 1 || options.devices > MAX_DEVICES)
+        throw std::invalid_argument(
+            "fleet device count " + std::to_string(options.devices) +
+            " out of range (1.." + std::to_string(MAX_DEVICES) + ")");
+    if (options.threads < 1 || options.threads > MAX_THREADS)
+        throw std::invalid_argument(
+            "fleet thread count " + std::to_string(options.threads) +
+            " out of range (1.." + std::to_string(MAX_THREADS) + ")");
+    if (options.dramBytes < 4 * MiB || options.dramBytes > 1 * GiB)
+        throw std::invalid_argument(
+            "per-device DRAM out of range (4MiB..1GiB)");
+
+    FleetOptions effective = options;
+    if (scenario.hasPlatform)
+        effective.platform = scenario.platform;
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<DeviceResult> results(effective.devices);
+    if (effective.threads == 1) {
+        for (unsigned i = 0; i < effective.devices; ++i)
+            results[i] = runDevice(scenario, effective, i);
+    } else {
+        std::atomic<unsigned> next{0};
+        const unsigned workers =
+            std::min(effective.threads, effective.devices);
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const unsigned i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= effective.devices)
+                        return;
+                    results[i] = runDevice(scenario, effective, i);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    FleetReport report;
+    report.scenario = scenario.name;
+    report.devices = effective.devices;
+    report.threads = effective.threads;
+    report.seed = effective.seed;
+    report.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    report.results = std::move(results);
+
+    // ---- aggregation (index order: thread-count independent) ----------
+    std::vector<double> unlocks, locks, mbps;
+    std::uint64_t steps = 0, audits = 0, auditFailures = 0, devicesFailed = 0;
+    std::uint64_t attacks = 0, probes = 0, leaks = 0, nonSensLeaks = 0;
+    std::uint64_t failedUnlocks = 0, faults = 0;
+    std::uint64_t bytesEncrypted = 0, bytesOnDemand = 0, bytesEager = 0;
+    std::uint64_t cyclesTotal = 0, cyclesMax = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0, busReads = 0, busWrites = 0;
+    std::uint64_t seedHash = 0;
+    for (const DeviceResult &r : report.results) {
+        unlocks.insert(unlocks.end(), r.unlockSeconds.begin(),
+                       r.unlockSeconds.end());
+        locks.insert(locks.end(), r.lockSeconds.begin(),
+                     r.lockSeconds.end());
+        mbps.insert(mbps.end(), r.filebenchMbps.begin(),
+                    r.filebenchMbps.end());
+        steps += r.stepsExecuted;
+        audits += r.auditsRun;
+        auditFailures += r.auditFailures;
+        devicesFailed += r.ok ? 0 : 1;
+        attacks += r.attacksRun;
+        probes += r.sensitiveSecretsProbed;
+        leaks += r.sensitiveSecretsLeaked;
+        nonSensLeaks += r.nonSensitiveLeaks;
+        failedUnlocks += r.failedUnlocks;
+        faults += r.faultsServiced;
+        bytesEncrypted += r.bytesEncryptedOnLock;
+        bytesOnDemand += r.bytesDecryptedOnDemand;
+        bytesEager += r.bytesDecryptedEager;
+        cyclesTotal += r.simCycles;
+        cyclesMax = std::max<std::uint64_t>(cyclesMax, r.simCycles);
+        l2Hits += r.l2Hits;
+        l2Misses += r.l2Misses;
+        busReads += r.busReads;
+        busWrites += r.busWrites;
+        seedHash ^= r.seed * 0x2545f4914f6cdd1dULL;
+    }
+    report.allOk = devicesFailed == 0;
+
+    auto &m = report.metrics;
+    m.push_back(FleetMetric::ofInt("sim_devices", report.devices));
+    m.push_back(FleetMetric::ofInt("sim_steps_total", steps));
+    m.push_back(FleetMetric::ofInt("sim_audits_total", audits));
+    m.push_back(FleetMetric::ofInt("sim_audit_failures", auditFailures));
+    m.push_back(FleetMetric::ofInt("sim_devices_failed", devicesFailed));
+    m.push_back(
+        FleetMetric::ofInt("sim_unlocks_total", unlocks.size()));
+    m.push_back(
+        FleetMetric::ofInt("sim_failed_unlocks", failedUnlocks));
+    addPercentiles(m, "unlock", unlocks);
+    addPercentiles(m, "lock", locks);
+    m.push_back(FleetMetric::ofInt("sim_attacks_total", attacks));
+    m.push_back(FleetMetric::ofInt("sim_sensitive_probes", probes));
+    m.push_back(FleetMetric::ofInt("sim_sensitive_leaks", leaks));
+    m.push_back(
+        FleetMetric::ofInt("sim_nonsensitive_leaks", nonSensLeaks));
+    m.push_back(
+        FleetMetric::ofInt("sim_filebench_runs", mbps.size()));
+    double mbpsSum = 0.0;
+    for (double sample : mbps)
+        mbpsSum += sample;
+    m.push_back(FleetMetric::ofDouble(
+        "sim_filebench_mbps_mean",
+        mbps.empty() ? 0.0 : mbpsSum / static_cast<double>(mbps.size())));
+    m.push_back(FleetMetric::ofInt("sim_faults_total", faults));
+    m.push_back(FleetMetric::ofInt("sim_bytes_encrypted_on_lock",
+                                   bytesEncrypted));
+    m.push_back(FleetMetric::ofInt("sim_bytes_decrypted_on_demand",
+                                   bytesOnDemand));
+    m.push_back(
+        FleetMetric::ofInt("sim_bytes_decrypted_eager", bytesEager));
+    m.push_back(FleetMetric::ofInt("sim_cycles_total", cyclesTotal));
+    m.push_back(FleetMetric::ofInt("sim_cycles_max", cyclesMax));
+    m.push_back(FleetMetric::ofInt("sim_l2_hits_total", l2Hits));
+    m.push_back(FleetMetric::ofInt("sim_l2_misses_total", l2Misses));
+    m.push_back(FleetMetric::ofInt("sim_bus_reads_total", busReads));
+    m.push_back(FleetMetric::ofInt("sim_bus_writes_total", busWrites));
+    m.push_back(FleetMetric::ofInt("sim_device_seed_hash", seedHash));
+    return report;
+}
+
+} // namespace sentry::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SentryFleet engine: run N independent simulated devices through one
+ * scenario on a worker pool and aggregate their deterministic metrics.
+ *
+ * Concurrency model: every device is a share-nothing hw::Soc +
+ * os::Kernel + core::Sentry stack built and driven entirely on one
+ * worker thread (see device_runner.hh); workers pull device indices
+ * from an atomic counter, and results land in a pre-sized vector slot
+ * per device. Aggregation walks devices in index order, so fleet
+ * metrics are byte-identical for any thread count — the determinism
+ * tests assert exactly that.
+ *
+ * Metric naming follows bench_util.hh: `sim_` prefixed values are
+ * deterministic simulation quantities (drift-checked against committed
+ * references by bench/run_benches.sh); host-side quantities carry no
+ * prefix.
+ */
+
+#ifndef SENTRY_FLEET_FLEET_HH
+#define SENTRY_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device_runner.hh"
+#include "fleet/scenario.hh"
+
+namespace sentry::fleet
+{
+
+/** One aggregated metric (integer or floating point). */
+struct FleetMetric
+{
+    std::string name;
+    bool isInt = false;
+    std::uint64_t u = 0;
+    double d = 0.0;
+
+    static FleetMetric ofInt(std::string name, std::uint64_t value);
+    static FleetMetric ofDouble(std::string name, double value);
+
+    /** @return the JSON literal for this metric's value. */
+    std::string jsonValue() const;
+};
+
+/** Aggregated outcome of one fleet run. */
+struct FleetReport
+{
+    std::string scenario;
+    unsigned devices = 0;
+    unsigned threads = 0;
+    std::uint64_t seed = 0;
+    double hostSeconds = 0.0;
+
+    /** True when every device finished with all invariants green. */
+    bool allOk = false;
+
+    std::vector<DeviceResult> results; //!< per device, index order
+    std::vector<FleetMetric> metrics;  //!< aggregates, fixed order
+
+    /** @return the metric named @p name, or nullptr. */
+    const FleetMetric *find(const std::string &name) const;
+
+    /** @return a printable multi-line run summary. */
+    std::string summary() const;
+
+    /**
+     * Write the BENCH_fleet.json-style record.
+     * @return false when the file cannot be written
+     */
+    bool writeJson(const std::string &path) const;
+};
+
+/**
+ * Nearest-rank percentile of @p samples (p in [0,100]); 0 when empty.
+ * Sorts a copy; deterministic for any sample order.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Run @p scenario on a fleet.
+ * @throws std::invalid_argument on out-of-range options (device count,
+ *         thread count, DRAM size)
+ */
+FleetReport runFleet(const Scenario &scenario, const FleetOptions &options);
+
+} // namespace sentry::fleet
+
+#endif // SENTRY_FLEET_FLEET_HH

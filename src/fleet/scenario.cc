@@ -1,0 +1,513 @@
+#include "fleet/scenario.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace sentry::fleet
+{
+
+namespace
+{
+
+/** Heap/touch/filebench sizes above this are almost certainly typos. */
+constexpr std::size_t MAX_STEP_BYTES = 256 * MiB;
+
+/** Sleep/suspend durations above this would stall a fleet run. */
+constexpr double MAX_STEP_SECONDS = 3600.0;
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+bool
+validProcessName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-')
+            return false;
+    }
+    return true;
+}
+
+/** Split "250ms" into its numeric prefix and unit suffix. */
+void
+splitNumberSuffix(const std::string &token, std::string &number,
+                  std::string &suffix)
+{
+    std::size_t i = 0;
+    while (i < token.size() &&
+           (std::isdigit(static_cast<unsigned char>(token[i])) ||
+            token[i] == '.'))
+        ++i;
+    number = token.substr(0, i);
+    suffix = token.substr(i);
+}
+
+} // namespace
+
+const char *
+attackKindName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::ColdBootReflash:
+        return "cold_boot";
+      case AttackKind::OsReboot:
+        return "os_reboot";
+      case AttackKind::TwoSecondReset:
+        return "2s_reset";
+      case AttackKind::Dma:
+        return "dma";
+    }
+    return "?";
+}
+
+bool
+Scenario::needsBackground() const
+{
+    for (const Step &step : steps) {
+        if (step.op == Op::Spawn && step.background)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+parseSize(const std::string &token, unsigned line)
+{
+    std::string number, suffix;
+    splitNumberSuffix(token, number, suffix);
+    if (number.empty() || number.find('.') != std::string::npos)
+        throw ScenarioError(line, "malformed size '" + token +
+                                      "' (want e.g. 4MiB, 512KiB, 4096)");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(number.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        throw ScenarioError(line, "malformed size '" + token + "'");
+    std::size_t unit = 1;
+    if (suffix == "B" || suffix.empty())
+        unit = 1;
+    else if (suffix == "KiB")
+        unit = KiB;
+    else if (suffix == "MiB")
+        unit = MiB;
+    else if (suffix == "GiB")
+        unit = GiB;
+    else
+        throw ScenarioError(line, "unknown size suffix '" + suffix +
+                                      "' in '" + token +
+                                      "' (use B, KiB, MiB, or GiB)");
+    if (value == 0)
+        throw ScenarioError(line, "size must be non-zero: '" + token + "'");
+    const std::size_t bytes = static_cast<std::size_t>(value) * unit;
+    if (bytes / unit != value || bytes > MAX_STEP_BYTES)
+        throw ScenarioError(line, "size out of range: '" + token +
+                                      "' (max 256MiB)");
+    return bytes;
+}
+
+double
+parseDuration(const std::string &token, unsigned line)
+{
+    std::string number, suffix;
+    splitNumberSuffix(token, number, suffix);
+    if (number.empty())
+        throw ScenarioError(line, "malformed duration '" + token +
+                                      "' (want e.g. 250ms, 2s, 100us)");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(number.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        throw ScenarioError(line, "malformed duration '" + token + "'");
+    double scale = 0.0;
+    if (suffix == "us")
+        scale = 1e-6;
+    else if (suffix == "ms")
+        scale = 1e-3;
+    else if (suffix == "s")
+        scale = 1.0;
+    else
+        throw ScenarioError(line, "duration '" + token +
+                                      "' needs a us/ms/s suffix");
+    const double seconds = value * scale;
+    if (seconds <= 0.0)
+        throw ScenarioError(line,
+                            "duration must be positive: '" + token + "'");
+    if (seconds > MAX_STEP_SECONDS)
+        throw ScenarioError(line, "duration out of range: '" + token +
+                                      "' (max 3600s)");
+    return seconds;
+}
+
+Scenario
+parseScenario(const std::string &text, const std::string &name)
+{
+    Scenario scenario;
+    scenario.name = name;
+
+    std::set<std::string> spawned;
+    std::istringstream stream(text);
+    std::string raw;
+    unsigned lineNo = 0;
+    while (std::getline(stream, raw)) {
+        ++lineNo;
+        if (!raw.empty() && raw.back() == '\r')
+            raw.pop_back();
+        const std::vector<std::string> tokens = tokenize(raw);
+        if (tokens.empty())
+            continue;
+        const std::string &opcode = tokens[0];
+        const std::size_t argc = tokens.size() - 1;
+
+        Step step;
+        step.line = lineNo;
+
+        if (opcode == "devices") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "devices takes one count");
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(tokens[1].c_str(), &end, 10);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                throw ScenarioError(lineNo, "malformed device count '" +
+                                                tokens[1] + "'");
+            if (n < 1 || n > MAX_DEVICES)
+                throw ScenarioError(
+                    lineNo, "device count " + tokens[1] +
+                                " out of range (1.." +
+                                std::to_string(MAX_DEVICES) + ")");
+            scenario.defaultDevices = static_cast<unsigned>(n);
+            continue;
+        }
+        if (opcode == "jitter") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "jitter takes one percentage");
+            errno = 0;
+            char *end = nullptr;
+            const double pct = std::strtod(tokens[1].c_str(), &end);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                throw ScenarioError(lineNo, "malformed jitter '" +
+                                                tokens[1] + "'");
+            if (pct < 0.0 || pct > 90.0)
+                throw ScenarioError(lineNo, "jitter " + tokens[1] +
+                                                " out of range (0..90)");
+            scenario.jitter = pct / 100.0;
+            continue;
+        }
+        if (opcode == "platform") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "platform takes one name");
+            if (tokens[1] == "tegra3")
+                scenario.platform = FleetPlatform::Tegra3;
+            else if (tokens[1] == "nexus4")
+                scenario.platform = FleetPlatform::Nexus4;
+            else
+                throw ScenarioError(lineNo, "unknown platform '" +
+                                                tokens[1] +
+                                                "' (tegra3 or nexus4)");
+            scenario.hasPlatform = true;
+            continue;
+        }
+        if (opcode == "spawn") {
+            if (argc < 1)
+                throw ScenarioError(lineNo, "spawn needs a process name");
+            step.op = Op::Spawn;
+            step.name = tokens[1];
+            if (!validProcessName(step.name))
+                throw ScenarioError(lineNo, "invalid process name '" +
+                                                step.name + "'");
+            if (spawned.contains(step.name))
+                throw ScenarioError(lineNo, "process '" + step.name +
+                                                "' spawned twice");
+            step.bytes = 256 * KiB;
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (tokens[i] == "sensitive") {
+                    step.sensitive = true;
+                } else if (tokens[i] == "background") {
+                    step.background = true;
+                } else if (tokens[i] == "heap") {
+                    if (i + 1 >= tokens.size())
+                        throw ScenarioError(lineNo, "heap needs a size");
+                    step.bytes = parseSize(tokens[++i], lineNo);
+                } else if (tokens[i] == "dma") {
+                    if (i + 1 >= tokens.size())
+                        throw ScenarioError(lineNo, "dma needs a size");
+                    step.dmaBytes = parseSize(tokens[++i], lineNo);
+                } else {
+                    throw ScenarioError(lineNo, "unknown spawn flag '" +
+                                                    tokens[i] + "'");
+                }
+            }
+            if (step.background && !step.sensitive)
+                throw ScenarioError(
+                    lineNo, "background processes must be sensitive "
+                            "(Sentry pages only protected processes)");
+            spawned.insert(step.name);
+        } else if (opcode == "lock") {
+            if (argc != 0)
+                throw ScenarioError(lineNo, "lock takes no arguments");
+            step.op = Op::Lock;
+        } else if (opcode == "unlock") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "unlock takes one PIN");
+            step.op = Op::Unlock;
+            step.pin = tokens[1];
+        } else if (opcode == "sleep" || opcode == "suspend") {
+            if (argc != 1)
+                throw ScenarioError(lineNo,
+                                    opcode + " takes one duration");
+            step.op = opcode == "sleep" ? Op::Sleep : Op::Suspend;
+            step.seconds = parseDuration(tokens[1], lineNo);
+        } else if (opcode == "wake") {
+            if (argc != 0)
+                throw ScenarioError(lineNo, "wake takes no arguments");
+            step.op = Op::Wake;
+        } else if (opcode == "touch") {
+            if (argc < 1 || argc > 2)
+                throw ScenarioError(lineNo,
+                                    "touch takes a name and optional size");
+            step.op = Op::Touch;
+            step.name = tokens[1];
+            if (!spawned.contains(step.name))
+                throw ScenarioError(lineNo, "touch of unknown process '" +
+                                                step.name + "'");
+            step.bytes =
+                argc == 2 ? parseSize(tokens[2], lineNo) : 64 * KiB;
+        } else if (opcode == "filebench") {
+            if (argc < 1)
+                throw ScenarioError(lineNo, "filebench needs an I/O size");
+            step.op = Op::Filebench;
+            step.bytes = parseSize(tokens[1], lineNo);
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (tokens[i] == "seqread")
+                    step.workload = os::FilebenchWorkload::SeqRead;
+                else if (tokens[i] == "randread")
+                    step.workload = os::FilebenchWorkload::RandRead;
+                else if (tokens[i] == "randrw")
+                    step.workload = os::FilebenchWorkload::RandRW;
+                else if (tokens[i] == "direct")
+                    step.directIo = true;
+                else
+                    throw ScenarioError(lineNo,
+                                        "unknown filebench flag '" +
+                                            tokens[i] + "'");
+            }
+        } else if (opcode == "attack") {
+            if (argc < 1)
+                throw ScenarioError(lineNo, "attack needs a kind");
+            step.op = Op::Attack;
+            if (tokens[1] == "cold_boot")
+                step.attack = AttackKind::ColdBootReflash;
+            else if (tokens[1] == "os_reboot")
+                step.attack = AttackKind::OsReboot;
+            else if (tokens[1] == "2s_reset")
+                step.attack = AttackKind::TwoSecondReset;
+            else if (tokens[1] == "dma")
+                step.attack = AttackKind::Dma;
+            else
+                throw ScenarioError(
+                    lineNo, "unknown attack '" + tokens[1] +
+                                "' (cold_boot, os_reboot, 2s_reset, dma)");
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (tokens[i] == "frozen") {
+                    if (step.attack == AttackKind::Dma)
+                        throw ScenarioError(
+                            lineNo, "frozen only applies to cold-boot "
+                                    "attacks");
+                    step.frozen = true;
+                } else {
+                    throw ScenarioError(lineNo, "unknown attack flag '" +
+                                                    tokens[i] + "'");
+                }
+            }
+        } else if (opcode == "zero_freed") {
+            if (argc != 0)
+                throw ScenarioError(lineNo,
+                                    "zero_freed takes no arguments");
+            step.op = Op::ZeroFreed;
+        } else {
+            throw ScenarioError(lineNo, "unknown opcode '" + opcode + "'");
+        }
+        scenario.steps.push_back(step);
+    }
+
+    if (scenario.steps.empty())
+        throw ScenarioError(lineNo == 0 ? 1 : lineNo,
+                            "scenario has no statements");
+    return scenario;
+}
+
+Scenario
+loadScenarioFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw std::runtime_error("cannot read scenario file: " + path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    std::string name = path;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const std::size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos)
+        name = name.substr(0, dot);
+    return parseScenario(text.str(), name);
+}
+
+namespace
+{
+
+/**
+ * A day of interactive use: a sensitive mail client and a non-sensitive
+ * game, several lock/unlock cycles, a mid-day DMA probe against the
+ * locked device, filebench I/O through dm-crypt, and a suspend nap.
+ */
+const char INTERACTIVE_DAY[] = R"(
+devices 8
+jitter 30
+spawn mail sensitive heap 512KiB dma 64KiB
+spawn game heap 256KiB
+touch mail 128KiB
+lock
+sleep 2s
+unlock 0000
+touch mail 64KiB
+touch game 64KiB
+lock
+sleep 500ms
+attack dma
+unlock 0000
+filebench 2MiB randread
+lock
+suspend 5s
+wake
+unlock 0000
+touch mail 256KiB
+lock
+sleep 250ms
+unlock 0000
+zero_freed
+)";
+
+/**
+ * The paper's introduction scenario: mail keeps syncing while the
+ * device sits locked, paged through locked cache ways; a DMA attacker
+ * probes the locked device and finds nothing.
+ */
+const char BACKGROUND_MAIL[] = R"(
+devices 4
+platform tegra3
+spawn mail sensitive background heap 256KiB
+touch mail 64KiB
+lock
+touch mail 32KiB
+sleep 1s
+touch mail 32KiB
+attack dma
+sleep 500ms
+unlock 0000
+touch mail 64KiB
+)";
+
+/**
+ * The full Table 3 gauntlet against one locked device: live DMA dump,
+ * then the three cold-boot variants (the last one frozen at -18 °C).
+ */
+const char ATTACK_CAMPAIGN[] = R"(
+devices 8
+spawn wallet sensitive heap 128KiB
+spawn leaky heap 64KiB
+touch wallet 32KiB
+lock
+sleep 100ms
+attack dma
+attack cold_boot
+attack os_reboot
+attack 2s_reset frozen
+)";
+
+/** Minimal per-device work for scaling benches and TSAN smoke runs. */
+const char FLEET_SMOKE[] = R"(
+devices 4
+spawn mail sensitive heap 128KiB dma 16KiB
+lock
+sleep 250ms
+attack dma
+unlock 0000
+touch mail 32KiB
+lock
+unlock 0000
+)";
+
+struct Preset
+{
+    const char *name;
+    const char *text;
+};
+
+const Preset PRESETS[] = {
+    {"interactive-day", INTERACTIVE_DAY},
+    {"background-mail", BACKGROUND_MAIL},
+    {"attack-campaign", ATTACK_CAMPAIGN},
+    {"fleet-smoke", FLEET_SMOKE},
+};
+
+} // namespace
+
+std::vector<std::string>
+builtinScenarioNames()
+{
+    std::vector<std::string> names;
+    for (const Preset &preset : PRESETS)
+        names.emplace_back(preset.name);
+    return names;
+}
+
+bool
+isBuiltinScenario(const std::string &name)
+{
+    for (const Preset &preset : PRESETS) {
+        if (name == preset.name)
+            return true;
+    }
+    return false;
+}
+
+Scenario
+builtinScenario(const std::string &name)
+{
+    for (const Preset &preset : PRESETS) {
+        if (name == preset.name)
+            return parseScenario(preset.text, preset.name);
+    }
+    throw std::runtime_error("unknown built-in scenario: " + name);
+}
+
+} // namespace sentry::fleet

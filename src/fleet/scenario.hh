@@ -1,0 +1,182 @@
+/**
+ * @file
+ * SentryFleet scenario DSL.
+ *
+ * A scenario is a line-oriented script driving one simulated device
+ * through a day in its life: spawning (possibly sensitive) apps,
+ * locking and unlocking the screen, sleeping, suspending, running
+ * filebench I/O through dm-crypt, and mounting the paper's memory
+ * attacks against the locked device. The fleet engine (fleet.hh) runs
+ * N independent devices through the same scenario concurrently.
+ *
+ * Grammar (one statement per line; '#' starts a comment):
+ *
+ *   devices N                      # default fleet size (1..4096)
+ *   platform tegra3|nexus4         # default platform
+ *   jitter PCT                     # per-device size/duration spread
+ *                                  # (0..90; default 0 = homogeneous)
+ *   spawn NAME [sensitive] [background] [heap SIZE] [dma SIZE]
+ *   lock
+ *   unlock PIN
+ *   sleep DURATION                 # idle simulated time (250ms, 2s, ...)
+ *   suspend DURATION               # S3 suspend-to-RAM (locks first)
+ *   wake                           # wake from suspend (still locked)
+ *   touch NAME [SIZE]              # touch app memory through paging
+ *   filebench SIZE [seqread|randread|randrw] [direct]
+ *   attack cold_boot|os_reboot|2s_reset|dma [frozen]
+ *   zero_freed                     # run the freed-page zeroing kthread
+ *
+ * SIZE is an integer with an optional B/KiB/MiB/GiB suffix; DURATION is
+ * a number with a mandatory us/ms/s suffix. All parse and validation
+ * failures raise ScenarioError carrying the 1-based line number —
+ * malformed input must never crash the engine.
+ */
+
+#ifndef SENTRY_FLEET_SCENARIO_HH
+#define SENTRY_FLEET_SCENARIO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "os/filebench.hh"
+
+namespace sentry::fleet
+{
+
+/** Upper bound on the fleet size a scenario or CLI may request. */
+constexpr unsigned MAX_DEVICES = 4096;
+
+/** Parse/validation failure; carries the offending 1-based line. */
+class ScenarioError : public std::runtime_error
+{
+  public:
+    ScenarioError(unsigned line, const std::string &what)
+        : std::runtime_error("line " + std::to_string(line) + ": " + what),
+          line_(line)
+    {}
+
+    /** @return 1-based line number of the offending statement. */
+    unsigned line() const { return line_; }
+
+  private:
+    unsigned line_;
+};
+
+/** Simulated platform a scenario runs on. */
+enum class FleetPlatform
+{
+    Tegra3,
+    Nexus4,
+};
+
+/** Statement opcodes. */
+enum class Op
+{
+    Spawn,
+    Lock,
+    Unlock,
+    Sleep,
+    Suspend,
+    Wake,
+    Touch,
+    Filebench,
+    Attack,
+    ZeroFreed,
+};
+
+/** Attack selector for `attack` statements. */
+enum class AttackKind
+{
+    ColdBootReflash, //!< `cold_boot`: ~7 ms power tap + flashing tool
+    OsReboot,        //!< `os_reboot`: warm reboot, no power loss
+    TwoSecondReset,  //!< `2s_reset`: 2 s without power
+    Dma,             //!< `dma`: live peripheral dump, non-destructive
+};
+
+/** @return the DSL spelling of @p kind. */
+const char *attackKindName(AttackKind kind);
+
+/** One parsed statement. */
+struct Step
+{
+    Op op = Op::Lock;
+    unsigned line = 0;      //!< 1-based source line (for diagnostics)
+    std::string name;       //!< spawn/touch target process
+    std::string pin;        //!< unlock argument
+    bool sensitive = false; //!< spawn: protect with Sentry
+    bool background = false; //!< spawn: keep running while locked
+    bool frozen = false;     //!< attack: -18 °C freezer variant
+    bool directIo = false;   //!< filebench: bypass the buffer cache
+    std::size_t bytes = 0;   //!< heap/touch/filebench size
+    std::size_t dmaBytes = 0; //!< spawn: DMA-region VMA (0 = none)
+    double seconds = 0.0;    //!< sleep/suspend duration
+    os::FilebenchWorkload workload = os::FilebenchWorkload::RandRead;
+    AttackKind attack = AttackKind::Dma;
+};
+
+/** A parsed scenario. */
+struct Scenario
+{
+    std::string name;
+    std::vector<Step> steps;
+    /** `devices` directive value; 0 when the scenario didn't say. */
+    unsigned defaultDevices = 0;
+    /** `platform` directive; engine default applies when unset. */
+    bool hasPlatform = false;
+    FleetPlatform platform = FleetPlatform::Tegra3;
+    /**
+     * `jitter` directive: fraction (0..0.9) by which each device
+     * deterministically scales its sizes and durations, so a fleet
+     * models a heterogeneous population instead of N clones and the
+     * latency percentiles spread out. 0 = all devices identical.
+     */
+    double jitter = 0.0;
+
+    /** @return true when any spawn asks for background execution. */
+    bool needsBackground() const;
+};
+
+/**
+ * Parse scenario @p text.
+ * @param name label recorded in reports
+ * @throws ScenarioError on any malformed or out-of-range statement
+ */
+Scenario parseScenario(const std::string &text, const std::string &name);
+
+/**
+ * Load and parse a `.scn` file.
+ * @throws std::runtime_error when the file cannot be read
+ * @throws ScenarioError on parse failure
+ */
+Scenario loadScenarioFile(const std::string &path);
+
+/** @return names of the built-in presets. */
+std::vector<std::string> builtinScenarioNames();
+
+/** @return true when @p name is a built-in preset. */
+bool isBuiltinScenario(const std::string &name);
+
+/**
+ * @return a built-in preset (interactive-day, background-mail,
+ *         attack-campaign, fleet-smoke).
+ * @throws std::runtime_error for unknown names
+ */
+Scenario builtinScenario(const std::string &name);
+
+/**
+ * Parse a size token ("4MiB", "512KiB", "4096").
+ * @throws ScenarioError (with @p line) when malformed or zero
+ */
+std::size_t parseSize(const std::string &token, unsigned line);
+
+/**
+ * Parse a duration token ("250ms", "2s", "100us").
+ * @throws ScenarioError (with @p line) when malformed or non-positive
+ */
+double parseDuration(const std::string &token, unsigned line);
+
+} // namespace sentry::fleet
+
+#endif // SENTRY_FLEET_SCENARIO_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Scenario DSL parser coverage: every malformed input must fail with a
+ * line-numbered ScenarioError (never a crash), and the built-in
+ * presets must parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fleet/scenario.hh"
+
+using namespace sentry;
+using namespace sentry::fleet;
+
+namespace
+{
+
+/** Parse and return the error, failing the test when it doesn't throw. */
+ScenarioError
+parseFailure(const std::string &text)
+{
+    try {
+        parseScenario(text, "t");
+    } catch (const ScenarioError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "expected ScenarioError for:\n" << text;
+    return ScenarioError(0, "did not throw");
+}
+
+} // namespace
+
+TEST(FleetScenario, PresetsParse)
+{
+    for (const std::string &name : builtinScenarioNames()) {
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(isBuiltinScenario(name));
+        const Scenario scenario = builtinScenario(name);
+        EXPECT_EQ(scenario.name, name);
+        EXPECT_FALSE(scenario.steps.empty());
+        EXPECT_GE(scenario.defaultDevices, 1u);
+    }
+    EXPECT_FALSE(isBuiltinScenario("no-such-preset"));
+    EXPECT_THROW(builtinScenario("no-such-preset"), std::runtime_error);
+}
+
+TEST(FleetScenario, ParsesFullGrammar)
+{
+    const Scenario s = parseScenario(
+        "# header comment\n"
+        "devices 12\n"
+        "platform nexus4\n"
+        "jitter 25\n"
+        "spawn mail sensitive heap 512KiB dma 8KiB\n"
+        "spawn radio sensitive background\n"
+        "spawn game  # trailing comment\n"
+        "touch mail 128KiB\n"
+        "lock\n"
+        "sleep 250ms\n"
+        "attack dma\n"
+        "attack cold_boot frozen\n"
+        "unlock 0000\n"
+        "filebench 4MiB randrw direct\n"
+        "suspend 1.5s\n"
+        "wake\n"
+        "zero_freed\n",
+        "full");
+    EXPECT_EQ(s.defaultDevices, 12u);
+    EXPECT_TRUE(s.hasPlatform);
+    EXPECT_EQ(s.platform, FleetPlatform::Nexus4);
+    EXPECT_DOUBLE_EQ(s.jitter, 0.25);
+    EXPECT_TRUE(s.needsBackground());
+    ASSERT_EQ(s.steps.size(), 13u);
+
+    const Step &mail = s.steps[0];
+    EXPECT_EQ(mail.op, Op::Spawn);
+    EXPECT_TRUE(mail.sensitive);
+    EXPECT_EQ(mail.bytes, 512 * KiB);
+    EXPECT_EQ(mail.dmaBytes, 8 * KiB);
+    EXPECT_EQ(mail.line, 5u);
+
+    const Step &sleep = s.steps[5];
+    EXPECT_EQ(sleep.op, Op::Sleep);
+    EXPECT_DOUBLE_EQ(sleep.seconds, 0.25);
+
+    const Step &frozen = s.steps[7];
+    EXPECT_EQ(frozen.op, Op::Attack);
+    EXPECT_EQ(frozen.attack, AttackKind::ColdBootReflash);
+    EXPECT_TRUE(frozen.frozen);
+
+    const Step &fb = s.steps[9];
+    EXPECT_EQ(fb.op, Op::Filebench);
+    EXPECT_EQ(fb.workload, os::FilebenchWorkload::RandRW);
+    EXPECT_TRUE(fb.directIo);
+}
+
+TEST(FleetScenario, BadOpcodeReportsLine)
+{
+    const ScenarioError e =
+        parseFailure("spawn mail\nlock\nexplode now\n");
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unknown opcode"),
+              std::string::npos);
+}
+
+TEST(FleetScenario, MalformedDurationReportsLine)
+{
+    EXPECT_EQ(parseFailure("spawn a\nsleep 250\n").line(), 2u);
+    EXPECT_EQ(parseFailure("sleep xyzms\n").line(), 1u);
+    EXPECT_EQ(parseFailure("sleep -1s\n").line(), 1u);
+    EXPECT_EQ(parseFailure("sleep 0ms\n").line(), 1u);
+    EXPECT_EQ(parseFailure("suspend 9000s\n").line(), 1u);
+}
+
+TEST(FleetScenario, MalformedSizeReportsLine)
+{
+    EXPECT_EQ(parseFailure("spawn a heap 4MB\n").line(), 1u);
+    EXPECT_EQ(parseFailure("spawn a heap 0KiB\n").line(), 1u);
+    EXPECT_EQ(parseFailure("lock\nfilebench 1GiB\n").line(), 2u);
+    EXPECT_EQ(parseFailure("spawn a\ntouch a 12.5KiB\n").line(), 2u);
+}
+
+TEST(FleetScenario, DeviceCountOutOfRangeReportsLine)
+{
+    EXPECT_EQ(parseFailure("devices 0\nlock\n").line(), 1u);
+    EXPECT_EQ(parseFailure("lock\ndevices 5000\n").line(), 2u);
+    EXPECT_EQ(parseFailure("devices many\nlock\n").line(), 1u);
+
+    const ScenarioError e = parseFailure("lock\ndevices 99999\n");
+    EXPECT_NE(std::string(e.what()).find("out of range"),
+              std::string::npos);
+}
+
+TEST(FleetScenario, SemanticErrorsReportLine)
+{
+    // background without sensitive
+    EXPECT_EQ(parseFailure("spawn mail background\n").line(), 1u);
+    // duplicate spawn
+    EXPECT_EQ(parseFailure("spawn a\nspawn a\n").line(), 2u);
+    // touch of a process never spawned
+    EXPECT_EQ(parseFailure("spawn a\ntouch b\n").line(), 2u);
+    // frozen DMA makes no sense
+    EXPECT_EQ(parseFailure("attack dma frozen\n").line(), 1u);
+    // unknown attack
+    EXPECT_EQ(parseFailure("attack rowhammer\n").line(), 1u);
+    // stray arguments
+    EXPECT_EQ(parseFailure("lock now\n").line(), 1u);
+    EXPECT_EQ(parseFailure("unlock\n").line(), 1u);
+    // bad jitter
+    EXPECT_EQ(parseFailure("jitter 150\n").line(), 1u);
+    // empty scenario
+    EXPECT_THROW(parseScenario("# only comments\n\n", "t"),
+                 ScenarioError);
+}
+
+TEST(FleetScenario, SizeAndDurationUnits)
+{
+    EXPECT_EQ(parseSize("4096", 1), 4096u);
+    EXPECT_EQ(parseSize("16B", 1), 16u);
+    EXPECT_EQ(parseSize("512KiB", 1), 512 * KiB);
+    EXPECT_EQ(parseSize("4MiB", 1), 4 * MiB);
+    EXPECT_DOUBLE_EQ(parseDuration("100us", 1), 100e-6);
+    EXPECT_DOUBLE_EQ(parseDuration("250ms", 1), 0.25);
+    EXPECT_DOUBLE_EQ(parseDuration("2s", 1), 2.0);
+    EXPECT_DOUBLE_EQ(parseDuration("1.5s", 1), 1.5);
+}
+
+TEST(FleetScenario, LoadsScenarioFile)
+{
+    const std::string path =
+        testing::TempDir() + "/fleet_scenario_test.scn";
+    {
+        std::ofstream file(path);
+        file << "devices 2\nspawn mail sensitive\nlock\nunlock 0000\n";
+    }
+    const Scenario s = loadScenarioFile(path);
+    EXPECT_EQ(s.name, "fleet_scenario_test");
+    EXPECT_EQ(s.defaultDevices, 2u);
+    EXPECT_EQ(s.steps.size(), 3u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(loadScenarioFile("/nonexistent/missing.scn"),
+                 std::runtime_error);
+}
