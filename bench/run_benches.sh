@@ -8,7 +8,9 @@
 # drift is a correctness regression and fails the run.
 #
 # When the build was configured with -DSENTRY_TSAN=ON, the fleet test
-# label also runs under ThreadSanitizer at the end.
+# label also runs under ThreadSanitizer at the end. With -DSENTRY_ASAN=ON
+# or -DSENTRY_UBSAN=ON the full tier-1 test suite runs under that
+# sanitizer instead.
 #
 # Usage: bench/run_benches.sh
 #   BUILD_DIR=...  override the build tree (default: <repo>/build)
@@ -77,3 +79,13 @@ if grep -q "^SENTRY_TSAN:BOOL=ON$" "$BUILD/CMakeCache.txt"; then
     cmake --build "$BUILD" -j --target sentry_fleet_tests
     ctest --test-dir "$BUILD" -L fleet --output-on-failure
 fi
+
+# ASAN/UBSAN builds: the whole tier-1 suite runs under the sanitizer
+# (memory errors and UB hide anywhere, not just in the threaded code).
+for san in ASAN UBSAN; do
+    if grep -q "^SENTRY_${san}:BOOL=ON$" "$BUILD/CMakeCache.txt"; then
+        echo "== tier-1 tests under SENTRY_${san} =="
+        cmake --build "$BUILD" -j
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+    fi
+done

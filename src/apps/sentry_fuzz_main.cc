@@ -1,0 +1,225 @@
+/**
+ * @file
+ * sentry_fuzz — FaultSim invariant fuzzer.
+ *
+ * Campaign mode generates random (scenario, fault schedule) trials from
+ * a seed, runs each on one simulated device with the full security
+ * audit after every step, and shrinks any failure to a minimal
+ * reproducer written to disk:
+ *
+ *   $ sentry_fuzz --seed 0xdecaf --trials 16
+ *
+ * Replay mode re-runs a reproducer file and reports whether the
+ * recorded verdict reproduces:
+ *
+ *   $ sentry_fuzz --schedule FUZZ_repro_3.fuzz
+ *
+ * All output is deterministic (no timestamps, no host randomness), so
+ * two runs with the same arguments are byte-identical.
+ *
+ * Exit status, campaign mode: 0 when every trial upheld the invariants,
+ * 1 when any failed. Replay mode: 0 when the recorded verdict
+ * reproduced (or the file had none and the trial passed), 1 otherwise.
+ * 2 on usage/parse errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "fault/fuzzer.hh"
+
+using namespace sentry;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: sentry_fuzz [options]\n"
+        "  --seed HEX|DEC   campaign seed (default 0x5e47f0220000001)\n"
+        "  --trials N       trials to run (default 8)\n"
+        "  --steps N        approx. scenario steps per trial (default 18)\n"
+        "  --schedule FILE  replay a reproducer instead of fuzzing\n"
+        "  --repro-dir DIR  where to write reproducers (default '.')\n"
+        "  --no-shrink      keep failing trials unminimized\n"
+        "  --platform NAME  tegra3 or nexus4 (default tegra3)\n"
+        "  --dram SIZE      per-trial DRAM, e.g. 16MiB\n");
+}
+
+[[noreturn]] void
+usageError(const std::string &what)
+{
+    std::fprintf(stderr, "sentry_fuzz: %s\n", what.c_str());
+    usage();
+    std::exit(2);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc)
+        usageError(std::string(flag) + " needs a value");
+    return argv[++i];
+}
+
+std::string
+trialSummary(const fault::FuzzTrialSpec &spec)
+{
+    std::ostringstream out;
+    out << spec.scenario.steps.size() << " steps, "
+        << spec.faults.faults.size() << " faults";
+    return out.str();
+}
+
+int
+replay(const std::string &path, const fault::FuzzOptions &options)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "sentry_fuzz: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    fault::TrialFile file;
+    try {
+        file = fault::parseTrialFile(text.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sentry_fuzz: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+    }
+
+    const fault::TrialOutcome outcome =
+        fault::runTrial(file.spec, options);
+    std::printf("replay %s: seed 0x%llx (%s)\n", path.c_str(),
+                static_cast<unsigned long long>(file.spec.seed),
+                trialSummary(file.spec).c_str());
+    std::printf("  verdict %s  [%s]\n", outcome.ok ? "OK" : "FAIL",
+                outcome.digest.c_str());
+    if (!outcome.ok)
+        std::printf("  error: %s\n", outcome.error.c_str());
+
+    if (!file.hasExpectation)
+        return outcome.ok ? 0 : 1;
+    const bool reproduced = file.expectFail != outcome.ok;
+    std::printf("  recorded verdict %s: %s\n",
+                file.expectFail ? "FAIL" : "OK",
+                reproduced ? "reproduced" : "DIVERGED");
+    return reproduced ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    fault::FuzzOptions options;
+    std::string schedulePath;
+    std::string reproDir = ".";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--seed") == 0) {
+            options.seed =
+                std::strtoull(nextArg(argc, argv, i, arg), nullptr, 0);
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            options.trials = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--steps") == 0) {
+            options.steps = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--schedule") == 0) {
+            schedulePath = nextArg(argc, argv, i, arg);
+        } else if (std::strcmp(arg, "--repro-dir") == 0) {
+            reproDir = nextArg(argc, argv, i, arg);
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+            options.shrink = false;
+        } else if (std::strcmp(arg, "--platform") == 0) {
+            const std::string name = nextArg(argc, argv, i, arg);
+            if (name == "tegra3")
+                options.platform = fleet::FleetPlatform::Tegra3;
+            else if (name == "nexus4")
+                options.platform = fleet::FleetPlatform::Nexus4;
+            else
+                usageError("unknown platform '" + name + "'");
+        } else if (std::strcmp(arg, "--dram") == 0) {
+            try {
+                options.dramBytes =
+                    fleet::parseSize(nextArg(argc, argv, i, arg), 0);
+            } catch (const fleet::ScenarioError &e) {
+                usageError(std::string("--dram: ") + e.what());
+            }
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usageError(std::string("unknown option '") + arg + "'");
+        }
+    }
+    if (options.trials == 0 || options.steps == 0)
+        usageError("--trials and --steps must be positive");
+
+    if (!schedulePath.empty())
+        return replay(schedulePath, options);
+
+    std::printf("campaign seed 0x%llx: %u trials, ~%u steps each\n",
+                static_cast<unsigned long long>(options.seed),
+                options.trials, options.steps);
+
+    unsigned failures = 0;
+    for (unsigned t = 0; t < options.trials; ++t) {
+        const fault::FuzzTrialSpec spec =
+            fault::generateTrial(options, t);
+        const fault::TrialOutcome outcome =
+            fault::runTrial(spec, options);
+        std::printf("trial %u seed 0x%llx (%s): %s  [%s]\n", t,
+                    static_cast<unsigned long long>(spec.seed),
+                    trialSummary(spec).c_str(),
+                    outcome.ok
+                        ? "OK"
+                        : ("FAIL/" + fault::classifyOutcome(outcome))
+                              .c_str(),
+                    outcome.digest.c_str());
+        if (outcome.ok)
+            continue;
+        ++failures;
+        std::printf("  error: %s\n", outcome.error.c_str());
+
+        fault::FuzzTrialSpec repro = spec;
+        fault::TrialOutcome reproOutcome = outcome;
+        if (options.shrink) {
+            repro = fault::shrinkTrial(spec, options);
+            reproOutcome = fault::runTrial(repro, options);
+            std::printf("  shrunk to %s\n",
+                        trialSummary(repro).c_str());
+        }
+        char name[96];
+        std::snprintf(name, sizeof(name),
+                      "%s/FUZZ_repro_%016llx_%u.fuzz", reproDir.c_str(),
+                      static_cast<unsigned long long>(options.seed), t);
+        std::ofstream out(name, std::ios::binary | std::ios::trunc);
+        if (out) {
+            out << fault::formatTrialFile(repro, &reproOutcome);
+            std::printf("  wrote %s\n", name);
+        } else {
+            std::fprintf(stderr, "sentry_fuzz: cannot write %s\n",
+                         name);
+        }
+    }
+    std::printf("%u/%u trials upheld the invariant set\n",
+                options.trials - failures, options.trials);
+    return failures == 0 ? 0 : 1;
+}

@@ -233,6 +233,9 @@ class SimAesEngine : public BlockCipher
     /** @return a host-side CBC clone for a kcryptd worker thread. */
     HostAesCbc hostCipherClone() const { return HostAesCbc(schedule_); }
 
+    /** @return the device this engine's state lives on. */
+    hw::Soc &soc() const { return soc_; }
+
     /**
      * Replay the bulk path's *simulated* side effects (ivec write,
      * register touches, irq-guarded chunks, time/energy charges at

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault injector.
+ *
+ * A FaultInjector owns a FaultSchedule and fires each spec when its
+ * site's operation counter reaches the trigger. All randomness (which
+ * bit flips, which lockdown bit clears, where a DMA burst lands) comes
+ * from a per-spec SplitMix64 stream seeded from the injector seed and
+ * the spec's index, so a run is bit-replayable from (schedule, seed):
+ * identical workloads produce identical operation counts, identical
+ * firing points, and identical corruption.
+ *
+ * Effects are applied through the armed Soc (raw cell arrays, the
+ * PL310 lockdown backdoor, the sim clock, the DMA engine), never
+ * through the hook caller, so the hardware models stay fault-agnostic.
+ * While an effect is being applied, nested hook invocations (a DMA
+ * burst's own bus reads, a duplicate write's DRAM op) still advance the
+ * site counters but cannot trigger further firings — fault effects do
+ * not cascade.
+ */
+
+#ifndef SENTRY_FAULT_FAULT_INJECTOR_HH
+#define SENTRY_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "fault/hooks.hh"
+
+namespace sentry::hw
+{
+class Soc;
+}
+
+namespace sentry::fault
+{
+
+/** Always-on operation and effect counters (all deterministic). */
+struct InjectorStats
+{
+    std::uint64_t dramOps = 0;
+    std::uint64_t iramOps = 0;
+    std::uint64_t busReads = 0;
+    std::uint64_t busWrites = 0;
+    std::uint64_t l2Writebacks = 0;
+    std::uint64_t kcryptdBlocks = 0;
+    std::uint64_t steps = 0;
+
+    std::uint64_t firings = 0;
+    std::uint64_t bitFlips = 0;
+    std::uint64_t busDuplicates = 0;
+    std::uint64_t delayCycles = 0;
+    double stallSeconds = 0.0;
+    std::uint64_t dmaBurstBytes = 0;
+    std::uint32_t lockdownBitsCleared = 0;
+};
+
+/** One firing of one scheduled fault. */
+struct FiringRecord
+{
+    unsigned specIndex = 0;       //!< index into the schedule
+    FaultKind kind = FaultKind::DramBitFlip;
+    std::uint64_t siteOrdinal = 0; //!< 1-based op count that triggered
+};
+
+/** Fires a FaultSchedule deterministically against one Soc. */
+class FaultInjector : public FaultHooks
+{
+  public:
+    /**
+     * @param schedule faults to fire (copied)
+     * @param seed     base seed for the per-spec SplitMix64 streams
+     */
+    FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+    ~FaultInjector() override;
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Install this injector's hooks on @p soc (DRAM, iRAM, bus, L2).
+     * The Soc must outlive the injector or disarm() must be called
+     * before the Soc is destroyed.
+     */
+    void arm(hw::Soc &soc);
+
+    /** Remove the hooks; the injector stops firing. */
+    void disarm();
+
+    /**
+     * Advance the harness step counter (the power_glitch site). Call
+     * once per scenario/fuzz step, then handle dueStepFaults().
+     */
+    void beginStep();
+
+    /**
+     * @return specs of power_glitch faults due at the current step, in
+     *         schedule order. The caller applies the power loss (it
+     *         owns the surrounding device state) and each returned spec
+     *         is recorded as fired.
+     */
+    std::vector<FaultSpec> dueStepFaults();
+
+    /** @return operation/effect counters. */
+    const InjectorStats &stats() const { return stats_; }
+
+    /** @return every firing so far, in order. */
+    const std::vector<FiringRecord> &firings() const { return firings_; }
+
+    /** @return the armed schedule. */
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /**
+     * @return a compact deterministic fingerprint of this run: site
+     *         counters plus every firing. Two bit-identical runs yield
+     *         equal digests; any divergence (extra op, shifted firing)
+     *         changes it.
+     */
+    std::string replayDigest() const;
+
+    // FaultHooks
+    void onDramOp(bool is_write, PhysAddr offset, std::size_t len) override;
+    void onIramOp(bool is_write, PhysAddr offset, std::size_t len) override;
+    void onBusRead(PhysAddr addr, std::size_t len) override;
+    unsigned onBusWrite(PhysAddr addr, std::size_t len) override;
+    void onL2Writeback(unsigned way, bool way_locked) override;
+    double onKcryptdBlock() override;
+
+  private:
+    /** @return true when @p spec fires at 1-based op count @p ordinal. */
+    static bool due(const FaultSpec &spec, std::uint64_t ordinal);
+
+    /** Next 64 bits of spec @p index's deterministic stream. */
+    std::uint64_t draw(unsigned index);
+
+    void record(unsigned index, std::uint64_t ordinal);
+
+    void fireDramBitFlip(const FaultSpec &spec, unsigned index);
+    void fireIramBitFlip(const FaultSpec &spec, unsigned index);
+    void fireLockdownGlitch(const FaultSpec &spec, unsigned index);
+    void fireDmaBurst(const FaultSpec &spec, unsigned index);
+
+    FaultSchedule schedule_;
+    std::vector<std::uint64_t> streams_; //!< per-spec SplitMix64 state
+    hw::Soc *soc_ = nullptr;
+    InjectorStats stats_;
+    std::vector<FiringRecord> firings_;
+    bool firing_ = false; //!< reentrancy guard: effects don't cascade
+};
+
+} // namespace sentry::fault
+
+#endif // SENTRY_FAULT_FAULT_INJECTOR_HH

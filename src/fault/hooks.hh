@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hook interface the hardware and OS models consult when fault
+ * injection is armed.
+ *
+ * The interface is purely observational from the caller's point of
+ * view: a device reports that an operation happened and (for bus
+ * writes) asks how many duplicate transactions to issue. All fault
+ * *effects* — bit flips, register glitches, clock stalls, DMA bursts —
+ * are applied by the FaultInjector through its own reference to the
+ * simulated SoC, so the hardware models stay free of fault-model
+ * knowledge and pay a single null-pointer check when injection is off.
+ *
+ * Hooks are only ever invoked on the thread driving the simulated
+ * machine (a Device is share-nothing and single-threaded); kcryptd
+ * worker threads never call them.
+ */
+
+#ifndef SENTRY_FAULT_HOOKS_HH
+#define SENTRY_FAULT_HOOKS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sentry::fault
+{
+
+/** Injection sites a device reports operations from. */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /** A DRAM cell-array access (line fill, writeback, or DMA). */
+    virtual void onDramOp(bool is_write, PhysAddr offset,
+                          std::size_t len) = 0;
+
+    /** An iRAM cell-array access (CPU or DMA side). */
+    virtual void onIramOp(bool is_write, PhysAddr offset,
+                          std::size_t len) = 0;
+
+    /** An external-bus read transaction completed. */
+    virtual void onBusRead(PhysAddr addr, std::size_t len) = 0;
+
+    /**
+     * An external-bus write transaction completed.
+     * @return how many duplicate transactions the bus should issue
+     *         (a glitched bus replays the write; observers see every
+     *         copy). 0 in the common case.
+     */
+    virtual unsigned onBusWrite(PhysAddr addr, std::size_t len) = 0;
+
+    /** The L2 wrote a dirty line back to DRAM. */
+    virtual void onL2Writeback(unsigned way, bool way_locked) = 0;
+
+    /**
+     * A kcryptd worker picked up one 512-byte block.
+     * @return extra stall seconds to charge to the simulated clock
+     *         (models a descheduled or glitched worker). 0.0 normally.
+     */
+    virtual double onKcryptdBlock() = 0;
+};
+
+} // namespace sentry::fault
+
+#endif // SENTRY_FAULT_HOOKS_HH

@@ -27,6 +27,11 @@
 #include "common/types.hh"
 #include "fleet/scenario.hh"
 
+namespace sentry::fault
+{
+struct FaultSchedule;
+}
+
 namespace sentry::fleet
 {
 
@@ -41,6 +46,12 @@ struct FleetOptions
     std::size_t dramBytes = 16 * MiB;
     /** Run the full security audit after every step (vs attacks only). */
     bool auditEveryStep = true;
+    /**
+     * FaultSim schedule armed on every device (nullptr/empty = no
+     * injection). Each device seeds its injector from its device seed,
+     * so a fleet run with faults stays bit-replayable.
+     */
+    const fault::FaultSchedule *faultSchedule = nullptr;
 };
 
 /** Deterministic per-device results (everything simulated). */
@@ -74,6 +85,12 @@ struct DeviceResult
     std::uint64_t l2Misses = 0;
     std::uint64_t busReads = 0;
     std::uint64_t busWrites = 0;
+
+    // FaultSim (all zero/empty when no schedule was armed)
+    std::uint64_t faultFirings = 0;  //!< scheduled faults that fired
+    std::uint64_t faultBitFlips = 0; //!< memory bits corrupted
+    bool powerGlitched = false;      //!< a power_glitch ended the run
+    std::string faultDigest;         //!< injector replay fingerprint
 };
 
 /**

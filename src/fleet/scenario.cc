@@ -1,6 +1,7 @@
 #include "fleet/scenario.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -81,6 +82,10 @@ attackKindName(AttackKind kind)
         return "2s_reset";
       case AttackKind::Dma:
         return "dma";
+      case AttackKind::BusMonitor:
+        return "bus_monitor";
+      case AttackKind::CodeInjection:
+        return "code_injection";
     }
     return "?";
 }
@@ -330,13 +335,20 @@ parseScenario(const std::string &text, const std::string &name)
                 step.attack = AttackKind::TwoSecondReset;
             else if (tokens[1] == "dma")
                 step.attack = AttackKind::Dma;
+            else if (tokens[1] == "bus_monitor")
+                step.attack = AttackKind::BusMonitor;
+            else if (tokens[1] == "code_injection")
+                step.attack = AttackKind::CodeInjection;
             else
                 throw ScenarioError(
                     lineNo, "unknown attack '" + tokens[1] +
-                                "' (cold_boot, os_reboot, 2s_reset, dma)");
+                                "' (cold_boot, os_reboot, 2s_reset, dma, "
+                                "bus_monitor, code_injection)");
             for (std::size_t i = 2; i < tokens.size(); ++i) {
                 if (tokens[i] == "frozen") {
-                    if (step.attack == AttackKind::Dma)
+                    if (step.attack == AttackKind::Dma ||
+                        step.attack == AttackKind::BusMonitor ||
+                        step.attack == AttackKind::CodeInjection)
                         throw ScenarioError(
                             lineNo, "frozen only applies to cold-boot "
                                     "attacks");
@@ -361,6 +373,108 @@ parseScenario(const std::string &text, const std::string &name)
         throw ScenarioError(lineNo == 0 ? 1 : lineNo,
                             "scenario has no statements");
     return scenario;
+}
+
+namespace
+{
+
+/** Emit @p seconds as a whole-microsecond duration token. */
+std::string
+formatDuration(double seconds)
+{
+    long long us = static_cast<long long>(seconds * 1e6 + 0.5);
+    if (us < 1)
+        us = 1; // parseDuration rejects non-positive durations
+    return std::to_string(us) + "us";
+}
+
+const char *
+workloadName(os::FilebenchWorkload workload)
+{
+    switch (workload) {
+      case os::FilebenchWorkload::SeqRead:
+        return "seqread";
+      case os::FilebenchWorkload::RandRead:
+        return "randread";
+      case os::FilebenchWorkload::RandRW:
+        return "randrw";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+formatStep(const Step &step)
+{
+    std::ostringstream out;
+    switch (step.op) {
+      case Op::Spawn:
+        out << "spawn " << step.name;
+        if (step.sensitive)
+            out << " sensitive";
+        if (step.background)
+            out << " background";
+        out << " heap " << step.bytes;
+        if (step.dmaBytes != 0)
+            out << " dma " << step.dmaBytes;
+        break;
+      case Op::Lock:
+        out << "lock";
+        break;
+      case Op::Unlock:
+        out << "unlock " << step.pin;
+        break;
+      case Op::Sleep:
+        out << "sleep " << formatDuration(step.seconds);
+        break;
+      case Op::Suspend:
+        out << "suspend " << formatDuration(step.seconds);
+        break;
+      case Op::Wake:
+        out << "wake";
+        break;
+      case Op::Touch:
+        out << "touch " << step.name << ' ' << step.bytes;
+        break;
+      case Op::Filebench:
+        out << "filebench " << step.bytes << ' '
+            << workloadName(step.workload);
+        if (step.directIo)
+            out << " direct";
+        break;
+      case Op::Attack:
+        out << "attack " << attackKindName(step.attack);
+        if (step.frozen)
+            out << " frozen";
+        break;
+      case Op::ZeroFreed:
+        out << "zero_freed";
+        break;
+    }
+    return out.str();
+}
+
+std::string
+formatScenario(const Scenario &scenario)
+{
+    std::ostringstream out;
+    if (scenario.defaultDevices != 0)
+        out << "devices " << scenario.defaultDevices << '\n';
+    if (scenario.hasPlatform) {
+        out << "platform "
+            << (scenario.platform == FleetPlatform::Tegra3 ? "tegra3"
+                                                           : "nexus4")
+            << '\n';
+    }
+    if (scenario.jitter > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", scenario.jitter * 100.0);
+        out << "jitter " << buf << '\n';
+    }
+    for (const Step &step : scenario.steps)
+        out << formatStep(step) << '\n';
+    return out.str();
 }
 
 Scenario

@@ -23,7 +23,8 @@
  *   wake                           # wake from suspend (still locked)
  *   touch NAME [SIZE]              # touch app memory through paging
  *   filebench SIZE [seqread|randread|randrw] [direct]
- *   attack cold_boot|os_reboot|2s_reset|dma [frozen]
+ *   attack cold_boot|os_reboot|2s_reset|dma|bus_monitor|code_injection
+ *          [frozen]
  *   zero_freed                     # run the freed-page zeroing kthread
  *
  * SIZE is an integer with an optional B/KiB/MiB/GiB suffix; DURATION is
@@ -93,6 +94,8 @@ enum class AttackKind
     OsReboot,        //!< `os_reboot`: warm reboot, no power loss
     TwoSecondReset,  //!< `2s_reset`: 2 s without power
     Dma,             //!< `dma`: live peripheral dump, non-destructive
+    BusMonitor,      //!< `bus_monitor`: DDR probe capturing live traffic
+    CodeInjection,   //!< `code_injection`: DMA write + firmware replace
 };
 
 /** @return the DSL spelling of @p kind. */
@@ -164,6 +167,19 @@ bool isBuiltinScenario(const std::string &name);
  * @throws std::runtime_error for unknown names
  */
 Scenario builtinScenario(const std::string &name);
+
+/**
+ * Serialize @p step back to one DSL line (no trailing newline).
+ * Sizes are emitted in raw bytes and durations in whole microseconds,
+ * both of which parseScenario round-trips exactly.
+ */
+std::string formatStep(const Step &step);
+
+/**
+ * Serialize @p scenario (directives + steps) so parseScenario yields an
+ * equivalent scenario. Used by the fuzzer to write reproducers.
+ */
+std::string formatScenario(const Scenario &scenario);
 
 /**
  * Parse a size token ("4MiB", "512KiB", "4096").

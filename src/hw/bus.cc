@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
@@ -79,6 +80,8 @@ Bus::read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
     m.target->busRead(addr - m.base, buf, len);
     ++stats_.reads;
     stats_.readBytes += len;
+    if (faultHooks_ != nullptr)
+        faultHooks_->onBusRead(addr, len);
     if (!observers_.empty())
         notify({addr, static_cast<std::uint32_t>(len), false, initiator,
                 buf});
@@ -92,6 +95,21 @@ Bus::write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
     m.target->busWrite(addr - m.base, buf, len);
     ++stats_.writes;
     stats_.writeBytes += len;
+    // A glitched interconnect may replay the transaction. Duplicates go
+    // to the same target and are visible to observers, but do NOT
+    // re-consult the hooks — a duplicate must not trigger further
+    // duplication.
+    unsigned duplicates = 0;
+    if (faultHooks_ != nullptr)
+        duplicates = faultHooks_->onBusWrite(addr, len);
+    for (unsigned i = 0; i < duplicates; ++i) {
+        m.target->busWrite(addr - m.base, buf, len);
+        ++stats_.writes;
+        stats_.writeBytes += len;
+        if (!observers_.empty())
+            notify({addr, static_cast<std::uint32_t>(len), true,
+                    initiator, buf});
+    }
     if (!observers_.empty())
         notify({addr, static_cast<std::uint32_t>(len), true, initiator,
                 buf});

@@ -18,6 +18,11 @@
 
 #include "common/types.hh"
 
+namespace sentry::fault
+{
+class FaultHooks;
+}
+
 namespace sentry::hw
 {
 
@@ -110,6 +115,9 @@ class Bus
     /** Zero the transaction counters. */
     void clearStats() { stats_ = BusStats{}; }
 
+    /** Arm (or with nullptr disarm) fault injection on this bus. */
+    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+
   private:
     struct Mapping
     {
@@ -129,6 +137,7 @@ class Bus
     // scan into a single range check on the hot path.
     mutable std::size_t lastRoute_ = SIZE_MAX;
     BusStats stats_;
+    fault::FaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace sentry::hw

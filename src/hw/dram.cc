@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
@@ -20,6 +21,8 @@ Dram::busRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
     if (offset + len > data_.size())
         panic("DRAM read out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
+    if (faultHooks_ != nullptr)
+        faultHooks_->onDramOp(false, offset, len);
     std::memcpy(buf, data_.data() + offset, len);
 }
 
@@ -30,6 +33,8 @@ Dram::busWrite(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
         panic("DRAM write out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
     std::memcpy(data_.data() + offset, buf, len);
+    if (faultHooks_ != nullptr)
+        faultHooks_->onDramOp(true, offset, len);
 }
 
 void

@@ -18,6 +18,11 @@
 #include "hw/bus.hh"
 #include "hw/remanence.hh"
 
+namespace sentry::fault
+{
+class FaultHooks;
+}
+
 namespace sentry::hw
 {
 
@@ -47,9 +52,13 @@ class Dram : public BusTarget
     /** Apply cell decay for a power loss of @p off_seconds. */
     void powerLoss(double off_seconds, double celsius, Rng &rng);
 
+    /** Arm (or with nullptr disarm) fault injection on this device. */
+    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+
   private:
     std::vector<std::uint8_t> data_;
     RemanenceModel remanence_;
+    fault::FaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace sentry::hw

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
@@ -26,6 +27,8 @@ void
 Iram::read(PhysAddr offset, std::uint8_t *buf, std::size_t len) const
 {
     checkRange(offset, len);
+    if (faultHooks_ != nullptr)
+        faultHooks_->onIramOp(false, offset, len);
     std::memcpy(buf, data_.data() + offset, len);
 }
 
@@ -34,6 +37,8 @@ Iram::write(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
 {
     checkRange(offset, len);
     std::memcpy(data_.data() + offset, buf, len);
+    if (faultHooks_ != nullptr)
+        faultHooks_->onIramOp(true, offset, len);
 }
 
 void

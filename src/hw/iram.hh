@@ -26,6 +26,11 @@
 #include "common/types.hh"
 #include "hw/remanence.hh"
 
+namespace sentry::fault
+{
+class FaultHooks;
+}
+
 namespace sentry::hw
 {
 
@@ -55,11 +60,15 @@ class Iram
     /** Zero the whole array (the boot-firmware behaviour). */
     void zeroize();
 
+    /** Arm (or with nullptr disarm) fault injection on this device. */
+    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+
   private:
     void checkRange(PhysAddr offset, std::size_t len) const;
 
     std::vector<std::uint8_t> data_;
     RemanenceModel remanence_;
+    fault::FaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace sentry::hw

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/hooks.hh"
 #include "hw/trustzone.hh"
 
 namespace sentry::hw
@@ -81,6 +82,10 @@ L2Cache::writebackLine(std::size_t set, unsigned way)
     Line &line = lines_[lineIndex(set, way)];
     if (!line.valid || !line.dirty)
         return;
+    // Fire before the bus write so a scheduled DMA burst races the
+    // flush (reads DRAM while the line is still only in the cache).
+    if (faultHooks_ != nullptr)
+        faultHooks_->onL2Writeback(way, (lockdownMask_ & (1u << way)) != 0);
     bus_.write(lineAddr(set, line), lineData(set, way), CACHE_LINE_SIZE,
                BusInitiator::CpuCache);
     clock_.advance(timing_.writebackCycles);

@@ -30,6 +30,11 @@
 #include "common/types.hh"
 #include "hw/bus.hh"
 
+namespace sentry::fault
+{
+class FaultHooks;
+}
+
 namespace sentry::hw
 {
 
@@ -119,6 +124,19 @@ class L2Cache
 
     /** @return current lockdown register value. */
     std::uint32_t lockdownReg() const { return lockdownMask_; }
+
+    /**
+     * Fault-model backdoor: clear @p clear_mask's bits of the lockdown
+     * register as a hardware upset would — NOT gated by TrustZone,
+     * because a particle strike or voltage glitch does not ask the
+     * secure monitor for permission. Only the fault injector calls this.
+     * @return the new register value.
+     */
+    std::uint32_t glitchLockdownBits(std::uint32_t clear_mask)
+    {
+        lockdownMask_ &= ~clear_mask;
+        return lockdownMask_;
+    }
 
     /**
      * OS-maintained flush-way mask: bit i set means flush operations
@@ -237,6 +255,9 @@ class L2Cache
     /** @return true if any line of way @p way is valid and dirty. */
     bool wayHasDirtyLines(unsigned way) const;
 
+    /** Arm (or with nullptr disarm) fault injection on this cache. */
+    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+
   private:
     using Line = L2Line;
 
@@ -301,6 +322,7 @@ class L2Cache
     mutable std::vector<std::uint8_t> mru_;
     std::uint32_t lockdownMask_ = 0;
     std::uint32_t flushWayMask_ = 0;
+    fault::FaultHooks *faultHooks_ = nullptr;
 
     L2Stats stats_;
 };

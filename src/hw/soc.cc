@@ -160,4 +160,14 @@ Soc::chargeCpuSeconds(double seconds)
     clock_.advanceSeconds(seconds);
 }
 
+void
+Soc::setFaultHooks(fault::FaultHooks *hooks)
+{
+    faultHooks_ = hooks;
+    dram_.setFaultHooks(hooks);
+    iram_.setFaultHooks(hooks);
+    bus_.setFaultHooks(hooks);
+    l2_.setFaultHooks(hooks);
+}
+
 } // namespace sentry::hw

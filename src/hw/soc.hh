@@ -33,6 +33,11 @@
 #include "hw/platform.hh"
 #include "hw/trustzone.hh"
 
+namespace sentry::fault
+{
+class FaultHooks;
+}
+
 namespace sentry::hw
 {
 
@@ -124,6 +129,17 @@ class Soc
      */
     void chargeCpuSeconds(double seconds);
 
+    /**
+     * Arm fault injection: every injection site (DRAM, iRAM, bus, L2
+     * writebacks) reports its operations to @p hooks. Pass nullptr to
+     * disarm. Consumers that cannot be wired here (the dm-crypt kcryptd
+     * pool) pick the hook up via faultHooks().
+     */
+    void setFaultHooks(fault::FaultHooks *hooks);
+
+    /** @return the armed hook set, or nullptr when injection is off. */
+    fault::FaultHooks *faultHooks() const { return faultHooks_; }
+
   private:
     PlatformConfig config_;
     SimClock clock_;
@@ -141,6 +157,7 @@ class Soc
     Firmware firmware_;
     MemorySystem memory_;
     std::unique_ptr<CryptoAccelerator> accel_;
+    fault::FaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace sentry::hw

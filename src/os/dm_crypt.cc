@@ -6,9 +6,31 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "fault/hooks.hh"
 
 namespace sentry::os
 {
+
+namespace
+{
+
+/**
+ * Report one kcryptd block pickup to the fault layer (if armed) and
+ * charge any worker stall to the simulated clock. Always called from
+ * the issuing thread — the pool's host threads never see the Soc.
+ */
+void
+chargeKcryptdStall(crypto::SimAesEngine &cipher)
+{
+    fault::FaultHooks *hooks = cipher.soc().faultHooks();
+    if (hooks == nullptr)
+        return;
+    const double stall = hooks->onKcryptdBlock();
+    if (stall > 0.0)
+        cipher.soc().clock().advanceSeconds(stall);
+}
+
+} // namespace
 
 /**
  * Persistent kcryptd worker pool.
@@ -141,6 +163,7 @@ void
 DmCrypt::writeBlock(std::uint64_t index, std::span<const std::uint8_t> buf)
 {
     staging_.assign(buf.begin(), buf.end());
+    chargeKcryptdStall(*cipher_);
     // The write is queued to kcryptd workers: the encryption runs on
     // asyncWorkers_ cores in parallel with the issuing thread. The
     // scope restores the previous divisor even if the cipher throws.
@@ -173,9 +196,11 @@ DmCrypt::writeBlocks(std::uint64_t first_index,
     // Replay the simulated side of the work the pool just did: per
     // block, the same register touches, ivec write, irq-guarded chunks
     // and time/energy charges the per-block path would have made.
-    for (std::size_t b = 0; b < nblocks; ++b)
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        chargeKcryptdStall(*cipher_);
         cipher_->chargeParallelBulk(blockIv(first_index + b), BLOCK_SIZE,
                                     asyncWorkers_);
+    }
     lower_.writeBlocks(first_index, staging_);
 }
 

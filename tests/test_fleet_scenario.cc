@@ -169,6 +169,113 @@ TEST(FleetScenario, SizeAndDurationUnits)
     EXPECT_DOUBLE_EQ(parseDuration("1.5s", 1), 1.5);
 }
 
+TEST(FleetScenario, EmptyAndCommentOnlyInputsAreRejected)
+{
+    // A scenario with no statements cannot drive a device; both the
+    // empty string and comment/blank-only text must raise a clean
+    // ScenarioError rather than yield a do-nothing scenario.
+    EXPECT_THROW(parseScenario("", "t"), ScenarioError);
+    EXPECT_THROW(parseScenario("\n\n\n", "t"), ScenarioError);
+    EXPECT_THROW(parseScenario("# a\n  # b\n\t\n", "t"), ScenarioError);
+    EXPECT_THROW(parseScenario("\r\n# crlf only\r\n", "t"),
+                 ScenarioError);
+}
+
+TEST(FleetScenario, CrlfAndTrailingWhitespaceAreAccepted)
+{
+    // Scenario files written on other platforms arrive with CRLF line
+    // endings and stray trailing blanks; both must parse identically
+    // to clean input.
+    const Scenario s = parseScenario("devices 3\r\n"
+                                     "spawn mail sensitive   \r\n"
+                                     "lock\t\n"
+                                     "touch mail 4096 \r\n"
+                                     "unlock 0000\r\n",
+                                     "crlf");
+    EXPECT_EQ(s.defaultDevices, 3u);
+    ASSERT_EQ(s.steps.size(), 4u);
+    EXPECT_EQ(s.steps[0].op, Op::Spawn);
+    EXPECT_EQ(s.steps[0].name, "mail");
+    EXPECT_TRUE(s.steps[0].sensitive);
+    EXPECT_EQ(s.steps[3].pin, "0000");
+}
+
+TEST(FleetScenario, DeviceCountBoundsAreExact)
+{
+    const std::string tail = "\nlock\n";
+    EXPECT_EQ(parseScenario("devices 1" + tail, "t").defaultDevices, 1u);
+    EXPECT_EQ(parseScenario("devices 4096" + tail, "t").defaultDevices,
+              MAX_DEVICES);
+    EXPECT_EQ(parseFailure("devices 4097" + tail).line(), 1u);
+    EXPECT_EQ(parseFailure("devices 0" + tail).line(), 1u);
+}
+
+TEST(FleetScenario, ZeroAndNegativeDurationsAreRejected)
+{
+    EXPECT_EQ(parseFailure("sleep 0s\n").line(), 1u);
+    EXPECT_EQ(parseFailure("sleep 0us\n").line(), 1u);
+    EXPECT_EQ(parseFailure("suspend 0ms\n").line(), 1u);
+    EXPECT_EQ(parseFailure("suspend -0.5s\n").line(), 1u);
+}
+
+TEST(FleetScenario, LiveAttackKindsParseAndRejectFrozen)
+{
+    const Scenario s = parseScenario("lock\n"
+                                     "attack bus_monitor\n"
+                                     "attack code_injection\n",
+                                     "live");
+    ASSERT_EQ(s.steps.size(), 3u);
+    EXPECT_EQ(s.steps[1].attack, AttackKind::BusMonitor);
+    EXPECT_EQ(s.steps[2].attack, AttackKind::CodeInjection);
+
+    // The freezer variant only applies to power-loss attacks.
+    EXPECT_EQ(parseFailure("attack bus_monitor frozen\n").line(), 1u);
+    EXPECT_EQ(parseFailure("attack code_injection frozen\n").line(), 1u);
+}
+
+TEST(FleetScenario, FormatScenarioRoundTrips)
+{
+    // The fuzzer serializes shrunk scenarios with formatScenario();
+    // parsing that text back must reproduce every step field.
+    const Scenario first = parseScenario(
+        "devices 7\n"
+        "platform nexus4\n"
+        "jitter 10\n"
+        "spawn mail sensitive background heap 128KiB dma 4KiB\n"
+        "touch mail 8KiB\n"
+        "filebench 64KiB seqread direct\n"
+        "lock\n"
+        "sleep 300us\n"
+        "attack cold_boot frozen\n"
+        "attack bus_monitor\n"
+        "zero_freed\n",
+        "roundtrip");
+    const Scenario second =
+        parseScenario(formatScenario(first), first.name);
+
+    EXPECT_EQ(second.defaultDevices, first.defaultDevices);
+    EXPECT_EQ(second.hasPlatform, first.hasPlatform);
+    EXPECT_EQ(second.platform, first.platform);
+    EXPECT_DOUBLE_EQ(second.jitter, first.jitter);
+    ASSERT_EQ(second.steps.size(), first.steps.size());
+    for (std::size_t i = 0; i < first.steps.size(); ++i) {
+        const Step &a = first.steps[i];
+        const Step &b = second.steps[i];
+        EXPECT_EQ(b.op, a.op) << i;
+        EXPECT_EQ(b.name, a.name) << i;
+        EXPECT_EQ(b.pin, a.pin) << i;
+        EXPECT_EQ(b.sensitive, a.sensitive) << i;
+        EXPECT_EQ(b.background, a.background) << i;
+        EXPECT_EQ(b.frozen, a.frozen) << i;
+        EXPECT_EQ(b.directIo, a.directIo) << i;
+        EXPECT_EQ(b.bytes, a.bytes) << i;
+        EXPECT_EQ(b.dmaBytes, a.dmaBytes) << i;
+        EXPECT_DOUBLE_EQ(b.seconds, a.seconds) << i;
+        EXPECT_EQ(b.workload, a.workload) << i;
+        EXPECT_EQ(b.attack, a.attack) << i;
+    }
+}
+
 TEST(FleetScenario, LoadsScenarioFile)
 {
     const std::string path =

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Fuzzer-core tests: trial generation and execution are bit-replayable
+ * from the campaign seed, reproducer files round-trip through
+ * format/parse, outcome classification matches the shrinker's
+ * categories, and the pinned lockdown-glitch reproducer still fails
+ * (and still shrinks) the way EXPERIMENTS.md records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fuzzer.hh"
+
+using namespace sentry;
+using namespace sentry::fault;
+
+namespace
+{
+
+FuzzOptions
+quickOptions()
+{
+    FuzzOptions options;
+    options.seed = 0xfeedface;
+    options.steps = 10;
+    options.dramBytes = 16 * MiB;
+    return options;
+}
+
+/**
+ * The known-failing reproducer (see EXPERIMENTS.md): a one-shot PL310
+ * lockdown glitch unlocks Sentry's ways, and the eviction pressure from
+ * a large non-sensitive heap then writes plaintext pager frames back to
+ * DRAM, tripping the plaintext-markers audit.
+ */
+FuzzTrialSpec
+lockdownGlitchRepro()
+{
+    FuzzTrialSpec spec;
+    spec.seed = 0x1234;
+    spec.scenario = fleet::parseScenario(
+        "spawn mail sensitive background heap 65536\n"
+        "spawn noise heap 2097152\n"
+        "lock\n"
+        "touch mail 65536\n",
+        "repro");
+    spec.faults =
+        parseFaultSchedule("fault lockdown_glitch after 1 count 8\n");
+    return spec;
+}
+
+} // namespace
+
+TEST(Fuzzer, GenerateTrialIsDeterministic)
+{
+    const FuzzOptions options = quickOptions();
+    for (unsigned index = 0; index < 4; ++index) {
+        const FuzzTrialSpec a = generateTrial(options, index);
+        const FuzzTrialSpec b = generateTrial(options, index);
+        EXPECT_EQ(formatTrialFile(a), formatTrialFile(b)) << index;
+        EXPECT_FALSE(a.scenario.steps.empty()) << index;
+    }
+    // Different indexes explore different trials.
+    EXPECT_NE(formatTrialFile(generateTrial(options, 0)),
+              formatTrialFile(generateTrial(options, 1)));
+}
+
+TEST(Fuzzer, RunTrialIsBitReplayable)
+{
+    const FuzzOptions options = quickOptions();
+    const FuzzTrialSpec spec = generateTrial(options, 0);
+
+    const TrialOutcome first = runTrial(spec, options);
+    const TrialOutcome second = runTrial(spec, options);
+    EXPECT_EQ(first.ok, second.ok);
+    EXPECT_EQ(first.error, second.error);
+    EXPECT_EQ(first.stepsExecuted, second.stepsExecuted);
+    EXPECT_EQ(first.simCycles, second.simCycles);
+    EXPECT_EQ(first.digest, second.digest);
+    EXPECT_FALSE(first.digest.empty());
+    EXPECT_GT(first.stepsExecuted, 0u);
+}
+
+TEST(Fuzzer, TrialFileRoundTripsThroughFormatAndParse)
+{
+    const FuzzTrialSpec spec = lockdownGlitchRepro();
+    const std::string text = formatTrialFile(spec);
+
+    const TrialFile file = parseTrialFile(text);
+    EXPECT_EQ(file.spec.seed, spec.seed);
+    EXPECT_FALSE(file.hasExpectation);
+    EXPECT_EQ(formatTrialFile(file.spec), text);
+
+    // With a recorded verdict the expectation round-trips too.
+    TrialOutcome outcome;
+    outcome.ok = false;
+    outcome.error = "audit failed after step: plaintext-markers";
+    const TrialFile verdictFile =
+        parseTrialFile(formatTrialFile(spec, &outcome));
+    EXPECT_TRUE(verdictFile.hasExpectation);
+    EXPECT_TRUE(verdictFile.expectFail);
+
+    TrialOutcome okOutcome;
+    const TrialFile okFile =
+        parseTrialFile(formatTrialFile(spec, &okOutcome));
+    EXPECT_TRUE(okFile.hasExpectation);
+    EXPECT_FALSE(okFile.expectFail);
+}
+
+TEST(Fuzzer, ParseTrialFileRejectsMalformedInput)
+{
+    // The seed line is mandatory.
+    EXPECT_THROW(parseTrialFile("[scenario]\nlock\n"),
+                 std::runtime_error);
+    // Seeds must be numbers.
+    EXPECT_THROW(parseTrialFile("seed banana\n"), std::runtime_error);
+    // The verdict must be ok or fail.
+    EXPECT_THROW(parseTrialFile("seed 0x1\nexpect maybe\n"),
+                 std::runtime_error);
+    // Unknown header keys are errors, not silently ignored.
+    EXPECT_THROW(parseTrialFile("seed 0x1\nbogus 3\n"),
+                 std::runtime_error);
+    // Malformed embedded sections propagate their own parsers' errors.
+    EXPECT_THROW(parseTrialFile("seed 0x1\n[scenario]\nwarp 9\n"),
+                 fleet::ScenarioError);
+    EXPECT_THROW(parseTrialFile("seed 0x1\n[scenario]\nlock\n"
+                                "[faults]\nfault bogus after 1\n"),
+                 FaultParseError);
+
+    // CRLF and comments are fine.
+    const TrialFile file = parseTrialFile("# repro\r\n"
+                                          "seed 0x2a\r\n"
+                                          "[scenario]\r\n"
+                                          "lock\r\n");
+    EXPECT_EQ(file.spec.seed, 0x2au);
+    ASSERT_EQ(file.spec.scenario.steps.size(), 1u);
+}
+
+TEST(Fuzzer, ClassifyOutcomeMapsErrorsToCategories)
+{
+    TrialOutcome outcome;
+    EXPECT_EQ(classifyOutcome(outcome), "ok");
+
+    outcome.ok = false;
+    outcome.error = "audit failed after step: plaintext-markers";
+    EXPECT_EQ(classifyOutcome(outcome), "audit");
+    outcome.error = "DMA attack recovered the secret";
+    EXPECT_EQ(classifyOutcome(outcome), "leak");
+    outcome.error = "iRAM byte survived reboot";
+    EXPECT_EQ(classifyOutcome(outcome), "iram");
+    outcome.error = "firmware image accepted";
+    EXPECT_EQ(classifyOutcome(outcome), "inject");
+    outcome.error = "device wedged";
+    EXPECT_EQ(classifyOutcome(outcome), "semantic");
+}
+
+TEST(Fuzzer, PinnedLockdownGlitchReproducerStillFails)
+{
+    const FuzzOptions options = quickOptions();
+    const FuzzTrialSpec spec = lockdownGlitchRepro();
+
+    const TrialOutcome outcome = runTrial(spec, options);
+    ASSERT_FALSE(outcome.ok) << outcome.digest;
+    EXPECT_NE(outcome.error.find("plaintext-markers"),
+              std::string::npos)
+        << outcome.error;
+    EXPECT_EQ(classifyOutcome(outcome), "audit");
+
+    // The glitch is load-bearing: without it the same scenario is safe.
+    FuzzTrialSpec clean = spec;
+    clean.faults.faults.clear();
+    EXPECT_TRUE(runTrial(clean, options).ok);
+}
+
+TEST(Fuzzer, ShrinkPreservesTheFailureCategory)
+{
+    FuzzOptions options = quickOptions();
+    options.shrinkBudget = 48;
+
+    // Pad the known reproducer with removable noise: an extra harmless
+    // fault and extra scenario steps before the failing tail.
+    FuzzTrialSpec padded = lockdownGlitchRepro();
+    padded.faults.faults.push_back(
+        parseFaultSchedule("fault bus_delay after 1 cycles 64\n")
+            .faults.front());
+    fleet::Scenario &scenario = padded.scenario;
+    fleet::Step sleepStep;
+    sleepStep.op = fleet::Op::Sleep;
+    sleepStep.seconds = 0.001;
+    scenario.steps.insert(scenario.steps.begin() + 2, sleepStep);
+    for (unsigned i = 0; i < scenario.steps.size(); ++i)
+        scenario.steps[i].line = i + 1;
+
+    const TrialOutcome before = runTrial(padded, options);
+    ASSERT_FALSE(before.ok);
+    ASSERT_EQ(classifyOutcome(before), "audit");
+
+    const FuzzTrialSpec shrunk = shrinkTrial(padded, options);
+    EXPECT_LE(shrunk.faults.faults.size(), padded.faults.faults.size());
+    EXPECT_LE(shrunk.scenario.steps.size(), padded.scenario.steps.size());
+    EXPECT_LT(shrunk.scenario.steps.size() + shrunk.faults.faults.size(),
+              padded.scenario.steps.size() + padded.faults.faults.size());
+
+    const TrialOutcome after = runTrial(shrunk, options);
+    EXPECT_FALSE(after.ok);
+    EXPECT_EQ(classifyOutcome(after), "audit");
+}
