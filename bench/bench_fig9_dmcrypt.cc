@@ -120,6 +120,7 @@ runWorkload(bench::Session &session, FilebenchWorkload workload,
                                 " (direct I/O)")
                                    .c_str()
                              : filebenchWorkloadName(workload));
+    RunningStat sentryStat;
     for (CryptoMode mode : {CryptoMode::None, CryptoMode::GenericAes,
                             CryptoMode::Sentry}) {
         RunningStat stat;
@@ -132,8 +133,11 @@ runWorkload(bench::Session &session, FilebenchWorkload workload,
                            (direct_io ? "_direct_" : "_buffered_") +
                            modeSlug(mode),
                        stat.mean());
+        if (mode == CryptoMode::Sentry)
+            sentryStat = stat;
     }
-    std::printf("\n");
+    std::printf("   (sentry p50/p95 %.1f/%.1f)\n", sentryStat.p50(),
+                sentryStat.p95());
 }
 
 /**

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "bench_util.hh"
+#include "common/stats.hh"
 #include "fleet/fleet.hh"
 #include "fleet/scenario.hh"
 
@@ -70,6 +71,7 @@ main()
 
     std::printf("%8s %10s %12s %14s %14s\n", "devices", "threads",
                 "host s", "devices/s", "unlock p95 us");
+    RunningStat devicesPerSec;
     for (unsigned devices : SCALES) {
         const fleet::FleetReport report =
             fleet::runFleet(scenario, baseOptions(devices, hostThreads));
@@ -80,11 +82,12 @@ main()
             return 1;
         }
         const fleet::FleetMetric *p95 = report.find("sim_unlock_p95_us");
+        const double rate = report.hostSeconds > 0
+                                ? devices / report.hostSeconds
+                                : 0.0;
+        devicesPerSec.add(rate);
         std::printf("%8u %10u %12.3f %14.1f %14.2f\n", devices,
-                    report.threads, report.hostSeconds,
-                    report.hostSeconds > 0
-                        ? devices / report.hostSeconds
-                        : 0.0,
+                    report.threads, report.hostSeconds, rate,
                     p95 != nullptr ? p95->d : 0.0);
 
         const std::string tag = "n" + std::to_string(devices);
@@ -98,11 +101,12 @@ main()
                     session.metric(key, metric.d);
             }
         }
-        session.metric("host_" + tag + "_devices_per_sec",
-                       report.hostSeconds > 0
-                           ? devices / report.hostSeconds
-                           : 0.0);
+        session.metric("host_" + tag + "_devices_per_sec", rate);
     }
+    std::printf("host devices/s across scales: p50 %.1f  p95 %.1f  "
+                "p99 %.1f\n",
+                devicesPerSec.p50(), devicesPerSec.p95(),
+                devicesPerSec.p99());
 
     // Replay guarantee: same seed => byte-identical sim metrics no
     // matter how many worker threads executed the fleet.

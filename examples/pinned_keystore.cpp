@@ -81,10 +81,10 @@ main()
     // Attacker 2: bus monitor during heavy keystore use.
     {
         hw::BusMonitor probe;
-        soc.bus().addObserver(&probe);
+        probe.attach(soc.trace());
         for (int i = 0; i < 100; ++i)
             pool->read(creds[i % 3].slot, 0, token);
-        soc.bus().removeObserver(&probe);
+        probe.detach();
         std::printf("bus probe saw a token?              %s "
                     "(%llu bytes of unrelated traffic)\n",
                     containsBytes(probe.concatenatedPayloads(),

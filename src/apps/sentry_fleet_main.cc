@@ -40,6 +40,8 @@ usage()
         "  --dram SIZE          per-device DRAM, e.g. 16MiB\n"
         "  --json PATH          metrics record (default BENCH_fleet.json)\n"
         "  --no-json            skip the JSON record\n"
+        "  --trace-out PATH     write device 0's timeline as\n"
+        "                       chrome://tracing JSON\n"
         "  --list               list built-in scenarios and exit\n");
 }
 
@@ -104,6 +106,8 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--json") == 0) {
             jsonPath = nextArg(argc, argv, i, arg);
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            options.traceOutPath = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--no-json") == 0) {
             wantJson = false;
         } else if (std::strcmp(arg, "--list") == 0) {

@@ -50,7 +50,9 @@ usage()
         "  --repro-dir DIR  where to write reproducers (default '.')\n"
         "  --no-shrink      keep failing trials unminimized\n"
         "  --platform NAME  tegra3 or nexus4 (default tegra3)\n"
-        "  --dram SIZE      per-trial DRAM, e.g. 16MiB\n");
+        "  --dram SIZE      per-trial DRAM, e.g. 16MiB\n"
+        "  --trace-out PATH write the last trial's timeline as\n"
+        "                   chrome://tracing JSON\n");
 }
 
 [[noreturn]] void
@@ -146,6 +148,8 @@ main(int argc, char **argv)
             reproDir = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
             options.shrink = false;
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            options.traceOutPath = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--platform") == 0) {
             const std::string name = nextArg(argc, argv, i, arg);
             if (name == "tegra3")

@@ -20,12 +20,12 @@ SideChannelResult::recoveredBytes() const
 BusMonitorAttack::BusMonitorAttack(hw::Soc &soc)
     : soc_(soc), monitor_(/*capture_payloads=*/true)
 {
-    soc_.bus().addObserver(&monitor_);
+    monitor_.attach(soc_.trace());
 }
 
 BusMonitorAttack::~BusMonitorAttack()
 {
-    soc_.bus().removeObserver(&monitor_);
+    monitor_.detach();
 }
 
 void

@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -10,6 +11,7 @@ void
 RunningStat::add(double sample)
 {
     ++count_;
+    samples_.push_back(sample);
     if (count_ == 1) {
         mean_ = sample;
         min_ = max_ = sample;
@@ -33,11 +35,25 @@ RunningStat::stddev() const
     return std::sqrt(m2_ / static_cast<double>(count_ - 1));
 }
 
+double
+RunningStat::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 void
 RunningStat::reset()
 {
     count_ = 0;
     mean_ = m2_ = min_ = max_ = 0.0;
+    samples_.clear();
 }
 
 std::string

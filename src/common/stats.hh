@@ -11,11 +11,17 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace sentry
 {
 
-/** Online mean / variance / extrema accumulator (Welford's algorithm). */
+/**
+ * Online mean / variance / extrema accumulator (Welford's algorithm)
+ * that also keeps every sample, so exact percentiles are available
+ * without reservoir approximation. Benchmark sample counts are small
+ * (tens to a few thousand), so full retention is cheap.
+ */
 class RunningStat
 {
   public:
@@ -37,6 +43,18 @@ class RunningStat
     /** @return largest sample (0 when empty). */
     double max() const { return count_ ? max_ : 0.0; }
 
+    /**
+     * Exact nearest-rank percentile of the retained samples: the
+     * smallest sample with at least @p p percent of the mass at or
+     * below it (p is clamped to [0,100]; 0 when empty).
+     */
+    double percentile(double p) const;
+
+    /** Shorthands for the usual latency summary points. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
     /** Drop all samples. */
     void reset();
 
@@ -49,6 +67,7 @@ class RunningStat
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    std::vector<double> samples_;
 };
 
 } // namespace sentry

@@ -1,0 +1,275 @@
+#include "common/trace_engine.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/sim_clock.hh"
+
+namespace sentry::probe
+{
+
+void
+TraceEngine::subscribe(Subscriber *sub, TraceMask mask)
+{
+    for (Entry &e : entries_) {
+        if (e.sub == sub) {
+            e.mask = mask;
+            recomputeMask();
+            return;
+        }
+    }
+    entries_.push_back({sub, mask});
+    activeMask_ |= mask;
+}
+
+void
+TraceEngine::unsubscribe(Subscriber *sub)
+{
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [sub](const Entry &e) {
+                                      return e.sub == sub;
+                                  }),
+                   entries_.end());
+    recomputeMask();
+}
+
+void
+TraceEngine::recomputeMask()
+{
+    activeMask_ = 0;
+    for (const Entry &e : entries_)
+        activeMask_ |= e.mask;
+}
+
+// One dispatch body per payload type; kept out of the header so the
+// emission sites inline only the enabled() test.
+#define SENTRY_TRACE_DISPATCH(Kind, Method)                                 \
+    void TraceEngine::emit(Kind &event)                                     \
+    {                                                                       \
+        for (const Entry &e : entries_) {                                   \
+            if ((e.mask & maskOf(TraceKind::Kind)) != 0)                    \
+                e.sub->Method(event);                                       \
+        }                                                                   \
+    }
+
+SENTRY_TRACE_DISPATCH(MemAccess, onMemAccess)
+SENTRY_TRACE_DISPATCH(BusTransfer, onBusTransfer)
+SENTRY_TRACE_DISPATCH(CacheEvent, onCacheEvent)
+SENTRY_TRACE_DISPATCH(PowerEvent, onPowerEvent)
+SENTRY_TRACE_DISPATCH(DmaBurst, onDmaBurst)
+SENTRY_TRACE_DISPATCH(CryptoOp, onCryptoOp)
+SENTRY_TRACE_DISPATCH(KcryptdOp, onKcryptdOp)
+
+#undef SENTRY_TRACE_DISPATCH
+
+std::string
+TraceCounters::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "dramR:%llu dramW:%llu iramR:%llu iramW:%llu busR:%llu busW:%llu "
+        "busDup:%llu busRB:%llu busWB:%llu wb:%llu power:%llu "
+        "joules:%.9g dma:%llu dmaB:%llu crypto:%llu cryptoB:%llu "
+        "kcryptd:%llu stall:%.9g",
+        static_cast<unsigned long long>(dramReads),
+        static_cast<unsigned long long>(dramWrites),
+        static_cast<unsigned long long>(iramReads),
+        static_cast<unsigned long long>(iramWrites),
+        static_cast<unsigned long long>(busReads),
+        static_cast<unsigned long long>(busWrites),
+        static_cast<unsigned long long>(busDuplicates),
+        static_cast<unsigned long long>(busReadBytes),
+        static_cast<unsigned long long>(busWriteBytes),
+        static_cast<unsigned long long>(cacheWritebacks),
+        static_cast<unsigned long long>(powerEvents), joules,
+        static_cast<unsigned long long>(dmaBursts),
+        static_cast<unsigned long long>(dmaBytes),
+        static_cast<unsigned long long>(cryptoOps),
+        static_cast<unsigned long long>(cryptoBytes),
+        static_cast<unsigned long long>(kcryptdBlocks),
+        kcryptdStallSeconds);
+    return buf;
+}
+
+void
+CounterSink::attach(TraceEngine &engine)
+{
+    detach();
+    engine_ = &engine;
+    engine_->subscribe(this, TRACE_ALL);
+}
+
+void
+CounterSink::detach()
+{
+    if (engine_ != nullptr) {
+        engine_->unsubscribe(this);
+        engine_ = nullptr;
+    }
+}
+
+void
+CounterSink::onMemAccess(MemAccess &event)
+{
+    if (event.device == MemAccess::Device::Dram)
+        ++(event.isWrite ? counters_.dramWrites : counters_.dramReads);
+    else
+        ++(event.isWrite ? counters_.iramWrites : counters_.iramReads);
+}
+
+void
+CounterSink::onBusTransfer(BusTransfer &event)
+{
+    if (event.duplicate)
+        ++counters_.busDuplicates;
+    if (event.isWrite) {
+        ++counters_.busWrites;
+        counters_.busWriteBytes += event.size;
+    } else {
+        ++counters_.busReads;
+        counters_.busReadBytes += event.size;
+    }
+}
+
+void
+CounterSink::onCacheEvent(CacheEvent &event)
+{
+    (void)event;
+    ++counters_.cacheWritebacks;
+}
+
+void
+CounterSink::onPowerEvent(PowerEvent &event)
+{
+    ++counters_.powerEvents;
+    counters_.joules += event.joules;
+}
+
+void
+CounterSink::onDmaBurst(DmaBurst &event)
+{
+    ++counters_.dmaBursts;
+    counters_.dmaBytes += event.len;
+}
+
+void
+CounterSink::onCryptoOp(CryptoOp &event)
+{
+    ++counters_.cryptoOps;
+    counters_.cryptoBytes += event.bytes;
+}
+
+void
+CounterSink::onKcryptdOp(KcryptdOp &event)
+{
+    ++counters_.kcryptdBlocks;
+    counters_.kcryptdStallSeconds += event.stallSeconds;
+}
+
+void
+ChromeTraceSink::attach(TraceEngine &engine, const SimClock &clock,
+                        TraceMask mask)
+{
+    detach();
+    engine_ = &engine;
+    clock_ = &clock;
+    engine_->subscribe(this, mask);
+}
+
+void
+ChromeTraceSink::detach()
+{
+    if (engine_ != nullptr) {
+        engine_->unsubscribe(this);
+        engine_ = nullptr;
+    }
+}
+
+void
+ChromeTraceSink::record(TraceKind kind, std::uint64_t arg0,
+                        std::uint64_t arg1, double argF, bool flag)
+{
+    if (events_.size() >= maxEvents_) {
+        truncated_ = true;
+        return;
+    }
+    const double tsUs = clock_ != nullptr ? clock_->seconds() * 1e6 : 0.0;
+    events_.push_back({kind, tsUs, arg0, arg1, argF, flag});
+}
+
+void
+ChromeTraceSink::onMemAccess(MemAccess &event)
+{
+    record(TraceKind::MemAccess,
+           event.offset | (event.device == MemAccess::Device::Iram
+                               ? std::uint64_t{1} << 63
+                               : 0),
+           event.len, 0.0, event.isWrite);
+}
+
+void
+ChromeTraceSink::onBusTransfer(BusTransfer &event)
+{
+    record(TraceKind::BusTransfer, event.addr,
+           (std::uint64_t{event.duplicate} << 32) | event.size, 0.0,
+           event.isWrite);
+}
+
+void
+ChromeTraceSink::onCacheEvent(CacheEvent &event)
+{
+    record(TraceKind::CacheEvent, event.addr, event.way, 0.0,
+           event.wayLocked);
+}
+
+void
+ChromeTraceSink::onPowerEvent(PowerEvent &event)
+{
+    record(TraceKind::PowerEvent, 0, 0, event.joules, false);
+}
+
+void
+ChromeTraceSink::onDmaBurst(DmaBurst &event)
+{
+    record(TraceKind::DmaBurst, event.addr, event.len, 0.0, event.isWrite);
+}
+
+void
+ChromeTraceSink::onCryptoOp(CryptoOp &event)
+{
+    record(TraceKind::CryptoOp, event.bytes, 0, 0.0, event.encrypt);
+}
+
+void
+ChromeTraceSink::onKcryptdOp(KcryptdOp &event)
+{
+    record(TraceKind::KcryptdOp, 0, 0, event.stallSeconds, false);
+}
+
+bool
+ChromeTraceSink::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\"traceEvents\":[\n");
+    bool first = true;
+    for (const Event &e : events_) {
+        std::fprintf(
+            f,
+            "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+            "\"tid\":0,\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%llu,"
+            "\"f\":%.9g,\"w\":%s}}",
+            first ? "" : ",\n", traceKindName(e.kind), e.tsUs,
+            static_cast<unsigned long long>(e.arg0),
+            static_cast<unsigned long long>(e.arg1), e.argF,
+            e.flag ? "true" : "false");
+        first = false;
+    }
+    std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+    const bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+} // namespace sentry::probe

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The per-Soc TraceEngine that fans typed trace points (common/probe.hh)
+ * out to subscribers, plus two stock sinks: a passive per-device counter
+ * accumulator (CounterSink) and a chrome://tracing timeline dumper
+ * (ChromeTraceSink).
+ *
+ * Subscribers are called synchronously, in subscription order — the
+ * fault injector subscribes at arm time (before any attack probe), so
+ * fault effects are applied before monitors record the transaction,
+ * exactly as the old hook-before-observer plumbing behaved.
+ */
+
+#ifndef SENTRY_COMMON_TRACE_ENGINE_HH
+#define SENTRY_COMMON_TRACE_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/probe.hh"
+
+namespace sentry
+{
+class SimClock;
+}
+
+namespace sentry::probe
+{
+
+/**
+ * Receiver interface for trace points. Override only the kinds you
+ * subscribe to; the defaults ignore the event.
+ *
+ * Payloads are passed by non-const reference so response channels
+ * (BusTransfer::extraWrites, KcryptdOp::stallSeconds) can be filled.
+ */
+class Subscriber
+{
+  public:
+    virtual ~Subscriber() = default;
+
+    virtual void onMemAccess(MemAccess &event) { (void)event; }
+    virtual void onBusTransfer(BusTransfer &event) { (void)event; }
+    virtual void onCacheEvent(CacheEvent &event) { (void)event; }
+    virtual void onPowerEvent(PowerEvent &event) { (void)event; }
+    virtual void onDmaBurst(DmaBurst &event) { (void)event; }
+    virtual void onCryptoOp(CryptoOp &event) { (void)event; }
+    virtual void onKcryptdOp(KcryptdOp &event) { (void)event; }
+};
+
+/**
+ * Fan-out point for one simulated machine. Every device of a Soc holds
+ * a pointer to its engine and guards each emission site with
+ * `enabled(kind)` — one load plus one bit test when nobody listens.
+ */
+class TraceEngine
+{
+  public:
+    /**
+     * Attach @p sub for the kinds in @p mask. Subscribing an already
+     * attached subscriber replaces its mask.
+     */
+    void subscribe(Subscriber *sub, TraceMask mask);
+
+    /** Detach @p sub (no-op when it is not attached). */
+    void unsubscribe(Subscriber *sub);
+
+    /** @return true when at least one subscriber wants @p kind. */
+    bool
+    enabled(TraceKind kind) const
+    {
+        return (activeMask_ & maskOf(kind)) != 0;
+    }
+
+    /** @return true when any subscriber is attached at all. */
+    bool anyEnabled() const { return activeMask_ != 0; }
+
+    /** @return number of attached subscribers. */
+    std::size_t subscriberCount() const { return entries_.size(); }
+
+    void emit(MemAccess &event);
+    void emit(BusTransfer &event);
+    void emit(CacheEvent &event);
+    void emit(PowerEvent &event);
+    void emit(DmaBurst &event);
+    void emit(CryptoOp &event);
+    void emit(KcryptdOp &event);
+
+  private:
+    struct Entry
+    {
+        Subscriber *sub;
+        TraceMask mask;
+    };
+
+    void recomputeMask();
+
+    std::vector<Entry> entries_;
+    TraceMask activeMask_ = 0;
+};
+
+/** Passive per-device totals accumulated from every trace-point kind. */
+struct TraceCounters
+{
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t iramReads = 0;
+    std::uint64_t iramWrites = 0;
+    std::uint64_t busReads = 0;
+    std::uint64_t busWrites = 0;
+    std::uint64_t busDuplicates = 0;
+    std::uint64_t busReadBytes = 0;
+    std::uint64_t busWriteBytes = 0;
+    std::uint64_t cacheWritebacks = 0;
+    std::uint64_t powerEvents = 0;
+    double joules = 0.0;
+    std::uint64_t dmaBursts = 0;
+    std::uint64_t dmaBytes = 0;
+    std::uint64_t cryptoOps = 0;
+    std::uint64_t cryptoBytes = 0;
+    std::uint64_t kcryptdBlocks = 0;
+    double kcryptdStallSeconds = 0.0;
+
+    /** @return DRAM + iRAM accesses of either direction. */
+    std::uint64_t
+    memOps() const
+    {
+        return dramReads + dramWrites + iramReads + iramWrites;
+    }
+
+    /** @return bus transactions of either direction (incl. duplicates). */
+    std::uint64_t busOps() const { return busReads + busWrites; }
+
+    /** @return one-line "k:v k:v ..." rendering (stable field order). */
+    std::string summary() const;
+};
+
+/**
+ * Subscriber that accumulates TraceCounters. Deterministic: totals
+ * depend only on the simulated event stream, never on host timing.
+ */
+class CounterSink : public Subscriber
+{
+  public:
+    ~CounterSink() override { detach(); }
+
+    /** Subscribe to @p engine for every kind (detaches from any prior). */
+    void attach(TraceEngine &engine);
+
+    /** Unsubscribe (no-op when unattached). */
+    void detach();
+
+    const TraceCounters &counters() const { return counters_; }
+    void reset() { counters_ = TraceCounters{}; }
+
+    void onMemAccess(MemAccess &event) override;
+    void onBusTransfer(BusTransfer &event) override;
+    void onCacheEvent(CacheEvent &event) override;
+    void onPowerEvent(PowerEvent &event) override;
+    void onDmaBurst(DmaBurst &event) override;
+    void onCryptoOp(CryptoOp &event) override;
+    void onKcryptdOp(KcryptdOp &event) override;
+
+  private:
+    TraceEngine *engine_ = nullptr;
+    TraceCounters counters_;
+};
+
+/**
+ * Subscriber that records a bounded timeline of instant events and
+ * writes them as chrome://tracing JSON (load via chrome://tracing or
+ * https://ui.perfetto.dev). Timestamps are *simulated* microseconds.
+ */
+class ChromeTraceSink : public Subscriber
+{
+  public:
+    /** @param maxEvents hard cap; later events are dropped (truncated()). */
+    explicit ChromeTraceSink(std::size_t maxEvents = 1u << 20)
+        : maxEvents_(maxEvents)
+    {}
+
+    ~ChromeTraceSink() override { detach(); }
+
+    /** Subscribe to @p engine, timestamping events from @p clock. */
+    void attach(TraceEngine &engine, const SimClock &clock,
+                TraceMask mask = TRACE_ALL);
+
+    /** Unsubscribe (no-op when unattached). */
+    void detach();
+
+    /** Write the recorded timeline; @return false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    std::size_t eventCount() const { return events_.size(); }
+    bool truncated() const { return truncated_; }
+
+    void onMemAccess(MemAccess &event) override;
+    void onBusTransfer(BusTransfer &event) override;
+    void onCacheEvent(CacheEvent &event) override;
+    void onPowerEvent(PowerEvent &event) override;
+    void onDmaBurst(DmaBurst &event) override;
+    void onCryptoOp(CryptoOp &event) override;
+    void onKcryptdOp(KcryptdOp &event) override;
+
+  private:
+    struct Event
+    {
+        TraceKind kind;
+        double tsUs;       //!< simulated microseconds
+        std::uint64_t arg0; //!< addr / way / bytes (kind-dependent)
+        std::uint64_t arg1; //!< len / flags (kind-dependent)
+        double argF;        //!< joules / stall seconds
+        bool flag;          //!< isWrite / wayLocked / encrypt / duplicate
+    };
+
+    void record(TraceKind kind, std::uint64_t arg0, std::uint64_t arg1,
+                double argF, bool flag);
+
+    TraceEngine *engine_ = nullptr;
+    const SimClock *clock_ = nullptr;
+    std::size_t maxEvents_;
+    bool truncated_ = false;
+    std::vector<Event> events_;
+};
+
+} // namespace sentry::probe
+
+#endif // SENTRY_COMMON_TRACE_ENGINE_HH

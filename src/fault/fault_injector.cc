@@ -48,14 +48,18 @@ void
 FaultInjector::arm(hw::Soc &soc)
 {
     soc_ = &soc;
-    soc.setFaultHooks(this);
+    soc.trace().subscribe(this,
+                          probe::maskOf(probe::TraceKind::MemAccess) |
+                              probe::maskOf(probe::TraceKind::BusTransfer) |
+                              probe::maskOf(probe::TraceKind::CacheEvent) |
+                              probe::maskOf(probe::TraceKind::KcryptdOp));
 }
 
 void
 FaultInjector::disarm()
 {
     if (soc_ != nullptr) {
-        soc_->setFaultHooks(nullptr);
+        soc_->trace().unsubscribe(this);
         soc_ = nullptr;
     }
 }
@@ -145,65 +149,65 @@ FaultInjector::fireDmaBurst(const FaultSpec &spec, unsigned index)
 }
 
 void
-FaultInjector::onDramOp(bool, PhysAddr, std::size_t)
+FaultInjector::onMemAccess(probe::MemAccess &event)
 {
-    const std::uint64_t ordinal = ++stats_.dramOps;
-    if (firing_ || soc_ == nullptr)
-        return;
-    for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
-        const FaultSpec &spec = schedule_.faults[i];
-        if (spec.kind != FaultKind::DramBitFlip || !due(spec, ordinal))
-            continue;
-        firing_ = true;
-        record(i, ordinal);
-        fireDramBitFlip(spec, i);
-        firing_ = false;
+    if (event.device == probe::MemAccess::Device::Dram) {
+        const std::uint64_t ordinal = ++stats_.dramOps;
+        if (firing_ || soc_ == nullptr)
+            return;
+        for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
+            const FaultSpec &spec = schedule_.faults[i];
+            if (spec.kind != FaultKind::DramBitFlip || !due(spec, ordinal))
+                continue;
+            firing_ = true;
+            record(i, ordinal);
+            fireDramBitFlip(spec, i);
+            firing_ = false;
+        }
+    } else {
+        const std::uint64_t ordinal = ++stats_.iramOps;
+        if (firing_ || soc_ == nullptr)
+            return;
+        for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
+            const FaultSpec &spec = schedule_.faults[i];
+            if (spec.kind != FaultKind::IramBitFlip || !due(spec, ordinal))
+                continue;
+            firing_ = true;
+            record(i, ordinal);
+            fireIramBitFlip(spec, i);
+            firing_ = false;
+        }
     }
 }
 
 void
-FaultInjector::onIramOp(bool, PhysAddr, std::size_t)
+FaultInjector::onBusTransfer(probe::BusTransfer &event)
 {
-    const std::uint64_t ordinal = ++stats_.iramOps;
-    if (firing_ || soc_ == nullptr)
+    // Duplicate writes are the bus replaying an effect this injector
+    // already requested; counting them would shift every later ordinal.
+    if (event.duplicate)
         return;
-    for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
-        const FaultSpec &spec = schedule_.faults[i];
-        if (spec.kind != FaultKind::IramBitFlip || !due(spec, ordinal))
-            continue;
-        firing_ = true;
-        record(i, ordinal);
-        fireIramBitFlip(spec, i);
-        firing_ = false;
-    }
-}
-
-void
-FaultInjector::onBusRead(PhysAddr, std::size_t)
-{
-    ++stats_.busReads;
-    const std::uint64_t ordinal = stats_.busReads + stats_.busWrites;
-    if (firing_ || soc_ == nullptr)
+    if (!event.isWrite) {
+        ++stats_.busReads;
+        const std::uint64_t ordinal = stats_.busReads + stats_.busWrites;
+        if (firing_ || soc_ == nullptr)
+            return;
+        for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
+            const FaultSpec &spec = schedule_.faults[i];
+            if (spec.kind != FaultKind::BusDelay || !due(spec, ordinal))
+                continue;
+            firing_ = true;
+            record(i, ordinal);
+            soc_->clock().advance(spec.cycles);
+            stats_.delayCycles += spec.cycles;
+            firing_ = false;
+        }
         return;
-    for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
-        const FaultSpec &spec = schedule_.faults[i];
-        if (spec.kind != FaultKind::BusDelay || !due(spec, ordinal))
-            continue;
-        firing_ = true;
-        record(i, ordinal);
-        soc_->clock().advance(spec.cycles);
-        stats_.delayCycles += spec.cycles;
-        firing_ = false;
     }
-}
-
-unsigned
-FaultInjector::onBusWrite(PhysAddr, std::size_t)
-{
     const std::uint64_t writeOrdinal = ++stats_.busWrites;
     const std::uint64_t anyOrdinal = stats_.busReads + stats_.busWrites;
     if (firing_ || soc_ == nullptr)
-        return 0;
+        return;
     unsigned duplicates = 0;
     for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
         const FaultSpec &spec = schedule_.faults[i];
@@ -221,14 +225,15 @@ FaultInjector::onBusWrite(PhysAddr, std::size_t)
             firing_ = false;
         }
     }
-    // The Bus replays the duplicates itself without re-consulting the
-    // hooks, so returning a count here cannot cascade.
-    return duplicates;
+    // The Bus replays the duplicates itself with the duplicate flag
+    // set, so requesting extra writes here cannot cascade.
+    event.extraWrites += duplicates;
 }
 
 void
-FaultInjector::onL2Writeback(unsigned, bool)
+FaultInjector::onCacheEvent(probe::CacheEvent &event)
 {
+    (void)event;
     const std::uint64_t ordinal = ++stats_.l2Writebacks;
     if (firing_ || soc_ == nullptr)
         return;
@@ -248,12 +253,12 @@ FaultInjector::onL2Writeback(unsigned, bool)
     }
 }
 
-double
-FaultInjector::onKcryptdBlock()
+void
+FaultInjector::onKcryptdOp(probe::KcryptdOp &event)
 {
     const std::uint64_t ordinal = ++stats_.kcryptdBlocks;
     if (firing_ || soc_ == nullptr)
-        return 0.0;
+        return;
     double stall = 0.0;
     for (unsigned i = 0; i < schedule_.faults.size(); ++i) {
         const FaultSpec &spec = schedule_.faults[i];
@@ -263,7 +268,7 @@ FaultInjector::onKcryptdBlock()
         stall += spec.seconds;
         stats_.stallSeconds += spec.seconds;
     }
-    return stall;
+    event.stallSeconds += stall;
 }
 
 void

@@ -10,13 +10,14 @@
  * identical workloads produce identical operation counts, identical
  * firing points, and identical corruption.
  *
- * Effects are applied through the armed Soc (raw cell arrays, the
- * PL310 lockdown backdoor, the sim clock, the DMA engine), never
- * through the hook caller, so the hardware models stay fault-agnostic.
- * While an effect is being applied, nested hook invocations (a DMA
- * burst's own bus reads, a duplicate write's DRAM op) still advance the
- * site counters but cannot trigger further firings — fault effects do
- * not cascade.
+ * The injector is a probe::Subscriber on the Soc's TraceEngine: the
+ * hardware models fire generic trace points and know nothing about the
+ * fault model. Effects are applied through the armed Soc (raw cell
+ * arrays, the PL310 lockdown backdoor, the sim clock, the DMA engine),
+ * never through the emitting device. While an effect is being applied,
+ * nested trace points (a DMA burst's own bus reads, a duplicate write's
+ * DRAM op) still advance the site counters but cannot trigger further
+ * firings — fault effects do not cascade.
  */
 
 #ifndef SENTRY_FAULT_FAULT_INJECTOR_HH
@@ -26,8 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_engine.hh"
 #include "fault/fault.hh"
-#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
@@ -66,7 +67,7 @@ struct FiringRecord
 };
 
 /** Fires a FaultSchedule deterministically against one Soc. */
-class FaultInjector : public FaultHooks
+class FaultInjector : public probe::Subscriber
 {
   public:
     /**
@@ -81,13 +82,13 @@ class FaultInjector : public FaultHooks
     FaultInjector &operator=(const FaultInjector &) = delete;
 
     /**
-     * Install this injector's hooks on @p soc (DRAM, iRAM, bus, L2).
-     * The Soc must outlive the injector or disarm() must be called
-     * before the Soc is destroyed.
+     * Subscribe this injector to @p soc's trace engine (memory, bus,
+     * cache, and kcryptd trace points). The Soc must outlive the
+     * injector or disarm() must be called before the Soc is destroyed.
      */
     void arm(hw::Soc &soc);
 
-    /** Remove the hooks; the injector stops firing. */
+    /** Unsubscribe; the injector stops counting and firing. */
     void disarm();
 
     /**
@@ -121,13 +122,11 @@ class FaultInjector : public FaultHooks
      */
     std::string replayDigest() const;
 
-    // FaultHooks
-    void onDramOp(bool is_write, PhysAddr offset, std::size_t len) override;
-    void onIramOp(bool is_write, PhysAddr offset, std::size_t len) override;
-    void onBusRead(PhysAddr addr, std::size_t len) override;
-    unsigned onBusWrite(PhysAddr addr, std::size_t len) override;
-    void onL2Writeback(unsigned way, bool way_locked) override;
-    double onKcryptdBlock() override;
+    // probe::Subscriber
+    void onMemAccess(probe::MemAccess &event) override;
+    void onBusTransfer(probe::BusTransfer &event) override;
+    void onCacheEvent(probe::CacheEvent &event) override;
+    void onKcryptdOp(probe::KcryptdOp &event) override;
 
   private:
     /** @return true when @p spec fires at 1-based op count @p ordinal. */

@@ -294,6 +294,7 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
     fleetOptions.dramBytes = options.dramBytes;
     fleetOptions.auditEveryStep = true;
     fleetOptions.faultSchedule = &spec.faults;
+    fleetOptions.traceOutPath = options.traceOutPath;
 
     const fleet::DeviceResult result =
         fleet::runDevice(spec.scenario, fleetOptions, 0);
@@ -311,6 +312,7 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
     if (!result.faultDigest.empty())
         digest << " | " << result.faultDigest;
     outcome.digest = digest.str();
+    outcome.traceSummary = result.trace.summary();
     return outcome;
 }
 
@@ -401,6 +403,11 @@ formatTrialFile(const FuzzTrialSpec &spec, const TrialOutcome *outcome)
         out << "expect " << (outcome->ok ? "ok" : "fail") << '\n';
         if (!outcome->error.empty())
             out << "# error: " << outcome->error << '\n';
+        // Comment (the parser skips it): the per-device CounterSink
+        // totals, so a repro records what the machine did, not just
+        // whether it failed.
+        if (!outcome->traceSummary.empty())
+            out << "# trace: " << outcome->traceSummary << '\n';
     }
     out << "[scenario]\n" << fleet::formatScenario(spec.scenario);
     out << "[faults]\n" << formatFaultSchedule(spec.faults);

@@ -40,6 +40,13 @@ struct FuzzOptions
     unsigned shrinkBudget = 96; //!< max extra runs spent shrinking
     fleet::FleetPlatform platform = fleet::FleetPlatform::Tegra3;
     std::size_t dramBytes = 16 * MiB; //!< per-trial simulated DRAM
+    /**
+     * When non-empty, every trial writes its chrome://tracing timeline
+     * here (later trials overwrite earlier ones, so after a campaign
+     * the file holds the last run — replay a single reproducer to get
+     * the timeline of one specific trial).
+     */
+    std::string traceOutPath;
 };
 
 /** One generated (or loaded) trial. */
@@ -58,6 +65,7 @@ struct TrialOutcome
     unsigned stepsExecuted = 0;
     Cycles simCycles = 0;       //!< simulated clock at end of run
     std::string digest;         //!< counters + injector fingerprint
+    std::string traceSummary;   //!< CounterSink totals (one line)
 };
 
 /** A reproducer file: the trial plus its recorded verdict. */

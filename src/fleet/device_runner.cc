@@ -9,6 +9,7 @@
 #include "attacks/cold_boot.hh"
 #include "attacks/dma_attack.hh"
 #include "common/bytes.hh"
+#include "common/logging.hh"
 #include "core/device.hh"
 #include "core/invariant_checker.hh"
 #include "fault/fault.hh"
@@ -110,6 +111,15 @@ class Runner
             injector_ = std::make_unique<fault::FaultInjector>(
                 *options_.faultSchedule, seed_ ^ 0xfa017a5e5ca1ab1eULL);
             injector_->arm(device_->soc());
+        }
+        // Attach after the injector so fault effects land before the
+        // counters record each transaction (subscription order is
+        // callback order).
+        counters_.attach(device_->soc().trace());
+        if (index_ == 0 && !options_.traceOutPath.empty()) {
+            chromeSink_ = std::make_unique<probe::ChromeTraceSink>();
+            chromeSink_->attach(device_->soc().trace(),
+                                device_->soc().clock());
         }
     }
 
@@ -483,6 +493,10 @@ class Runner
             result.faultBitFlips = injector_->stats().bitFlips;
             result.faultDigest = injector_->replayDigest();
         }
+        result.trace = counters_.counters();
+        if (chromeSink_ && !chromeSink_->writeJson(options_.traceOutPath))
+            warn("could not write trace to %s",
+                 options_.traceOutPath.c_str());
     }
 
     const Scenario &scenario_;
@@ -493,9 +507,11 @@ class Runner
 
     std::unique_ptr<core::Device> device_;
     std::unique_ptr<core::InvariantChecker> checker_;
-    // Declared after device_ so it is destroyed (and disarms its Soc
-    // hooks) before the Soc it is armed on.
+    // Declared after device_ so they are destroyed (and unsubscribe
+    // from its trace engine) before the Soc they observe.
     std::unique_ptr<fault::FaultInjector> injector_;
+    probe::CounterSink counters_;
+    std::unique_ptr<probe::ChromeTraceSink> chromeSink_;
     std::map<std::string, ProcInfo> procs_;
     bool coldBooted_ = false;
 };

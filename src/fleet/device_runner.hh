@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_engine.hh"
 #include "common/types.hh"
 #include "fleet/scenario.hh"
 
@@ -52,6 +53,12 @@ struct FleetOptions
      * so a fleet run with faults stays bit-replayable.
      */
     const fault::FaultSchedule *faultSchedule = nullptr;
+    /**
+     * When non-empty, device 0 records its full trace-point timeline
+     * and writes it here as chrome://tracing JSON (one device only:
+     * timelines of concurrent devices would interleave meaninglessly).
+     */
+    std::string traceOutPath;
 };
 
 /** Deterministic per-device results (everything simulated). */
@@ -85,6 +92,9 @@ struct DeviceResult
     std::uint64_t l2Misses = 0;
     std::uint64_t busReads = 0;
     std::uint64_t busWrites = 0;
+
+    /** Trace-point totals from the device's CounterSink (all kinds). */
+    probe::TraceCounters trace;
 
     // FaultSim (all zero/empty when no schedule was armed)
     std::uint64_t faultFirings = 0;  //!< scheduled faults that fired

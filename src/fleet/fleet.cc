@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/stats.hh"
+
 namespace sentry::fleet
 {
 
@@ -84,15 +86,10 @@ FleetReport::find(const std::string &name) const
 double
 percentile(std::vector<double> samples, double p)
 {
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    const double clamped = std::clamp(p, 0.0, 100.0);
-    // Nearest-rank: the smallest sample with at least p% of the mass
-    // at or below it.
-    const std::size_t rank = static_cast<std::size_t>(
-        std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
-    return samples[rank == 0 ? 0 : rank - 1];
+    RunningStat stat;
+    for (double sample : samples)
+        stat.add(sample);
+    return stat.percentile(p);
 }
 
 std::string
@@ -231,6 +228,9 @@ runFleet(const Scenario &scenario, const FleetOptions &options)
     std::uint64_t bytesEncrypted = 0, bytesOnDemand = 0, bytesEager = 0;
     std::uint64_t cyclesTotal = 0, cyclesMax = 0;
     std::uint64_t l2Hits = 0, l2Misses = 0, busReads = 0, busWrites = 0;
+    std::uint64_t traceMemOps = 0, traceBusOps = 0, traceBusBytes = 0;
+    std::uint64_t traceWritebacks = 0, traceKcryptdBlocks = 0;
+    std::uint64_t traceDmaBytes = 0, tracePowerEvents = 0;
     std::uint64_t seedHash = 0;
     for (const DeviceResult &r : report.results) {
         unlocks.insert(unlocks.end(), r.unlockSeconds.begin(),
@@ -258,6 +258,13 @@ runFleet(const Scenario &scenario, const FleetOptions &options)
         l2Misses += r.l2Misses;
         busReads += r.busReads;
         busWrites += r.busWrites;
+        traceMemOps += r.trace.memOps();
+        traceBusOps += r.trace.busOps();
+        traceBusBytes += r.trace.busReadBytes + r.trace.busWriteBytes;
+        traceWritebacks += r.trace.cacheWritebacks;
+        traceKcryptdBlocks += r.trace.kcryptdBlocks;
+        traceDmaBytes += r.trace.dmaBytes;
+        tracePowerEvents += r.trace.powerEvents;
         seedHash ^= r.seed * 0x2545f4914f6cdd1dULL;
     }
     report.allOk = devicesFailed == 0;
@@ -300,6 +307,18 @@ runFleet(const Scenario &scenario, const FleetOptions &options)
     m.push_back(FleetMetric::ofInt("sim_l2_misses_total", l2Misses));
     m.push_back(FleetMetric::ofInt("sim_bus_reads_total", busReads));
     m.push_back(FleetMetric::ofInt("sim_bus_writes_total", busWrites));
+    m.push_back(FleetMetric::ofInt("sim_trace_mem_ops_total", traceMemOps));
+    m.push_back(FleetMetric::ofInt("sim_trace_bus_ops_total", traceBusOps));
+    m.push_back(
+        FleetMetric::ofInt("sim_trace_bus_bytes_total", traceBusBytes));
+    m.push_back(
+        FleetMetric::ofInt("sim_trace_writebacks_total", traceWritebacks));
+    m.push_back(FleetMetric::ofInt("sim_trace_kcryptd_blocks_total",
+                                   traceKcryptdBlocks));
+    m.push_back(
+        FleetMetric::ofInt("sim_trace_dma_bytes_total", traceDmaBytes));
+    m.push_back(FleetMetric::ofInt("sim_trace_power_events_total",
+                                   tracePowerEvents));
     m.push_back(FleetMetric::ofInt("sim_device_seed_hash", seedHash));
     return report;
 }

@@ -1,9 +1,6 @@
 #include "hw/bus.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
-#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
@@ -20,20 +17,6 @@ Bus::attach(BusTarget *target, PhysAddr base, std::size_t size,
         }
     }
     mappings_.push_back({target, base, size, std::move(name)});
-}
-
-void
-Bus::addObserver(BusObserver *observer)
-{
-    observers_.push_back(observer);
-}
-
-void
-Bus::removeObserver(BusObserver *observer)
-{
-    observers_.erase(
-        std::remove(observers_.begin(), observers_.end(), observer),
-        observers_.end());
 }
 
 bool
@@ -66,13 +49,6 @@ Bus::route(PhysAddr addr, std::size_t len) const
 }
 
 void
-Bus::notify(const BusTransaction &txn)
-{
-    for (auto *obs : observers_)
-        obs->onTransaction(txn);
-}
-
-void
 Bus::read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
           BusInitiator initiator)
 {
@@ -80,11 +56,12 @@ Bus::read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
     m.target->busRead(addr - m.base, buf, len);
     ++stats_.reads;
     stats_.readBytes += len;
-    if (faultHooks_ != nullptr)
-        faultHooks_->onBusRead(addr, len);
-    if (!observers_.empty())
-        notify({addr, static_cast<std::uint32_t>(len), false, initiator,
-                buf});
+    if (trace_ != nullptr &&
+        trace_->enabled(probe::TraceKind::BusTransfer)) {
+        probe::BusTransfer event{addr, static_cast<std::uint32_t>(len),
+                                 false, initiator, buf, false, 0};
+        trace_->emit(event);
+    }
 }
 
 void
@@ -95,24 +72,23 @@ Bus::write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
     m.target->busWrite(addr - m.base, buf, len);
     ++stats_.writes;
     stats_.writeBytes += len;
-    // A glitched interconnect may replay the transaction. Duplicates go
-    // to the same target and are visible to observers, but do NOT
-    // re-consult the hooks — a duplicate must not trigger further
-    // duplication.
-    unsigned duplicates = 0;
-    if (faultHooks_ != nullptr)
-        duplicates = faultHooks_->onBusWrite(addr, len);
-    for (unsigned i = 0; i < duplicates; ++i) {
+    if (trace_ == nullptr || !trace_->enabled(probe::TraceKind::BusTransfer))
+        return;
+    probe::BusTransfer event{addr, static_cast<std::uint32_t>(len), true,
+                             initiator, buf, false, 0};
+    trace_->emit(event);
+    // A glitched interconnect may replay the transaction (a subscriber
+    // filled event.extraWrites). Replays go to the same target and fire
+    // again with `duplicate` set, but their responses are ignored — a
+    // duplicate must not trigger further duplication.
+    for (unsigned i = 0; i < event.extraWrites; ++i) {
         m.target->busWrite(addr - m.base, buf, len);
         ++stats_.writes;
         stats_.writeBytes += len;
-        if (!observers_.empty())
-            notify({addr, static_cast<std::uint32_t>(len), true,
-                    initiator, buf});
+        probe::BusTransfer replay{addr, static_cast<std::uint32_t>(len),
+                                  true, initiator, buf, true, 0};
+        trace_->emit(replay);
     }
-    if (!observers_.empty())
-        notify({addr, static_cast<std::uint32_t>(len), true, initiator,
-                buf});
 }
 
 } // namespace sentry::hw

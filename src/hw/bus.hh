@@ -1,12 +1,13 @@
 /**
  * @file
- * The external memory bus connecting the SoC to off-chip DRAM, plus the
- * observer interface a hardware bus-monitoring probe attaches to.
+ * The external memory bus connecting the SoC to off-chip DRAM.
  *
  * Everything that crosses this bus — cache-line fills, writebacks, DMA
- * transfers — is visible to observers, including addresses and payloads.
- * Traffic that stays on the SoC (iRAM accesses, L2 hits) never appears
- * here; that asymmetry is the core of Sentry's security argument.
+ * transfers — fires a probe::BusTransfer trace point, including
+ * addresses and payloads. Traffic that stays on the SoC (iRAM
+ * accesses, L2 hits) never appears here; that asymmetry is the core of
+ * Sentry's security argument. Attach a hw::BusMonitor (or any other
+ * probe::Subscriber) to the owning Soc's TraceEngine to observe it.
  */
 
 #ifndef SENTRY_HW_BUS_HH
@@ -16,43 +17,15 @@
 #include <string>
 #include <vector>
 
+#include "common/probe.hh"
+#include "common/trace_engine.hh"
 #include "common/types.hh"
-
-namespace sentry::fault
-{
-class FaultHooks;
-}
 
 namespace sentry::hw
 {
 
-/** Who initiated a bus transaction. */
-enum class BusInitiator
-{
-    CpuCache, //!< L2 line fill or writeback on behalf of the CPU
-    Dma,      //!< a DMA controller transfer
-};
-
-/** One observable transaction on the external memory bus. */
-struct BusTransaction
-{
-    PhysAddr addr;
-    std::uint32_t size;
-    bool isWrite;
-    BusInitiator initiator;
-    /** Payload; valid only during the observer callback. */
-    const std::uint8_t *data;
-};
-
-/** Attachment point for hardware probes (see attacks/BusMonitorAttack). */
-class BusObserver
-{
-  public:
-    virtual ~BusObserver() = default;
-
-    /** Called synchronously for every transaction. */
-    virtual void onTransaction(const BusTransaction &txn) = 0;
-};
+/** Bus transactions carry the probe-layer initiator tag. */
+using probe::BusInitiator;
 
 /** A device addressable over the bus. */
 class BusTarget
@@ -81,7 +54,7 @@ struct BusStats
     std::uint64_t transactions() const { return reads + writes; }
 };
 
-/** Address-routing bus with probe support. */
+/** Address-routing bus firing BusTransfer trace points. */
 class Bus
 {
   public:
@@ -89,25 +62,16 @@ class Bus
     void attach(BusTarget *target, PhysAddr base, std::size_t size,
                 std::string name);
 
-    /** Register a probe; it sees every subsequent transaction. */
-    void addObserver(BusObserver *observer);
-
-    /** Remove a previously-registered probe. */
-    void removeObserver(BusObserver *observer);
-
     /** @return true if [addr, addr+len) maps to exactly one target. */
     bool covers(PhysAddr addr, std::size_t len) const;
 
-    /** Read from the mapped device; notifies observers. */
+    /** Read from the mapped device; fires a BusTransfer trace point. */
     void read(PhysAddr addr, std::uint8_t *buf, std::size_t len,
               BusInitiator initiator);
 
-    /** Write to the mapped device; notifies observers. */
+    /** Write to the mapped device; fires a BusTransfer trace point. */
     void write(PhysAddr addr, const std::uint8_t *buf, std::size_t len,
                BusInitiator initiator);
-
-    /** @return true while at least one probe is attached. */
-    bool hasObservers() const { return !observers_.empty(); }
 
     /** @return transaction counters. */
     const BusStats &stats() const { return stats_; }
@@ -115,8 +79,8 @@ class Bus
     /** Zero the transaction counters. */
     void clearStats() { stats_ = BusStats{}; }
 
-    /** Arm (or with nullptr disarm) fault injection on this bus. */
-    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
   private:
     struct Mapping
@@ -128,16 +92,14 @@ class Bus
     };
 
     const Mapping &route(PhysAddr addr, std::size_t len) const;
-    void notify(const BusTransaction &txn);
 
     std::vector<Mapping> mappings_;
-    std::vector<BusObserver *> observers_;
     // Route cache: index of the last mapping hit. Line fills and
     // writebacks stream against one target, so this turns the routing
     // scan into a single range check on the hot path.
     mutable std::size_t lastRoute_ = SIZE_MAX;
     BusStats stats_;
-    fault::FaultHooks *faultHooks_ = nullptr;
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

@@ -4,16 +4,16 @@ namespace sentry::hw
 {
 
 void
-BusMonitor::onTransaction(const BusTransaction &txn)
+BusMonitor::onBusTransfer(probe::BusTransfer &event)
 {
     CapturedTransaction cap;
-    cap.addr = txn.addr;
-    cap.size = txn.size;
-    cap.isWrite = txn.isWrite;
-    cap.initiator = txn.initiator;
-    if (capturePayloads_ && txn.data != nullptr)
-        cap.data.assign(txn.data, txn.data + txn.size);
-    bytesObserved_ += txn.size;
+    cap.addr = event.addr;
+    cap.size = event.size;
+    cap.isWrite = event.isWrite;
+    cap.initiator = event.initiator;
+    if (capturePayloads_ && event.data != nullptr)
+        cap.data.assign(event.data, event.data + event.size);
+    bytesObserved_ += event.size;
     trace_.push_back(std::move(cap));
 }
 

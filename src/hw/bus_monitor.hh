@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace_engine.hh"
 #include "common/types.hh"
 #include "hw/bus.hh"
 
@@ -29,7 +30,7 @@ struct CapturedTransaction
 };
 
 /** Passive probe that records all bus traffic while attached. */
-class BusMonitor : public BusObserver
+class BusMonitor : public probe::Subscriber
 {
   public:
     /**
@@ -40,7 +41,26 @@ class BusMonitor : public BusObserver
         : capturePayloads_(capture_payloads)
     {}
 
-    void onTransaction(const BusTransaction &txn) override;
+    ~BusMonitor() override { detach(); }
+
+    /** Clip the probe onto @p engine's bus-transfer trace point. */
+    void attach(probe::TraceEngine &engine)
+    {
+        engine_ = &engine;
+        engine.subscribe(this,
+                         probe::maskOf(probe::TraceKind::BusTransfer));
+    }
+
+    /** Unclip the probe; the captured trace is kept. */
+    void detach()
+    {
+        if (engine_ != nullptr) {
+            engine_->unsubscribe(this);
+            engine_ = nullptr;
+        }
+    }
+
+    void onBusTransfer(probe::BusTransfer &event) override;
 
     /** @return the captured trace, in order. */
     const std::vector<CapturedTransaction> &trace() const { return trace_; }
@@ -56,6 +76,7 @@ class BusMonitor : public BusObserver
 
   private:
     bool capturePayloads_;
+    probe::TraceEngine *engine_ = nullptr;
     std::vector<CapturedTransaction> trace_;
     std::uint64_t bytesObserved_ = 0;
 };

@@ -24,7 +24,7 @@ CryptoAccelerator::currentRate() const
 }
 
 void
-CryptoAccelerator::chargeRequest(std::size_t bytes)
+CryptoAccelerator::chargeRequest(std::size_t bytes, bool encrypt)
 {
     // The whole engine (including its request setup path) runs at the
     // reduced clock while down-scaled.
@@ -38,6 +38,10 @@ CryptoAccelerator::chargeRequest(std::size_t bytes)
                    energy_.params().accelPerRequest +
                        energy_.params().accelPerByte *
                            static_cast<double>(bytes));
+    if (trace_ != nullptr && trace_->enabled(probe::TraceKind::CryptoOp)) {
+        probe::CryptoOp event{bytes, encrypt};
+        trace_->emit(event);
+    }
 }
 
 void
@@ -48,7 +52,7 @@ CryptoAccelerator::cbcEncrypt(const crypto::Iv &iv,
         fatal("crypto accelerator used before a key was loaded");
     crypto::AesBlockCipher block(*cipher_);
     crypto::cbcEncrypt(block, iv, data);
-    chargeRequest(data.size());
+    chargeRequest(data.size(), true);
 }
 
 void
@@ -59,7 +63,7 @@ CryptoAccelerator::cbcDecrypt(const crypto::Iv &iv,
         fatal("crypto accelerator used before a key was loaded");
     crypto::AesBlockCipher block(*cipher_);
     crypto::cbcDecrypt(block, iv, data);
-    chargeRequest(data.size());
+    chargeRequest(data.size(), false);
 }
 
 } // namespace sentry::hw

@@ -22,6 +22,7 @@
 #include <span>
 
 #include "common/sim_clock.hh"
+#include "common/trace_engine.hh"
 #include "crypto/aes.hh"
 #include "crypto/modes.hh"
 #include "hw/energy.hh"
@@ -68,14 +69,18 @@ class CryptoAccelerator
     /** @return effective streaming rate right now, bytes/second. */
     double currentRate() const;
 
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
+
   private:
-    void chargeRequest(std::size_t bytes);
+    void chargeRequest(std::size_t bytes, bool encrypt);
 
     SimClock &clock_;
     EnergyModel &energy_;
     CryptoAccelParams params_;
     bool downscaled_ = false;
     std::unique_ptr<crypto::Aes> cipher_;
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

@@ -91,6 +91,9 @@ class DmaController
     /** @return total bytes moved by this controller. */
     std::uint64_t bytesTransferred() const { return bytesTransferred_; }
 
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
+
   private:
     struct DeviceMapping
     {
@@ -109,6 +112,7 @@ class DmaController
     TrustZone &tz_;
     std::vector<DeviceMapping> devices_;
     std::uint64_t bytesTransferred_ = 0;
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

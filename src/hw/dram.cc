@@ -3,10 +3,26 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
+
+namespace
+{
+
+/** Fire one probe::MemAccess for a DRAM cell-array access. */
+inline void
+traceDramOp(probe::TraceEngine *trace, bool is_write, PhysAddr offset,
+            std::size_t len)
+{
+    if (trace == nullptr || !trace->enabled(probe::TraceKind::MemAccess))
+        return;
+    probe::MemAccess event{probe::MemAccess::Device::Dram, is_write, offset,
+                           len};
+    trace->emit(event);
+}
+
+} // namespace
 
 Dram::Dram(std::size_t size)
     : data_(size, 0), remanence_(MemoryTech::Dram)
@@ -21,8 +37,7 @@ Dram::busRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
     if (offset + len > data_.size())
         panic("DRAM read out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
-    if (faultHooks_ != nullptr)
-        faultHooks_->onDramOp(false, offset, len);
+    traceDramOp(trace_, false, offset, len);
     std::memcpy(buf, data_.data() + offset, len);
 }
 
@@ -33,8 +48,7 @@ Dram::busWrite(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
         panic("DRAM write out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
     std::memcpy(data_.data() + offset, buf, len);
-    if (faultHooks_ != nullptr)
-        faultHooks_->onDramOp(true, offset, len);
+    traceDramOp(trace_, true, offset, len);
 }
 
 void

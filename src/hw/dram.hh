@@ -18,11 +18,6 @@
 #include "hw/bus.hh"
 #include "hw/remanence.hh"
 
-namespace sentry::fault
-{
-class FaultHooks;
-}
-
 namespace sentry::hw
 {
 
@@ -52,13 +47,13 @@ class Dram : public BusTarget
     /** Apply cell decay for a power loss of @p off_seconds. */
     void powerLoss(double off_seconds, double celsius, Rng &rng);
 
-    /** Arm (or with nullptr disarm) fault injection on this device. */
-    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
   private:
     std::vector<std::uint8_t> data_;
     RemanenceModel remanence_;
-    fault::FaultHooks *faultHooks_ = nullptr;
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

@@ -38,6 +38,10 @@ EnergyModel::charge(EnergyCategory category, double joules)
     if (joules < 0)
         panic("negative energy charge (%f J)", joules);
     consumed_[static_cast<std::size_t>(category)] += joules;
+    if (trace_ != nullptr && trace_->enabled(probe::TraceKind::PowerEvent)) {
+        probe::PowerEvent event{energyCategoryName(category), joules};
+        trace_->emit(event);
+    }
 }
 
 double

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/trace_engine.hh"
+
 namespace sentry::hw
 {
 
@@ -84,12 +86,16 @@ class EnergyModel
     /** Zero the accumulators (fresh measurement window). */
     void reset();
 
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
+
   private:
     EnergyParams params_;
     double batteryJoules_;
     std::array<double, static_cast<std::size_t>(
                            EnergyCategory::NumCategories)>
         consumed_{};
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

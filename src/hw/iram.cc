@@ -3,10 +3,26 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "fault/hooks.hh"
 
 namespace sentry::hw
 {
+
+namespace
+{
+
+/** Fire one probe::MemAccess for an iRAM cell-array access. */
+inline void
+traceIramOp(probe::TraceEngine *trace, bool is_write, PhysAddr offset,
+            std::size_t len)
+{
+    if (trace == nullptr || !trace->enabled(probe::TraceKind::MemAccess))
+        return;
+    probe::MemAccess event{probe::MemAccess::Device::Iram, is_write, offset,
+                           len};
+    trace->emit(event);
+}
+
+} // namespace
 
 Iram::Iram(std::size_t size)
     : data_(size, 0), remanence_(MemoryTech::Sram)
@@ -27,8 +43,7 @@ void
 Iram::read(PhysAddr offset, std::uint8_t *buf, std::size_t len) const
 {
     checkRange(offset, len);
-    if (faultHooks_ != nullptr)
-        faultHooks_->onIramOp(false, offset, len);
+    traceIramOp(trace_, false, offset, len);
     std::memcpy(buf, data_.data() + offset, len);
 }
 
@@ -37,8 +52,7 @@ Iram::write(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
 {
     checkRange(offset, len);
     std::memcpy(data_.data() + offset, buf, len);
-    if (faultHooks_ != nullptr)
-        faultHooks_->onIramOp(true, offset, len);
+    traceIramOp(trace_, true, offset, len);
 }
 
 void

@@ -23,13 +23,9 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/trace_engine.hh"
 #include "common/types.hh"
 #include "hw/remanence.hh"
-
-namespace sentry::fault
-{
-class FaultHooks;
-}
 
 namespace sentry::hw
 {
@@ -60,15 +56,15 @@ class Iram
     /** Zero the whole array (the boot-firmware behaviour). */
     void zeroize();
 
-    /** Arm (or with nullptr disarm) fault injection on this device. */
-    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
   private:
     void checkRange(PhysAddr offset, std::size_t len) const;
 
     std::vector<std::uint8_t> data_;
     RemanenceModel remanence_;
-    fault::FaultHooks *faultHooks_ = nullptr;
+    probe::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace sentry::hw

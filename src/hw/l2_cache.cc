@@ -3,7 +3,6 @@
 #include <cstring>
 
 #include "common/logging.hh"
-#include "fault/hooks.hh"
 #include "hw/trustzone.hh"
 
 namespace sentry::hw
@@ -84,8 +83,11 @@ L2Cache::writebackLine(std::size_t set, unsigned way)
         return;
     // Fire before the bus write so a scheduled DMA burst races the
     // flush (reads DRAM while the line is still only in the cache).
-    if (faultHooks_ != nullptr)
-        faultHooks_->onL2Writeback(way, (lockdownMask_ & (1u << way)) != 0);
+    if (trace_ != nullptr && trace_->enabled(probe::TraceKind::CacheEvent)) {
+        probe::CacheEvent event{way, (lockdownMask_ & (1u << way)) != 0,
+                                lineAddr(set, line)};
+        trace_->emit(event);
+    }
     bus_.write(lineAddr(set, line), lineData(set, way), CACHE_LINE_SIZE,
                BusInitiator::CpuCache);
     clock_.advance(timing_.writebackCycles);

@@ -30,11 +30,6 @@
 #include "common/types.hh"
 #include "hw/bus.hh"
 
-namespace sentry::fault
-{
-class FaultHooks;
-}
-
 namespace sentry::hw
 {
 
@@ -255,8 +250,8 @@ class L2Cache
     /** @return true if any line of way @p way is valid and dirty. */
     bool wayHasDirtyLines(unsigned way) const;
 
-    /** Arm (or with nullptr disarm) fault injection on this cache. */
-    void setFaultHooks(fault::FaultHooks *hooks) { faultHooks_ = hooks; }
+    /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
+    void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
   private:
     using Line = L2Line;
@@ -322,7 +317,7 @@ class L2Cache
     mutable std::vector<std::uint8_t> mru_;
     std::uint32_t lockdownMask_ = 0;
     std::uint32_t flushWayMask_ = 0;
-    fault::FaultHooks *faultHooks_ = nullptr;
+    probe::TraceEngine *trace_ = nullptr;
 
     L2Stats stats_;
 };

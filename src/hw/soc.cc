@@ -99,6 +99,24 @@ void
 MemorySystem::copy(PhysAddr dst, PhysAddr src, std::size_t len)
 {
     std::uint8_t buffer[CACHE_LINE_SIZE];
+    // memmove semantics: when the destination overlaps the source from
+    // above, a forward chunked copy would re-read bytes it already
+    // overwrote — walk the chunks backward instead. Non-overlapping
+    // copies keep the original forward chunking bit-for-bit.
+    if (dst > src && dst < src + len) {
+        PhysAddr srcEnd = src + len;
+        PhysAddr dstEnd = dst + len;
+        while (len > 0) {
+            const std::size_t n =
+                std::min<std::size_t>(len, CACHE_LINE_SIZE);
+            srcEnd -= n;
+            dstEnd -= n;
+            read(srcEnd, buffer, n);
+            write(dstEnd, buffer, n);
+            len -= n;
+        }
+        return;
+    }
     while (len > 0) {
         const std::size_t n = std::min<std::size_t>(len, CACHE_LINE_SIZE);
         read(src, buffer, n);
@@ -119,6 +137,13 @@ Soc::Soc(const PlatformConfig &config)
       dma_(clock_, bus_, iram_, tz_), cpu_(clock_), firmware_(config.boot),
       memory_(clock_, iram_, l2_, config.timing)
 {
+    dram_.setTraceEngine(&trace_);
+    iram_.setTraceEngine(&trace_);
+    bus_.setTraceEngine(&trace_);
+    l2_.setTraceEngine(&trace_);
+    dma_.setTraceEngine(&trace_);
+    energy_.setTraceEngine(&trace_);
+
     bus_.attach(&dram_, DRAM_BASE, dram_.size(), "dram");
     dma_.attachDevice(&uart_, UART_DEBUG_PORT, UART_DEBUG_PORT_SIZE,
                       "uart-debug");
@@ -135,6 +160,7 @@ Soc::Soc(const PlatformConfig &config)
         accel_ =
             std::make_unique<CryptoAccelerator>(clock_, energy_,
                                                 config.accel);
+        accel_->setTraceEngine(&trace_);
     }
 }
 
@@ -158,16 +184,6 @@ void
 Soc::chargeCpuSeconds(double seconds)
 {
     clock_.advanceSeconds(seconds);
-}
-
-void
-Soc::setFaultHooks(fault::FaultHooks *hooks)
-{
-    faultHooks_ = hooks;
-    dram_.setFaultHooks(hooks);
-    iram_.setFaultHooks(hooks);
-    bus_.setFaultHooks(hooks);
-    l2_.setFaultHooks(hooks);
 }
 
 } // namespace sentry::hw

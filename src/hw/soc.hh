@@ -19,6 +19,7 @@
 
 #include "common/rng.hh"
 #include "common/sim_clock.hh"
+#include "common/trace_engine.hh"
 #include "common/types.hh"
 #include "hw/bus.hh"
 #include "hw/cpu.hh"
@@ -32,11 +33,6 @@
 #include "hw/l2_cache.hh"
 #include "hw/platform.hh"
 #include "hw/trustzone.hh"
-
-namespace sentry::fault
-{
-class FaultHooks;
-}
 
 namespace sentry::hw
 {
@@ -63,7 +59,11 @@ class MemorySystem
     /** Fill [addr, addr+len) with @p value. */
     void fill(PhysAddr addr, std::uint8_t value, std::size_t len);
 
-    /** Copy @p len bytes within simulated physical memory. */
+    /**
+     * Copy @p len bytes within simulated physical memory. Overlapping
+     * ranges are handled with memmove semantics (the destination always
+     * receives the original source bytes).
+     */
     void copy(PhysAddr dst, PhysAddr src, std::size_t len);
 
     /** @return true if @p addr lies in the iRAM window. */
@@ -130,17 +130,19 @@ class Soc
     void chargeCpuSeconds(double seconds);
 
     /**
-     * Arm fault injection: every injection site (DRAM, iRAM, bus, L2
-     * writebacks) reports its operations to @p hooks. Pass nullptr to
-     * disarm. Consumers that cannot be wired here (the dm-crypt kcryptd
-     * pool) pick the hook up via faultHooks().
+     * The machine's single observation spine: every device of this Soc
+     * fires its trace points here. Subscribe a probe::Subscriber (the
+     * fault injector, a bus monitor, a CounterSink, ...) to observe or
+     * perturb the machine; with no subscribers every emission site
+     * early-outs at one pointer + bit test.
      */
-    void setFaultHooks(fault::FaultHooks *hooks);
-
-    /** @return the armed hook set, or nullptr when injection is off. */
-    fault::FaultHooks *faultHooks() const { return faultHooks_; }
+    probe::TraceEngine &trace() { return trace_; }
+    const probe::TraceEngine &trace() const { return trace_; }
 
   private:
+    // Declared first so it is destroyed last: devices hold raw pointers
+    // to it, and subscribers detach through it in their destructors.
+    probe::TraceEngine trace_;
     PlatformConfig config_;
     SimClock clock_;
     Rng rng_;
@@ -157,7 +159,6 @@ class Soc
     Firmware firmware_;
     MemorySystem memory_;
     std::unique_ptr<CryptoAccelerator> accel_;
-    fault::FaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace sentry::hw

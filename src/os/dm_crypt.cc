@@ -6,7 +6,7 @@
 #include <thread>
 
 #include "common/logging.hh"
-#include "fault/hooks.hh"
+#include "common/trace_engine.hh"
 
 namespace sentry::os
 {
@@ -15,19 +15,21 @@ namespace
 {
 
 /**
- * Report one kcryptd block pickup to the fault layer (if armed) and
- * charge any worker stall to the simulated clock. Always called from
- * the issuing thread — the pool's host threads never see the Soc.
+ * Fire one probe::KcryptdOp for a kcryptd block pickup and charge any
+ * subscriber-requested worker stall to the simulated clock. Always
+ * called from the issuing thread — the pool's host threads never see
+ * the Soc.
  */
 void
 chargeKcryptdStall(crypto::SimAesEngine &cipher)
 {
-    fault::FaultHooks *hooks = cipher.soc().faultHooks();
-    if (hooks == nullptr)
+    probe::TraceEngine &trace = cipher.soc().trace();
+    if (!trace.enabled(probe::TraceKind::KcryptdOp))
         return;
-    const double stall = hooks->onKcryptdBlock();
-    if (stall > 0.0)
-        cipher.soc().clock().advanceSeconds(stall);
+    probe::KcryptdOp event{0.0};
+    trace.emit(event);
+    if (event.stallSeconds > 0.0)
+        cipher.soc().clock().advanceSeconds(event.stallSeconds);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.hh"
+#include "common/trace_engine.hh"
 #include "hw/bus.hh"
 #include "hw/bus_monitor.hh"
 #include "hw/dram.hh"
@@ -20,9 +21,11 @@ struct BusFixture : testing::Test
 {
     BusFixture() : dram(1 * MiB)
     {
+        bus.setTraceEngine(&engine);
         bus.attach(&dram, DRAM_BASE, dram.size(), "dram");
     }
 
+    probe::TraceEngine engine;
     Bus bus;
     Dram dram;
 };
@@ -67,7 +70,7 @@ TEST_F(BusFixture, OverlappingMappingPanics)
 TEST_F(BusFixture, ObserversSeeEveryTransaction)
 {
     BusMonitor monitor;
-    bus.addObserver(&monitor);
+    monitor.attach(engine);
 
     const auto data = fromHex("0011223344556677");
     bus.write(DRAM_BASE, data.data(), data.size(), BusInitiator::Dma);
@@ -85,8 +88,8 @@ TEST_F(BusFixture, ObserversSeeEveryTransaction)
 TEST_F(BusFixture, DetachedObserverSeesNothing)
 {
     BusMonitor monitor;
-    bus.addObserver(&monitor);
-    bus.removeObserver(&monitor);
+    monitor.attach(engine);
+    monitor.detach();
 
     std::uint8_t buf[4] = {};
     bus.write(DRAM_BASE, buf, 4, BusInitiator::CpuCache);
@@ -96,7 +99,7 @@ TEST_F(BusFixture, DetachedObserverSeesNothing)
 TEST_F(BusFixture, AddressOnlyProbeCapturesNoPayloads)
 {
     BusMonitor monitor(/*capture_payloads=*/false);
-    bus.addObserver(&monitor);
+    monitor.attach(engine);
 
     const auto secret = fromHex("abadcafe01020304");
     bus.write(DRAM_BASE, secret.data(), secret.size(),
@@ -110,7 +113,7 @@ TEST_F(BusFixture, AddressOnlyProbeCapturesNoPayloads)
 TEST_F(BusFixture, ConcatenatedPayloadsPreserveOrder)
 {
     BusMonitor monitor;
-    bus.addObserver(&monitor);
+    monitor.attach(engine);
 
     const auto a = fromHex("aaaa");
     const auto b = fromHex("bbbb");

@@ -134,6 +134,34 @@ TEST(RunningStat, EmptyAndSingle)
     EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
 }
 
+TEST(RunningStat, NearestRankPercentiles)
+{
+    RunningStat stat;
+    EXPECT_DOUBLE_EQ(stat.percentile(50.0), 0.0); // empty
+
+    // Insertion order must not matter: add 1..100 shuffled.
+    for (double x : {73.0, 12.0, 99.0, 1.0, 50.0})
+        stat.add(x);
+    for (int x = 1; x <= 100; ++x)
+        if (x != 73 && x != 12 && x != 99 && x != 1 && x != 50)
+            stat.add(static_cast<double>(x));
+
+    // Nearest-rank: p-th percentile of 1..100 is exactly p.
+    EXPECT_DOUBLE_EQ(stat.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(stat.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(stat.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(0.0), 1.0);    // smallest sample
+    EXPECT_DOUBLE_EQ(stat.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(150.0), 100.0); // clamped
+    EXPECT_DOUBLE_EQ(stat.percentile(-5.0), 1.0);    // clamped
+
+    stat.reset();
+    EXPECT_DOUBLE_EQ(stat.p99(), 0.0);
+    stat.add(42.0);
+    EXPECT_DOUBLE_EQ(stat.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(stat.p99(), 42.0);
+}
+
 TEST(Types, Alignment)
 {
     EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);

@@ -204,9 +204,14 @@ TEST_F(InjectorFixture, KcryptdStallReportsConfiguredSeconds)
     FaultInjector injector(sched, 17);
     injector.arm(soc);
 
-    EXPECT_DOUBLE_EQ(injector.onKcryptdBlock(), 0.0);
-    EXPECT_DOUBLE_EQ(injector.onKcryptdBlock(), 0.125);
-    EXPECT_DOUBLE_EQ(injector.onKcryptdBlock(), 0.0); // one-shot
+    auto pump = [&] {
+        probe::KcryptdOp event{0.0};
+        soc.trace().emit(event);
+        return event.stallSeconds;
+    };
+    EXPECT_DOUBLE_EQ(pump(), 0.0);
+    EXPECT_DOUBLE_EQ(pump(), 0.125);
+    EXPECT_DOUBLE_EQ(pump(), 0.0); // one-shot
     EXPECT_DOUBLE_EQ(injector.stats().stallSeconds, 0.125);
 }
 
@@ -266,7 +271,8 @@ TEST_F(InjectorFixture, DisarmStopsCountingAndFiring)
     busWrite(DRAM_BASE + 64, 0);
     EXPECT_EQ(injector.stats().dramOps, 1u);
     EXPECT_EQ(injector.stats().firings, 1u);
-    EXPECT_EQ(soc.faultHooks(), nullptr);
+    EXPECT_EQ(soc.trace().subscriberCount(), 0u);
+    EXPECT_FALSE(soc.trace().anyEnabled());
 }
 
 TEST_F(InjectorFixture, ReplayDigestIsBitStable)

@@ -29,7 +29,7 @@ namespace
 {
 
 /** Records every bus transaction (addresses, sizes, directions). */
-struct RecordingObserver : BusObserver
+struct RecordingObserver : probe::Subscriber
 {
     struct Rec
     {
@@ -49,9 +49,10 @@ struct RecordingObserver : BusObserver
     std::vector<Rec> log;
 
     void
-    onTransaction(const BusTransaction &txn) override
+    onBusTransfer(probe::BusTransfer &event) override
     {
-        log.push_back({txn.addr, txn.size, txn.isWrite, txn.initiator});
+        log.push_back(
+            {event.addr, event.size, event.isWrite, event.initiator});
     }
 };
 
@@ -63,10 +64,11 @@ struct Machine
           iramAlloc(core::OnSocAllocator::forIram(soc.iram().size())),
           wayManager(soc, DRAM_BASE + 16 * MiB), fastPath(fast)
     {
-        soc.bus().addObserver(&observer);
+        soc.trace().subscribe(
+            &observer, probe::maskOf(probe::TraceKind::BusTransfer));
     }
 
-    ~Machine() { soc.bus().removeObserver(&observer); }
+    ~Machine() { soc.trace().unsubscribe(&observer); }
 
     void
     makeEngine(StatePlacement placement, std::span<const std::uint8_t> key)

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thread-safety test for the global quiet flag: fleet workers call
+ * warn() concurrently while the harness may toggle setQuiet(), so the
+ * flag must be a real atomic. This test lives in the fleet test binary
+ * so the TSAN configuration exercises it under the race detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+using namespace sentry;
+
+TEST(Logging, QuietFlagIsSafeToHammerFromManyThreads)
+{
+    const bool before = isQuiet();
+    setQuiet(true); // keep warn() below silent
+
+    constexpr unsigned THREADS = 8;
+    constexpr unsigned ITERATIONS = 1000;
+    std::vector<std::thread> workers;
+    workers.reserve(THREADS);
+    for (unsigned t = 0; t < THREADS; ++t) {
+        workers.emplace_back([t] {
+            for (unsigned i = 0; i < ITERATIONS; ++i) {
+                if (t % 2 == 0) {
+                    // Writers flip the flag but always end on quiet.
+                    setQuiet(i % 2 == 1);
+                    setQuiet(true);
+                } else {
+                    // Readers take both the direct and the logging path.
+                    (void)isQuiet();
+                    if (i % 64 == 0)
+                        warn("quiet-flag hammer %u/%u", t, i);
+                }
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    EXPECT_TRUE(isQuiet());
+    setQuiet(before);
+}

@@ -51,7 +51,7 @@ TEST_P(PinnedBackingTest, NeverInDramNeverOnBus)
 {
     hw::Soc soc(hw::PlatformConfig::tegra3(32 * MiB));
     hw::BusMonitor monitor;
-    soc.bus().addObserver(&monitor);
+    monitor.attach(soc.trace());
 
     auto pool = PinnedMemory::create(soc, 16 * KiB, GetParam());
     ASSERT_NE(pool, nullptr);
@@ -62,7 +62,7 @@ TEST_P(PinnedBackingTest, NeverInDramNeverOnBus)
 
     EXPECT_FALSE(containsBytes(soc.dramRaw(), KEY));
     EXPECT_FALSE(containsBytes(monitor.concatenatedPayloads(), KEY));
-    soc.bus().removeObserver(&monitor);
+    monitor.detach();
 }
 
 TEST_P(PinnedBackingTest, DmaCannotReadThePool)

@@ -178,7 +178,7 @@ TEST_F(EngineFixture, DramTableLookupsCrossTheBus)
 {
     auto engine = makeEngine(StatePlacement::Dram);
     BusMonitor monitor;
-    soc.bus().addObserver(&monitor);
+    monitor.attach(soc.trace());
 
     soc.l2().flushAllMasked(); // evict the tables
     std::uint8_t pt[16] = {1, 2, 3}, ct[16];
@@ -195,14 +195,14 @@ TEST_F(EngineFixture, DramTableLookupsCrossTheBus)
         }
     }
     EXPECT_TRUE(sawTableRead);
-    soc.bus().removeObserver(&monitor);
+    monitor.detach();
 }
 
 TEST_F(EngineFixture, OnSocTableLookupsInvisibleOnBus)
 {
     auto engine = makeEngine(StatePlacement::Iram);
     BusMonitor monitor;
-    soc.bus().addObserver(&monitor);
+    monitor.attach(soc.trace());
 
     soc.l2().flushAllMasked();
     monitor.clear();
@@ -216,7 +216,7 @@ TEST_F(EngineFixture, OnSocTableLookupsInvisibleOnBus)
             txn.addr < base + engine->layout().totalBytes();
         EXPECT_FALSE(inState) << "AES state crossed the memory bus";
     }
-    soc.bus().removeObserver(&monitor);
+    monitor.detach();
 }
 
 TEST_F(EngineFixture, OnSocBulkOpsRunWithIrqProtection)

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the TraceEngine spine: subscription semantics (order,
+ * mask replacement, response channels), the stock CounterSink and
+ * ChromeTraceSink, and trace parity — with tracing enabled, the
+ * batched audited AES fast path must produce the same CounterSink
+ * totals as the per-block reference loop. Parity is asserted for the
+ * Dram and LockedL2 placements only: the iRAM-placement fast path
+ * legitimately reads pinned state without calling Iram::read, so its
+ * MemAccess counts differ by design (DESIGN.md §9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hh"
+#include "common/trace_engine.hh"
+#include "core/locked_way_manager.hh"
+#include "crypto/aes_on_soc.hh"
+#include "hw/platform.hh"
+#include "hw/soc.hh"
+
+using namespace sentry;
+using namespace sentry::crypto;
+using namespace sentry::hw;
+
+namespace
+{
+
+/** Appends a tag on every KcryptdOp and adds one second of stall. */
+struct TaggingSubscriber : probe::Subscriber
+{
+    TaggingSubscriber(std::string *log, char tag) : log_(log), tag_(tag) {}
+
+    void
+    onKcryptdOp(probe::KcryptdOp &event) override
+    {
+        log_->push_back(tag_);
+        event.stallSeconds += 1.0;
+    }
+
+    std::string *log_;
+    char tag_;
+};
+
+} // namespace
+
+TEST(TraceEngine, StartsWithNothingEnabled)
+{
+    probe::TraceEngine engine;
+    EXPECT_FALSE(engine.anyEnabled());
+    EXPECT_EQ(engine.subscriberCount(), 0u);
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(probe::TraceKind::NumKinds); ++k)
+        EXPECT_FALSE(engine.enabled(static_cast<probe::TraceKind>(k)));
+}
+
+TEST(TraceEngine, CallbacksRunInSubscriptionOrder)
+{
+    // The fault injector relies on this: it arms (subscribes) before
+    // any monitor attaches, so fault effects land before recording.
+    probe::TraceEngine engine;
+    std::string log;
+    TaggingSubscriber first(&log, 'a');
+    TaggingSubscriber second(&log, 'b');
+    engine.subscribe(&first, probe::maskOf(probe::TraceKind::KcryptdOp));
+    engine.subscribe(&second, probe::maskOf(probe::TraceKind::KcryptdOp));
+
+    probe::KcryptdOp event{0.0};
+    engine.emit(event);
+    EXPECT_EQ(log, "ab");
+    // Response channel accumulates across subscribers.
+    EXPECT_DOUBLE_EQ(event.stallSeconds, 2.0);
+
+    engine.unsubscribe(&first);
+    engine.unsubscribe(&second);
+    EXPECT_FALSE(engine.anyEnabled());
+}
+
+TEST(TraceEngine, ResubscribeReplacesTheMask)
+{
+    probe::TraceEngine engine;
+    std::string log;
+    TaggingSubscriber sub(&log, 'x');
+    engine.subscribe(&sub, probe::maskOf(probe::TraceKind::KcryptdOp));
+    EXPECT_TRUE(engine.enabled(probe::TraceKind::KcryptdOp));
+
+    engine.subscribe(&sub, probe::maskOf(probe::TraceKind::CacheEvent));
+    EXPECT_EQ(engine.subscriberCount(), 1u);
+    EXPECT_FALSE(engine.enabled(probe::TraceKind::KcryptdOp));
+    EXPECT_TRUE(engine.enabled(probe::TraceKind::CacheEvent));
+
+    // The engine does not dispatch kinds outside the active mask.
+    probe::KcryptdOp event{0.0};
+    engine.emit(event);
+    EXPECT_TRUE(log.empty());
+    EXPECT_DOUBLE_EQ(event.stallSeconds, 0.0);
+
+    engine.unsubscribe(&sub);
+    engine.unsubscribe(&sub); // second detach is a no-op
+    EXPECT_EQ(engine.subscriberCount(), 0u);
+}
+
+TEST(CounterSink, AccumulatesSocActivityUntilDetached)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    probe::CounterSink sink;
+    sink.attach(soc.trace());
+
+    soc.memory().write32(DRAM_BASE + 0x40, 0x11223344u);
+    soc.memory().read32(DRAM_BASE + 0x40);
+    soc.memory().write32(IRAM_BASE + 0x100, 0x55667788u);
+
+    const probe::TraceCounters &c = sink.counters();
+    EXPECT_EQ(c.iramWrites, 1u);
+    EXPECT_GE(c.dramReads, 1u); // L2 line fill reached the cell array
+    EXPECT_GE(c.busReads, 1u);
+    EXPECT_GT(c.busReadBytes, 0u);
+    EXPECT_GT(c.memOps(), 0u);
+    EXPECT_NE(c.summary().find("busR:"), std::string::npos);
+
+    const probe::TraceCounters frozen = c;
+    sink.detach();
+    EXPECT_FALSE(soc.trace().anyEnabled());
+    soc.memory().write32(DRAM_BASE + 0x80, 1u);
+    EXPECT_EQ(sink.counters().memOps(), frozen.memOps());
+    EXPECT_EQ(sink.counters().busOps(), frozen.busOps());
+}
+
+TEST(ChromeTraceSink, RecordsTimelineAndWritesJson)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    probe::ChromeTraceSink sink(1024);
+    sink.attach(soc.trace(), soc.clock());
+    soc.memory().write32(DRAM_BASE + 0x40, 0xdeadbeefu);
+    sink.detach();
+    ASSERT_GT(sink.eventCount(), 0u);
+    EXPECT_FALSE(sink.truncated());
+
+    const std::string path = "test_trace_engine_timeline.json";
+    ASSERT_TRUE(sink.writeJson(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(body.str().find("bus-transfer"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTraceSink, TruncatesAtTheEventCap)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    probe::ChromeTraceSink sink(4);
+    sink.attach(soc.trace(), soc.clock());
+    for (unsigned i = 0; i < 8; ++i)
+        soc.memory().write32(DRAM_BASE + 0x40 + 64 * i, i);
+    sink.detach();
+    EXPECT_EQ(sink.eventCount(), 4u);
+    EXPECT_TRUE(sink.truncated());
+}
+
+namespace
+{
+
+/** One machine with a counter sink; engine fast path is on or off. */
+struct CountedMachine
+{
+    explicit CountedMachine(bool fast)
+        : soc(PlatformConfig::tegra3(32 * MiB)),
+          wayManager(soc, DRAM_BASE + 16 * MiB), fastPath(fast)
+    {
+        sink.attach(soc.trace());
+    }
+
+    void
+    makeEngine(StatePlacement placement, std::span<const std::uint8_t> key)
+    {
+        const PhysAddr base = placement == StatePlacement::Dram
+                                  ? DRAM_BASE + 4 * MiB
+                                  : wayManager.lockWay()->base;
+        engine = std::make_unique<SimAesEngine>(soc, base, key, placement);
+        engine->setFastPath(fastPath);
+    }
+
+    Soc soc;
+    core::LockedWayManager wayManager;
+    bool fastPath;
+    probe::CounterSink sink; // detaches before soc is destroyed
+    std::unique_ptr<SimAesEngine> engine;
+};
+
+/** A deterministic byte pattern. */
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + 31 * i + (i >> 5));
+    return v;
+}
+
+class TraceParityTest : public testing::TestWithParam<StatePlacement>
+{
+};
+
+} // namespace
+
+TEST_P(TraceParityTest, CounterTotalsMatchFastPathOnAndOff)
+{
+    CountedMachine fast(true), ref(false);
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    fast.makeEngine(GetParam(), key);
+    ref.makeEngine(GetParam(), key);
+
+    const std::size_t nblocks = 96;
+    const auto pt = pattern(nblocks * AES_BLOCK_SIZE, 7);
+    std::vector<std::uint8_t> ctFast(pt.size()), ctRef(pt.size());
+    fast.engine->encryptBlocks(pt.data(), ctFast.data(), nblocks);
+    ref.engine->encryptBlocks(pt.data(), ctRef.data(), nblocks);
+    EXPECT_EQ(ctFast, ctRef);
+
+    std::vector<std::uint8_t> back(pt.size());
+    fast.engine->decryptBlocks(ctFast.data(), back.data(), nblocks);
+    ref.engine->decryptBlocks(ctRef.data(), back.data(), nblocks);
+
+    // Every trace-point total — not just the per-device stats the twin
+    // test in test_l2_fastpath.cc compares — must be identical.
+    EXPECT_EQ(fast.sink.counters().summary(),
+              ref.sink.counters().summary());
+    EXPECT_EQ(fast.soc.clock().now(), ref.soc.clock().now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, TraceParityTest,
+                         testing::Values(StatePlacement::Dram,
+                                         StatePlacement::LockedL2),
+                         [](const testing::TestParamInfo<StatePlacement>
+                                &info) {
+                             return info.param == StatePlacement::Dram
+                                        ? std::string("Dram")
+                                        : std::string("LockedL2");
+                         });
