@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 
 #include "bench_util.hh"
@@ -57,16 +58,37 @@ modeName(CryptoMode mode)
 constexpr std::size_t PARTITION = 32 * MiB;
 constexpr std::size_t IO_BYTES = 16 * MiB;
 
+/**
+ * Boot-once, fork-per-trial: the five trial seeds each get one warmed
+ * template (booted + crypto providers registered), cached for the
+ * whole run; every runOne() call forks its seed's snapshot instead of
+ * re-booting. Simulated MB/s stay bit-identical to the cold-boot
+ * numbers in bench/reference/ — only host wall-clock changes.
+ */
+core::Device &
+forkedDevice(std::uint64_t seed)
+{
+    static std::map<std::uint64_t, std::unique_ptr<bench::WarmDevice>>
+        cache;
+    auto &slot = cache[seed];
+    if (!slot) {
+        core::SentryOptions options;
+        options.placement = core::AesPlacement::LockedL2;
+        hw::PlatformConfig config = hw::PlatformConfig::tegra3(64 * MiB);
+        config.seed = seed;
+        slot = std::make_unique<bench::WarmDevice>(
+            config, options, [](core::Device &device) {
+                device.sentry().registerCryptoProviders();
+            });
+    }
+    return slot->fork();
+}
+
 double
 runOne(CryptoMode mode, FilebenchWorkload workload, bool direct_io,
        std::uint64_t seed)
 {
-    core::SentryOptions options;
-    options.placement = core::AesPlacement::LockedL2;
-    hw::PlatformConfig config = hw::PlatformConfig::tegra3(64 * MiB);
-    config.seed = seed;
-    core::Device device(config, options);
-    device.sentry().registerCryptoProviders();
+    core::Device &device = forkedDevice(seed);
 
     RamBlockDevice disk(device.soc().clock(), PARTITION);
     const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
@@ -86,7 +108,7 @@ runOne(CryptoMode mode, FilebenchWorkload workload, bool direct_io,
         }
         // kcryptd spreads write-side encryption across all four cores.
         dm = std::make_unique<DmCrypt>(disk, std::move(cipher),
-                                       config.cores);
+                                       device.soc().config().cores);
         layer = dm.get();
     }
 

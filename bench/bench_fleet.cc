@@ -10,6 +10,7 @@
  * bench/reference/BENCH_fleet.json by bench/run_benches.sh.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -51,6 +52,106 @@ simFingerprint(const fleet::FleetReport &report)
         }
     }
     return out;
+}
+
+/**
+ * Boot-once spin-up: host cost of standing up one device, cold boot vs
+ * COW fork, across growing DRAM models. Cold boot scales with the
+ * memory model (DRAM init is O(size)); forking a snapshot only
+ * re-threads COW page tables and small state, so it stays near-flat.
+ * That sublinearity is what lets one warmed template fan out to
+ * thousands of devices. Host timings carry no sim_ prefix — they are
+ * machine-dependent and exempt from drift checks.
+ */
+void
+spinUpSection(bench::Session &session)
+{
+    constexpr std::size_t SIZES_MIB[] = {16, 64, 256};
+    constexpr unsigned COLD_REPS = 3, FORK_REPS = 24;
+    std::printf("\nspin-up host cost per device (nexus4 model):\n");
+    std::printf("%10s %14s %14s %10s\n", "dram", "cold boot ms",
+                "fork ms", "ratio");
+    for (std::size_t mib : SIZES_MIB) {
+        const hw::PlatformConfig config =
+            hw::PlatformConfig::nexus4(mib * MiB);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < COLD_REPS; ++i)
+            core::Device device(config);
+        const auto t1 = std::chrono::steady_clock::now();
+        bench::WarmDevice warm(config);
+        const auto t2 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < FORK_REPS; ++i)
+            warm.fork();
+        const auto t3 = std::chrono::steady_clock::now();
+        const double coldMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count() /
+            COLD_REPS;
+        const double forkMs =
+            std::chrono::duration<double, std::milli>(t3 - t2).count() /
+            FORK_REPS;
+        std::printf("%7zuMiB %14.3f %14.3f %9.1fx\n", mib, coldMs,
+                    forkMs, forkMs > 0.0 ? coldMs / forkMs : 0.0);
+        const std::string tag = std::to_string(mib) + "mib";
+        session.metric("host_spinup_cold_ms_" + tag, coldMs);
+        session.metric("host_spinup_fork_ms_" + tag, forkMs);
+    }
+}
+
+/**
+ * Snapshot-mode fleet: the same 8-device fleet, but every device forks
+ * one warmed template instead of cold-booting. Checks the replay
+ * guarantee holds on the fork path too, and records the deterministic
+ * metrics under sim_snap_* (drift-checked like any other sim metric).
+ */
+int
+snapshotFleetSection(bench::Session &session,
+                     const fleet::Scenario &scenario)
+{
+    fleet::FleetOptions serialOptions = baseOptions(8, 1);
+    serialOptions.spawnMode = fleet::SpawnMode::Snapshot;
+    fleet::FleetOptions threadedOptions = baseOptions(8, 4);
+    threadedOptions.spawnMode = fleet::SpawnMode::Snapshot;
+
+    const fleet::FleetReport serial =
+        fleet::runFleet(scenario, serialOptions);
+    const fleet::FleetReport threaded =
+        fleet::runFleet(scenario, threadedOptions);
+    if (!serial.allOk || !threaded.allOk) {
+        std::fprintf(stderr,
+                     "fleet: invariants violated in snapshot spawn "
+                     "mode:\n%s",
+                     (serial.allOk ? threaded : serial).summary().c_str());
+        return 1;
+    }
+    const bool identical =
+        simFingerprint(serial) == simFingerprint(threaded);
+    const double rate = serial.hostSeconds > 0
+                            ? 8 / serial.hostSeconds
+                            : 0.0;
+    std::printf("snapshot-mode fleet (8 devices, forked spawn): "
+                "%.1f devices/s, 1-thread vs 4-thread %s\n",
+                rate, identical ? "bit-identical" : "DIVERGED");
+    if (!identical) {
+        std::fprintf(stderr,
+                     "fleet: snapshot spawn mode broke the replay "
+                     "guarantee\n--- 1 thread ---\n%s--- 4 threads "
+                     "---\n%s",
+                     simFingerprint(serial).c_str(),
+                     simFingerprint(threaded).c_str());
+        return 1;
+    }
+    for (const fleet::FleetMetric &metric : serial.metrics) {
+        if (metric.name.rfind("sim_", 0) == 0) {
+            const std::string key =
+                "sim_snap_" + metric.name.substr(4);
+            if (metric.isInt)
+                session.metric(key, metric.u);
+            else
+                session.metric(key, metric.d);
+        }
+    }
+    session.metric("host_snap_devices_per_sec", rate);
+    return 0;
 }
 
 } // namespace
@@ -126,6 +227,10 @@ main()
                      simFingerprint(threaded).c_str());
         return 1;
     }
+
+    if (const int rc = snapshotFleetSection(session, scenario); rc != 0)
+        return rc;
+    spinUpSection(session);
 
     return 0;
 }

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Perf-smoke driver: build and run the benchmarks that exercise the
 # host fast path (bench_fig11_aes_throughput), the batched kcryptd
-# pipeline (bench_fig9_dmcrypt), and the fleet scenario engine
-# (bench_fleet), then compare every `sim_`-prefixed metric in their
-# BENCH_*.json records against the committed references in
-# bench/reference/. Simulated quantities are deterministic, so ANY
-# drift is a correctness regression and fails the run.
+# pipeline (bench_fig9_dmcrypt), the fleet scenario engine
+# (bench_fleet), and the boot-once unlock path (bench_fig2_unlock),
+# then compare every `sim_`-prefixed metric in their BENCH_*.json
+# records against the committed references in bench/reference/.
+# Simulated quantities are deterministic, so ANY drift is a
+# correctness regression and fails the run. `host_wall_*` keys are
+# checked for *presence* only (their values are machine-dependent): a
+# bench silently losing its timing is drift too.
 #
-# When the build was configured with -DSENTRY_TSAN=ON, the fleet test
-# label also runs under ThreadSanitizer at the end. With -DSENTRY_ASAN=ON
-# or -DSENTRY_UBSAN=ON the full tier-1 test suite runs under that
-# sanitizer instead.
+# When the build was configured with -DSENTRY_TSAN=ON, the fleet and
+# snapshot test labels also run under ThreadSanitizer at the end. With
+# -DSENTRY_ASAN=ON or -DSENTRY_UBSAN=ON the full tier-1 test suite
+# runs under that sanitizer instead.
 #
 # Usage: bench/run_benches.sh
 #   BUILD_DIR=...  override the build tree (default: <repo>/build)
@@ -23,12 +26,12 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
     cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j --target bench_fig11_aes_throughput \
-    bench_fig9_dmcrypt bench_fleet
+    bench_fig9_dmcrypt bench_fleet bench_fig2_unlock
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-for bench in fig11_aes_throughput fig9_dmcrypt fleet; do
+for bench in fig11_aes_throughput fig9_dmcrypt fleet fig2_unlock; do
     echo "== bench_$bench =="
     SENTRY_BENCH_JSON_DIR="$OUT" "$BUILD/bench/bench_$bench"
 done
@@ -65,19 +68,28 @@ for ref_path in sorted(refdir.glob("BENCH_*.json")):
             print(f"DRIFT: {ref_path.name}: new metric {key} not in "
                   f"reference (regenerate bench/reference/)")
             failures += 1
+    # host_wall_* values are machine-dependent, but the *set* of keys
+    # is part of the record format: compare presence both directions.
+    ref_wall = {k for k in ref if k.startswith("host_wall_")}
+    new_wall = {k for k in new if k.startswith("host_wall_")}
+    for key in sorted(ref_wall ^ new_wall):
+        where = "lost" if key in ref_wall else "gained"
+        print(f"DRIFT: {ref_path.name}: {where} host timing key {key}")
+        failures += 1
 if failures:
     print(f"{failures} deterministic metric(s) drifted")
     sys.exit(1)
 print("all sim_ metrics match the committed references")
 EOF
 
-# TSAN builds: run the fleet concurrency tests under the sanitizer
-# (the scenario engine, the per-device stacks, and the kcryptd pools
-# all spin real threads).
+# TSAN builds: run the fleet and snapshot concurrency tests under the
+# sanitizer (the scenario engine, the per-device stacks, the kcryptd
+# pools, and the shared COW snapshots all cross real threads).
 if grep -q "^SENTRY_TSAN:BOOL=ON$" "$BUILD/CMakeCache.txt"; then
-    echo "== fleet tests under ThreadSanitizer =="
-    cmake --build "$BUILD" -j --target sentry_fleet_tests
-    ctest --test-dir "$BUILD" -L fleet --output-on-failure
+    echo "== fleet + snapshot tests under ThreadSanitizer =="
+    cmake --build "$BUILD" -j --target sentry_fleet_tests \
+        sentry_snapshot_tests
+    ctest --test-dir "$BUILD" -L 'fleet|snapshot' --output-on-failure
 fi
 
 # ASAN/UBSAN builds: the whole tier-1 suite runs under the sanitizer

@@ -42,6 +42,9 @@ usage()
         "  --no-json            skip the JSON record\n"
         "  --trace-out PATH     write device 0's timeline as\n"
         "                       chrome://tracing JSON\n"
+        "  --snapshot           boot one template device and fork every\n"
+        "                       fleet device from its COW snapshot\n"
+        "  --cold-boot          boot every device from scratch (default)\n"
         "  --list               list built-in scenarios and exit\n");
 }
 
@@ -110,6 +113,10 @@ main(int argc, char **argv)
             options.traceOutPath = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--no-json") == 0) {
             wantJson = false;
+        } else if (std::strcmp(arg, "--snapshot") == 0) {
+            options.spawnMode = fleet::SpawnMode::Snapshot;
+        } else if (std::strcmp(arg, "--cold-boot") == 0) {
+            options.spawnMode = fleet::SpawnMode::ColdBoot;
         } else if (std::strcmp(arg, "--list") == 0) {
             for (const std::string &name : fleet::builtinScenarioNames())
                 std::printf("%s\n", name.c_str());

@@ -52,7 +52,11 @@ usage()
         "  --platform NAME  tegra3 or nexus4 (default tegra3)\n"
         "  --dram SIZE      per-trial DRAM, e.g. 16MiB\n"
         "  --trace-out PATH write the last trial's timeline as\n"
-        "                   chrome://tracing JSON\n");
+        "                   chrome://tracing JSON\n"
+        "  --snapshot       fork each trial device from a warmed COW\n"
+        "                   snapshot (fuzzes the fork path)\n"
+        "  --cold-boot      boot each trial device from scratch "
+        "(default)\n");
 }
 
 [[noreturn]] void
@@ -148,6 +152,10 @@ main(int argc, char **argv)
             reproDir = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
             options.shrink = false;
+        } else if (std::strcmp(arg, "--snapshot") == 0) {
+            options.spawnSnapshot = true;
+        } else if (std::strcmp(arg, "--cold-boot") == 0) {
+            options.spawnSnapshot = false;
         } else if (std::strcmp(arg, "--trace-out") == 0) {
             options.traceOutPath = nextArg(argc, argv, i, arg);
         } else if (std::strcmp(arg, "--platform") == 0) {

@@ -33,6 +33,21 @@ SyntheticApp::SyntheticApp(os::Kernel &kernel, const AppProfile &profile)
     }
 }
 
+SyntheticApp::SyntheticApp(os::Kernel &kernel, os::Process &process)
+    : kernel_(kernel), profile_(AppProfile::byName(process.name())),
+      process_(&process)
+{
+    for (const os::Vma &vma : process.addressSpace().vmas()) {
+        if (vma.name == "heap")
+            heapBase_ = vma.base;
+        else if (vma.name == "gpu-dma")
+            dmaBase_ = vma.base;
+    }
+    if (heapBase_ == 0)
+        fatal("app \"%s\": process has no heap VMA to attach to",
+              profile_.name.c_str());
+}
+
 void
 SyntheticApp::populate(std::span<const std::uint8_t> secret)
 {

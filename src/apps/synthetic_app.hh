@@ -27,6 +27,15 @@ class SyntheticApp
     /** Create the process and map its VMAs in @p kernel. */
     SyntheticApp(os::Kernel &kernel, const AppProfile &profile);
 
+    /**
+     * Attach to an existing process created by an earlier SyntheticApp
+     * (typically on a forked device, where the process and its VMAs
+     * arrive via the snapshot). Recovers the profile from the process
+     * name and the heap/DMA bases from the mapped VMAs; fatal when the
+     * process was not built by this class.
+     */
+    SyntheticApp(os::Kernel &kernel, os::Process &process);
+
     /** @return the underlying process. */
     os::Process &process() { return *process_; }
 

@@ -17,6 +17,8 @@
 #ifndef SENTRY_CORE_DEVICE_HH
 #define SENTRY_CORE_DEVICE_HH
 
+#include <memory>
+
 #include "core/sentry.hh"
 #include "hw/platform.hh"
 #include "hw/soc.hh"
@@ -24,6 +26,19 @@
 
 namespace sentry::core
 {
+
+/**
+ * Immutable whole-device checkpoint: Soc + kernel + Sentry state.
+ * Produced by Device::snapshot(), held by shared_ptr so one warmed
+ * image can fan out to any number of forked devices (including from
+ * multiple threads — the snapshot is never mutated after creation).
+ */
+struct DeviceSnapshot
+{
+    hw::SocSnapshot soc;
+    os::KernelSnapshot kernel;
+    SentrySnapshot sentry;
+};
 
 /** A booted device with Sentry installed. */
 class Device
@@ -41,6 +56,31 @@ class Device
     hw::Soc &soc() { return soc_; }
     os::Kernel &kernel() { return kernel_; }
     Sentry &sentry() { return sentry_; }
+
+    /** Checkpoint the whole device. Cheap: cell arrays freeze
+     * copy-on-write; only small state is deep-copied. */
+    std::shared_ptr<const DeviceSnapshot>
+    snapshot() const
+    {
+        return std::make_shared<const DeviceSnapshot>(DeviceSnapshot{
+            soc_.snapshot(), kernel_.snapshot(), sentry_.snapshot()});
+    }
+
+    /**
+     * Overwrite this device's entire simulated state with @p snap. The
+     * target must be constructed from the same platform config and
+     * Sentry options as the snapshotted device (fatal on mismatch).
+     * Re-forking the same target any number of times is supported —
+     * that is the boot-once / fan-out pattern. Invalidates raw() spans
+     * of this device's memories.
+     */
+    void
+    forkFrom(const DeviceSnapshot &snap)
+    {
+        soc_.forkFrom(snap.soc);
+        kernel_.forkFrom(snap.kernel);
+        sentry_.forkFrom(snap.sentry);
+    }
 
   private:
     hw::Soc soc_;

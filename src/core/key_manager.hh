@@ -61,6 +61,14 @@ class KeyManager
     /** Scrub both keys from on-SoC storage. */
     void scrub();
 
+    /** Snapshot/fork restore: the key *bytes* live in the simulated
+     * on-SoC store (carried by the COW iRAM image); only this host-side
+     * flag needs restoring. */
+    void restorePersistentFlag(bool has_persistent)
+    {
+        hasPersistent_ = has_persistent;
+    }
+
   private:
     hw::Soc &soc_;
     OnSocRegion store_;

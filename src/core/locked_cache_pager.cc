@@ -130,4 +130,37 @@ LockedCachePager::drainOnUnlock()
     }
 }
 
+LockedCachePager::ForkState
+LockedCachePager::forkState() const
+{
+    ForkState fs;
+    fs.freeFrames = freeFrames_;
+    for (const Resident &resident : residents_)
+        fs.residents.push_back(ForkState::ResidentImage{
+            resident.process->pid(), resident.va, resident.frame});
+    fs.stats = stats_;
+    return fs;
+}
+
+void
+LockedCachePager::restoreForkState(const ForkState &fs)
+{
+    freeFrames_ = fs.freeFrames;
+    residents_.clear();
+    for (const ForkState::ResidentImage &image : fs.residents) {
+        os::Process *found = nullptr;
+        for (const auto &process : kernel_.processes()) {
+            if (process->pid() == image.pid) {
+                found = process.get();
+                break;
+            }
+        }
+        if (found == nullptr)
+            panic("LockedCachePager::restoreForkState: unknown pid %d",
+                  image.pid);
+        residents_.push_back(Resident{found, image.va, image.frame});
+    }
+    stats_ = fs.stats;
+}
+
 } // namespace sentry::core

@@ -82,6 +82,27 @@ class LockedCachePager
     /** @return counters. */
     const PagerStats &stats() const { return stats_; }
 
+    /** Pager state for snapshot/fork; residents are recorded by pid so
+     * they can be re-threaded onto a forked kernel's processes. */
+    struct ForkState
+    {
+        struct ResidentImage
+        {
+            int pid = 0;
+            VirtAddr va = 0;
+            PhysAddr frame = 0;
+        };
+        std::vector<PhysAddr> freeFrames;
+        std::vector<ResidentImage> residents;
+        PagerStats stats;
+    };
+
+    ForkState forkState() const;
+
+    /** Restore, resolving pids against the (already forked) kernel;
+     * fatal when a resident names an unknown pid. */
+    void restoreForkState(const ForkState &fs);
+
   private:
     struct Resident
     {

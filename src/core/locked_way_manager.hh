@@ -73,6 +73,13 @@ class LockedWayManager
     /** @return the physical window base for way @p way. */
     PhysAddr wayWindowBase(unsigned way) const;
 
+    /** @return the locked-way bitmask (for snapshot/fork). */
+    std::uint32_t lockedMask() const { return lockedMask_; }
+
+    /** Snapshot/fork restore: overwrite the locked-way bitmask. The
+     * lockdown register itself is restored by the L2 fork state. */
+    void restoreLockedMask(std::uint32_t mask) { lockedMask_ = mask; }
+
   private:
     hw::Soc &soc_;
     PhysAddr windowBase_;

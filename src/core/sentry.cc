@@ -372,6 +372,71 @@ Sentry::registerCryptoProviders()
          }});
 }
 
+SentrySnapshot
+Sentry::snapshot() const
+{
+    return SentrySnapshot{
+        placement_,
+        options_.backgroundMode,
+        iramAlloc_,
+        wayManager_.lockedMask(),
+        engineWay_,
+        engineWayAlloc_ != nullptr
+            ? std::optional<OnSocAllocator>(*engineWayAlloc_)
+            : std::nullopt,
+        keys_->hasPersistentKey(),
+        engine_->forkState(),
+        pager_ != nullptr
+            ? std::optional<LockedCachePager::ForkState>(
+                  pager_->forkState())
+            : std::nullopt,
+        backgroundPids_,
+        lockEpoch_,
+        keysDestroyed_,
+        stats_,
+        !kernel_.cryptoApi().implementations().empty()};
+}
+
+void
+Sentry::forkFrom(const SentrySnapshot &snap)
+{
+    if (snap.placement != placement_)
+        fatal("Sentry::forkFrom: snapshot placement %s does not match "
+              "target placement %s",
+              aesPlacementName(snap.placement),
+              aesPlacementName(placement_));
+    if (snap.backgroundMode != options_.backgroundMode)
+        fatal("Sentry::forkFrom: background-mode mismatch");
+    if (!snap.engine.has_value())
+        fatal("Sentry::forkFrom: snapshot lacks engine state");
+    if ((pager_ != nullptr) != snap.pager.has_value())
+        fatal("Sentry::forkFrom: pager presence mismatch");
+
+    iramAlloc_ = snap.iramAlloc;
+    wayManager_.restoreLockedMask(snap.lockedWayMask);
+    engineWay_ = snap.engineWay;
+    engineWayAlloc_ =
+        snap.engineWayAlloc.has_value()
+            ? std::make_unique<OnSocAllocator>(*snap.engineWayAlloc)
+            : nullptr;
+    keys_->restorePersistentFlag(snap.hasPersistentKey);
+    engine_->restoreForkState(*snap.engine);
+    if (pager_ != nullptr)
+        pager_->restoreForkState(*snap.pager);
+    backgroundPids_ = snap.backgroundPids;
+    lockEpoch_ = snap.lockEpoch;
+    keysDestroyed_ = snap.keysDestroyed;
+    stats_ = snap.stats;
+
+    // A fresh fork target has an empty crypto registry; give it the
+    // same providers the snapshotted device had. (Re-forking the same
+    // target keeps its existing registrations — the factories already
+    // capture this Sentry and this Soc.)
+    if (snap.providersRegistered &&
+        kernel_.cryptoApi().implementations().empty())
+        registerCryptoProviders();
+}
+
 double
 Sentry::encryptAllMemoryStrawman()
 {

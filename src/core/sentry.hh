@@ -102,6 +102,33 @@ struct SentryStats
     double lastUnlockSeconds = 0.0;
 };
 
+/**
+ * Checkpoint of Sentry's mutable state, produced by Sentry::snapshot().
+ *
+ * Everything here is host-side bookkeeping: key bytes, AES state
+ * regions and encrypted pages travel inside the SocSnapshot's COW
+ * memory images. Hooks installed into the kernel, and the crypto
+ * provider factories, are wiring — forkFrom() re-registers providers
+ * on a fresh target instead of copying them.
+ */
+struct SentrySnapshot
+{
+    AesPlacement placement;
+    bool backgroundMode;
+    OnSocAllocator iramAlloc;
+    std::uint32_t lockedWayMask;
+    std::optional<OnSocRegion> engineWay;
+    std::optional<OnSocAllocator> engineWayAlloc;
+    bool hasPersistentKey;
+    std::optional<crypto::SimAesEngine::ForkState> engine;
+    std::optional<LockedCachePager::ForkState> pager;
+    std::set<int> backgroundPids;
+    std::uint32_t lockEpoch;
+    bool keysDestroyed;
+    SentryStats stats;
+    bool providersRegistered;
+};
+
 /** The Sentry manager. */
 class Sentry
 {
@@ -169,6 +196,20 @@ class Sentry
     void onUnlock();
     void onDeepLock();
     bool handleFault(os::Process &process, VirtAddr va, os::Pte &pte);
+
+    // ---- snapshot / fork -----------------------------------------------
+
+    /** Capture Sentry's host-side state (see SentrySnapshot). */
+    SentrySnapshot snapshot() const;
+
+    /**
+     * Restore from @p snap. The target must have been constructed with
+     * the same effective placement and background mode (fatal
+     * otherwise). Call after Soc/Kernel forkFrom so pager residents can
+     * resolve against the forked process list. Re-registers crypto
+     * providers when the snapshot had them and this device does not.
+     */
+    void forkFrom(const SentrySnapshot &snap);
 
   private:
     void encryptProcess(os::Process &process);

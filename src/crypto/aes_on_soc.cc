@@ -582,6 +582,17 @@ class SimAesEngine::FastEnv
 
 SimAesEngine::~SimAesEngine() = default;
 
+void
+SimAesEngine::restoreForkState(const ForkState &fs)
+{
+    schedule_ = fs.schedule;
+    bytesProcessed_ = fs.bytesProcessed;
+    scrubbed_ = fs.scrubbed;
+    chargeDivisor_ = fs.chargeDivisor;
+    fastPath_ = fs.fastPath;
+    fastEnv_.reset();
+}
+
 SimAesEngine::SimAesEngine(hw::Soc &soc, PhysAddr state_base,
                            std::span<const std::uint8_t> key,
                            StatePlacement placement, bool kernel_path,

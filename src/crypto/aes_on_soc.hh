@@ -246,6 +246,30 @@ class SimAesEngine : public BlockCipher
     void chargeParallelBulk(const Iv &iv, std::size_t bytes,
                             double workers);
 
+    /**
+     * Host-side mutable engine state for snapshot/fork. The simulated
+     * state region's *contents* travel in the SocSnapshot's COW memory
+     * images; this carries only the host mirror and accounting.
+     */
+    struct ForkState
+    {
+        AesKeySchedule schedule;
+        std::uint64_t bytesProcessed;
+        bool scrubbed;
+        double chargeDivisor;
+        bool fastPath;
+    };
+
+    ForkState forkState() const
+    {
+        return ForkState{schedule_, bytesProcessed_, scrubbed_,
+                         chargeDivisor_, fastPath_};
+    }
+
+    /** Restore host state; drops the fast-path line map, whose pinned
+     * cache lines and cached iRAM pointer die with the fork. */
+    void restoreForkState(const ForkState &fs);
+
   private:
     class SimEnv;  // audited state-access environment
     class FastEnv; // audited fast path (pinned line handles)

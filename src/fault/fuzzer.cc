@@ -168,6 +168,7 @@ generateTrial(const FuzzOptions &options, unsigned index)
     spec.seed = rng.next64();
     if (spec.seed == 0)
         spec.seed = 0x5e47f022ULL;
+    spec.spawnSnapshot = options.spawnSnapshot;
 
     fleet::Scenario &scenario = spec.scenario;
     scenario.name = "fuzz-" + std::to_string(index);
@@ -295,6 +296,11 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
     fleetOptions.auditEveryStep = true;
     fleetOptions.faultSchedule = &spec.faults;
     fleetOptions.traceOutPath = options.traceOutPath;
+    if (spec.spawnSnapshot) {
+        fleetOptions.spawnMode = fleet::SpawnMode::Snapshot;
+        fleetOptions.templateSnapshot =
+            fleet::makeFleetTemplate(spec.scenario, fleetOptions);
+    }
 
     const fleet::DeviceResult result =
         fleet::runDevice(spec.scenario, fleetOptions, 0);
@@ -399,6 +405,8 @@ formatTrialFile(const FuzzTrialSpec &spec, const TrialOutcome *outcome)
     std::snprintf(seedHex, sizeof(seedHex), "0x%llx",
                   static_cast<unsigned long long>(spec.seed));
     out << "seed " << seedHex << '\n';
+    if (spec.spawnSnapshot)
+        out << "spawn snapshot\n";
     if (outcome != nullptr) {
         out << "expect " << (outcome->ok ? "ok" : "fail") << '\n';
         if (!outcome->error.empty())
@@ -458,6 +466,12 @@ parseTrialFile(const std::string &text)
                     throw std::runtime_error("malformed seed '" + value +
                                              "'");
                 haveSeed = true;
+            } else if (key == "spawn") {
+                if (value != "snapshot" && value != "cold-boot")
+                    throw std::runtime_error(
+                        "spawn wants 'snapshot' or 'cold-boot', got '" +
+                        value + "'");
+                file.spec.spawnSnapshot = value == "snapshot";
             } else if (key == "expect") {
                 if (value != "ok" && value != "fail")
                     throw std::runtime_error(

@@ -47,6 +47,9 @@ struct FuzzOptions
      * the timeline of one specific trial).
      */
     std::string traceOutPath;
+    /** Spawn each trial device by forking a warmed snapshot instead of
+     * cold-booting it (fuzzes the fork path itself). */
+    bool spawnSnapshot = false;
 };
 
 /** One generated (or loaded) trial. */
@@ -55,6 +58,8 @@ struct FuzzTrialSpec
     std::uint64_t seed = 0;   //!< fleet seed the trial runs under
     fleet::Scenario scenario; //!< workload + attack interleaving
     FaultSchedule faults;     //!< scheduled hardware faults
+    /** Recorded spawn mode, so a reproducer replays the same path. */
+    bool spawnSnapshot = false;
 };
 
 /** Deterministic result of one trial run. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "attacks/bus_monitor_attack.hh"
 #include "attacks/code_injection.hh"
@@ -50,6 +51,26 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+/** Platform + Sentry configuration shared by Runner::boot() and the
+ * snapshot template (the fork target must match the template's
+ * geometry and options exactly). */
+std::pair<hw::PlatformConfig, core::SentryOptions>
+deviceConfig(const Scenario &scenario, const FleetOptions &options,
+             std::uint64_t seed)
+{
+    hw::PlatformConfig config =
+        options.platform == FleetPlatform::Tegra3
+            ? hw::PlatformConfig::tegra3(options.dramBytes)
+            : hw::PlatformConfig::nexus4(options.dramBytes);
+    config.seed = seed;
+
+    core::SentryOptions sentryOptions;
+    sentryOptions.placement = core::AesPlacement::LockedL2;
+    sentryOptions.backgroundMode = scenario.needsBackground();
+    sentryOptions.pagerWays = 2;
+    return {config, sentryOptions};
+}
+
 class Runner
 {
   public:
@@ -92,18 +113,23 @@ class Runner
     void
     boot()
     {
-        hw::PlatformConfig config =
-            options_.platform == FleetPlatform::Tegra3
-                ? hw::PlatformConfig::tegra3(options_.dramBytes)
-                : hw::PlatformConfig::nexus4(options_.dramBytes);
-        config.seed = seed_;
-
-        core::SentryOptions sentryOptions;
-        sentryOptions.placement = core::AesPlacement::LockedL2;
-        sentryOptions.backgroundMode = scenario_.needsBackground();
-        sentryOptions.pagerWays = 2;
+        const auto [config, sentryOptions] =
+            deviceConfig(scenario_, options_, seed_);
         device_ = std::make_unique<core::Device>(config, sentryOptions);
-        device_->sentry().registerCryptoProviders();
+        if (options_.spawnMode == SpawnMode::Snapshot) {
+            if (!options_.templateSnapshot)
+                throw std::runtime_error(
+                    "snapshot spawn mode without a template snapshot "
+                    "(see makeFleetTemplate)");
+            // Fork the warmed image instead of re-booting. forkFrom
+            // re-registers the crypto providers on this fresh target.
+            device_->forkFrom(*options_.templateSnapshot);
+            // The fork inherited the template's RNG stream; re-seed so
+            // each device keeps its own deterministic randomness.
+            device_->soc().rng().reseed(seed_);
+        } else {
+            device_->sentry().registerCryptoProviders();
+        }
         checker_ = std::make_unique<core::InvariantChecker>(
             device_->kernel(), device_->sentry());
         if (options_.faultSchedule != nullptr &&
@@ -526,6 +552,16 @@ fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index)
     std::uint64_t mixed = splitmix64(state);
     // Never hand out 0: some seed consumers treat it as "default".
     return mixed != 0 ? mixed : 0x5e47ee1dULL;
+}
+
+std::shared_ptr<const core::DeviceSnapshot>
+makeFleetTemplate(const Scenario &scenario, const FleetOptions &options)
+{
+    const auto [config, sentryOptions] =
+        deviceConfig(scenario, options, options.seed);
+    core::Device device(config, sentryOptions);
+    device.sentry().registerCryptoProviders();
+    return device.snapshot();
 }
 
 DeviceResult

@@ -21,6 +21,7 @@
 #define SENTRY_FLEET_DEVICE_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,23 @@ namespace sentry::fault
 struct FaultSchedule;
 }
 
+namespace sentry::core
+{
+struct DeviceSnapshot;
+}
+
 namespace sentry::fleet
 {
+
+/** How each fleet device comes to life. */
+enum class SpawnMode
+{
+    ColdBoot, //!< construct and boot every device from scratch
+    /** Boot one warmed template, checkpoint it, and fork every device
+     * from the shared copy-on-write snapshot (much cheaper per device;
+     * all devices share the template's boot-time state). */
+    Snapshot,
+};
 
 /** Engine knobs shared by every device of a fleet run. */
 struct FleetOptions
@@ -59,6 +75,15 @@ struct FleetOptions
      * timelines of concurrent devices would interleave meaninglessly).
      */
     std::string traceOutPath;
+    /** Spawn path for every device (see SpawnMode). */
+    SpawnMode spawnMode = SpawnMode::ColdBoot;
+    /**
+     * Warmed image every device forks from when spawnMode is Snapshot.
+     * runFleet() builds one via makeFleetTemplate() when left null;
+     * callers may supply their own (e.g. one template reused across
+     * many fleet runs). Immutable — safe to share between threads.
+     */
+    std::shared_ptr<const core::DeviceSnapshot> templateSnapshot;
 };
 
 /** Deterministic per-device results (everything simulated). */
@@ -108,6 +133,15 @@ struct DeviceResult
  * consecutive indices give statistically independent streams).
  */
 std::uint64_t fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index);
+
+/**
+ * Boot one device the way Runner::boot does (platform from the
+ * scenario/options, Sentry options from the scenario, crypto providers
+ * registered) with the fleet seed, and checkpoint it. The result is
+ * the Snapshot spawn mode's shared template.
+ */
+std::shared_ptr<const core::DeviceSnapshot>
+makeFleetTemplate(const Scenario &scenario, const FleetOptions &options);
 
 /**
  * Run one device through @p scenario. Never throws: failures are

@@ -181,6 +181,10 @@ runFleet(const Scenario &scenario, const FleetOptions &options)
     FleetOptions effective = options;
     if (scenario.hasPlatform)
         effective.platform = scenario.platform;
+    if (effective.spawnMode == SpawnMode::Snapshot &&
+        !effective.templateSnapshot)
+        effective.templateSnapshot =
+            makeFleetTemplate(scenario, effective);
 
     const auto t0 = std::chrono::steady_clock::now();
 

@@ -79,6 +79,10 @@ class Bus
     /** Zero the transaction counters. */
     void clearStats() { stats_ = BusStats{}; }
 
+    /** Overwrite the transaction counters (snapshot/fork restore; the
+     * mappings themselves are construction-time wiring). */
+    void restoreStats(const BusStats &stats) { stats_ = stats; }
+
     /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Page-granular copy-on-write byte array.
+ *
+ * `CowBytes` backs the large simulated cell arrays (DRAM, iRAM) so that
+ * a whole warmed device can be checkpointed and forked without copying
+ * the full model. Pages are in one of three states:
+ *
+ *  - Zero:    never written; reads come from a shared all-zero page.
+ *  - Shared:  read-only view into an immutable `CowImage` (a snapshot).
+ *  - Private: this instance owns the page; writes landed here.
+ *
+ * `freeze()` publishes the current contents as an immutable, ref-counted
+ * `CowImage` without disturbing this instance. `adopt()` rebinds this
+ * instance to an image: every page becomes Shared (or Zero) and the
+ * first write to a page privatizes it ("private-on-first-write"). The
+ * set of Private pages is the fork's dirty bitmap; `privatePages()`
+ * reports its population count.
+ *
+ * Span-stability rule (the `raw()` contract for Dram/Iram): the
+ * contiguous span returned by `contiguous()` materializes every page
+ * into private storage and stays valid — and visible to reads through
+ * this object — until the next `adopt()` (i.e. until the owning device
+ * is forked again). `freeze()` and `zeroAll()` never invalidate it.
+ * Code that holds a span across `adopt()` reads stale bytes; take a
+ * fresh span instead.
+ */
+
+#ifndef SENTRY_HW_COW_BYTES_HH
+#define SENTRY_HW_COW_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sentry::hw
+{
+
+/**
+ * Immutable page array published by CowBytes::freeze(). Safe to share
+ * between threads: contents never change after publication, so many
+ * workers can fork devices from one image concurrently.
+ */
+class CowImage
+{
+  public:
+    /** @return logical size in bytes. */
+    std::size_t size() const { return size_; }
+
+    /** @return number of 4 KiB pages (last one may be partial). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** @return page data (PAGE_SIZE bytes), or nullptr for an all-zero
+     * page. */
+    const std::uint8_t *page(std::size_t index) const
+    {
+        return pages_[index];
+    }
+
+  private:
+    friend class CowBytes;
+
+    std::size_t size_ = 0;
+    /** Per-page pointer; nullptr = zero page. Non-null entries point
+     * either into owned_ or into a page of parent_. */
+    std::vector<const std::uint8_t *> pages_;
+    /** Storage for pages copied out of the freezing CowBytes. */
+    std::unique_ptr<std::uint8_t[]> owned_;
+    /** Keeps pages shared from an earlier image alive. */
+    std::shared_ptr<const CowImage> parent_;
+};
+
+/** Copy-on-write byte array; see file comment for the page lifecycle. */
+class CowBytes
+{
+  public:
+    /** All pages start in the Zero state; no memory is touched, so
+     * construction is O(size / PAGE_SIZE), not O(size). */
+    explicit CowBytes(std::size_t size);
+
+    CowBytes(const CowBytes &) = delete;
+    CowBytes &operator=(const CowBytes &) = delete;
+
+    std::size_t size() const { return size_; }
+    std::size_t pageCount() const { return nPages_; }
+
+    /** Copy @p len bytes at @p offset into @p buf. Caller checks
+     * bounds. */
+    void read(std::size_t offset, void *buf, std::size_t len) const
+    {
+        const std::size_t page = offset / PAGE_SIZE;
+        const std::size_t inPage = offset % PAGE_SIZE;
+        if (len <= PAGE_SIZE - inPage) {
+            std::memcpy(buf, readPtr_[page] + inPage, len);
+            return;
+        }
+        readSlow(offset, static_cast<std::uint8_t *>(buf), len);
+    }
+
+    /** Write @p len bytes at @p offset, privatizing touched pages.
+     * Caller checks bounds. */
+    void write(std::size_t offset, const void *buf, std::size_t len)
+    {
+        const std::size_t page = offset / PAGE_SIZE;
+        const std::size_t inPage = offset % PAGE_SIZE;
+        if (len <= PAGE_SIZE - inPage) {
+            std::memcpy(privatePage(page) + inPage, buf, len);
+            return;
+        }
+        writeSlow(offset, static_cast<const std::uint8_t *>(buf), len);
+    }
+
+    /**
+     * Materialize every page into private storage and return the whole
+     * array as one mutable span. See the span-stability rule in the
+     * file comment. Logically const: contents are unchanged, only the
+     * page states move to Private.
+     */
+    std::span<std::uint8_t> contiguous() const;
+
+    /** Publish the current contents as an immutable image. Does not
+     * change this instance's page states. */
+    std::shared_ptr<const CowImage> freeze() const;
+
+    /** Become a COW view of @p image (same size required): drop all
+     * private pages, share the image's. Invalidates prior spans. */
+    void adopt(std::shared_ptr<const CowImage> image);
+
+    /**
+     * Reset contents to all-zero. Pages already Private are memset in
+     * place (so existing spans keep reading zeros, matching what a
+     * plain memset of the old storage did); Shared/Zero pages drop to
+     * the Zero state for free.
+     */
+    void zeroAll();
+
+    /** @return number of Private pages (the fork's dirty bitmap
+     * population). */
+    std::size_t privatePages() const { return privateCount_; }
+
+    /** @return true if page @p index has been privatized (dirty since
+     * the last adopt()). */
+    bool pageIsPrivate(std::size_t index) const
+    {
+        return private_[index] != 0;
+    }
+
+    /** The shared all-zero page backing Zero-state reads. */
+    static const std::uint8_t *zeroPage();
+
+  private:
+    void readSlow(std::size_t offset, std::uint8_t *out,
+                  std::size_t len) const;
+    void writeSlow(std::size_t offset, const std::uint8_t *in,
+                   std::size_t len);
+
+    std::uint8_t *localPage(std::size_t page) const
+    {
+        return local_.get() + page * PAGE_SIZE;
+    }
+
+    /** Copy-on-write: give page @p page its own storage. */
+    std::uint8_t *privatePage(std::size_t page)
+    {
+        std::uint8_t *data = localPage(page);
+        if (!private_[page]) {
+            std::memcpy(data, readPtr_[page], PAGE_SIZE);
+            readPtr_[page] = data;
+            private_[page] = 1;
+            ++privateCount_;
+        }
+        return data;
+    }
+
+    std::size_t size_;
+    std::size_t nPages_;
+    /** Private storage, nPages_ * PAGE_SIZE bytes. Deliberately left
+     * uninitialized: the host OS lazily backs it, so an instance that
+     * never privatizes a page costs no physical memory. */
+    std::unique_ptr<std::uint8_t[]> local_;
+    /* Page state is mutable so that contiguous() can be const: reads
+     * observe identical bytes before and after materialization. */
+    mutable std::vector<const std::uint8_t *> readPtr_;
+    mutable std::vector<std::uint8_t> private_;
+    mutable std::size_t privateCount_ = 0;
+    std::shared_ptr<const CowImage> base_;
+};
+
+} // namespace sentry::hw
+
+#endif // SENTRY_HW_COW_BYTES_HH

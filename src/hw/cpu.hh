@@ -87,6 +87,37 @@ class Cpu
     /** @return number of context-switch spills performed. */
     std::uint64_t spillCount() const { return spillCount_; }
 
+    /** Architectural + accounting state for snapshot/fork. The memory
+     * port and clock are wiring and stay with the device. */
+    struct ForkState
+    {
+        RegisterFile regs{};
+        bool irqEnabled = true;
+        bool preemptPending = false;
+        Cycles irqOffStart = 0;
+        double maxIrqOffSeconds = 0.0;
+        PhysAddr stackPhys = 0;
+        std::uint64_t spillCount = 0;
+    };
+
+    ForkState forkState() const
+    {
+        return ForkState{regs_,        irqEnabled_, preemptPending_,
+                         irqOffStart_, maxIrqOffSeconds_, stackPhys_,
+                         spillCount_};
+    }
+
+    void restoreForkState(const ForkState &fs)
+    {
+        regs_ = fs.regs;
+        irqEnabled_ = fs.irqEnabled;
+        preemptPending_ = fs.preemptPending;
+        irqOffStart_ = fs.irqOffStart;
+        maxIrqOffSeconds_ = fs.maxIrqOffSeconds;
+        stackPhys_ = fs.stackPhys;
+        spillCount_ = fs.spillCount;
+    }
+
   private:
     SimClock &clock_;
     RegisterFile regs_{};

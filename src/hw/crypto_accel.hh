@@ -72,6 +72,31 @@ class CryptoAccelerator
     /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
+    /** Engine-internal register state for snapshot/fork. The loaded key
+     * schedule is shared immutably between snapshot holders. */
+    struct ForkState
+    {
+        bool downscaled = false;
+        std::shared_ptr<const crypto::Aes> cipher;
+    };
+
+    ForkState forkState() const
+    {
+        ForkState fs;
+        fs.downscaled = downscaled_;
+        if (cipher_ != nullptr)
+            fs.cipher = std::make_shared<const crypto::Aes>(*cipher_);
+        return fs;
+    }
+
+    void restoreForkState(const ForkState &fs)
+    {
+        downscaled_ = fs.downscaled;
+        cipher_ = fs.cipher != nullptr
+                      ? std::make_unique<crypto::Aes>(*fs.cipher)
+                      : nullptr;
+    }
+
   private:
     void chargeRequest(std::size_t bytes, bool encrypt);
 

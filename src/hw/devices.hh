@@ -51,6 +51,15 @@ class UartDevice : public DmaDevice
      */
     std::vector<std::uint8_t> drainLoopback();
 
+    /** FIFO contents for snapshot/fork. */
+    struct ForkState
+    {
+        std::vector<std::uint8_t> loopback;
+    };
+
+    ForkState forkState() const { return ForkState{loopback_}; }
+    void restoreForkState(const ForkState &fs) { loopback_ = fs.loopback; }
+
   private:
     std::vector<std::uint8_t> loopback_;
 };
@@ -69,6 +78,23 @@ class NicDevice : public DmaDevice
 
     /** @return bytes transmitted so far (the data itself is gone). */
     std::uint64_t bytesTransmitted() const { return bytesTransmitted_; }
+
+    /** FIFO contents and accounting for snapshot/fork. */
+    struct ForkState
+    {
+        std::vector<std::uint8_t> rxFifo;
+        std::uint64_t bytesTransmitted = 0;
+    };
+
+    ForkState forkState() const
+    {
+        return ForkState{rxFifo_, bytesTransmitted_};
+    }
+    void restoreForkState(const ForkState &fs)
+    {
+        rxFifo_ = fs.rxFifo;
+        bytesTransmitted_ = fs.bytesTransmitted;
+    }
 
   private:
     std::vector<std::uint8_t> rxFifo_;

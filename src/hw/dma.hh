@@ -94,6 +94,19 @@ class DmaController
     /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
+    /** Transfer accounting for snapshot/fork (device mappings are
+     * construction-time wiring). */
+    struct ForkState
+    {
+        std::uint64_t bytesTransferred = 0;
+    };
+
+    ForkState forkState() const { return ForkState{bytesTransferred_}; }
+    void restoreForkState(const ForkState &fs)
+    {
+        bytesTransferred_ = fs.bytesTransferred;
+    }
+
   private:
     struct DeviceMapping
     {

@@ -1,7 +1,5 @@
 #include "hw/dram.hh"
 
-#include <cstring>
-
 #include "common/logging.hh"
 
 namespace sentry::hw
@@ -24,8 +22,7 @@ traceDramOp(probe::TraceEngine *trace, bool is_write, PhysAddr offset,
 
 } // namespace
 
-Dram::Dram(std::size_t size)
-    : data_(size, 0), remanence_(MemoryTech::Dram)
+Dram::Dram(std::size_t size) : data_(size), remanence_(MemoryTech::Dram)
 {
     if (size == 0 || size % PAGE_SIZE != 0)
         fatal("DRAM size must be a non-zero multiple of the page size");
@@ -38,7 +35,7 @@ Dram::busRead(PhysAddr offset, std::uint8_t *buf, std::size_t len)
         panic("DRAM read out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
     traceDramOp(trace_, false, offset, len);
-    std::memcpy(buf, data_.data() + offset, len);
+    data_.read(offset, buf, len);
 }
 
 void
@@ -47,14 +44,14 @@ Dram::busWrite(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
     if (offset + len > data_.size())
         panic("DRAM write out of range: 0x%llx (+%zu)",
               static_cast<unsigned long long>(offset), len);
-    std::memcpy(data_.data() + offset, buf, len);
+    data_.write(offset, buf, len);
     traceDramOp(trace_, true, offset, len);
 }
 
 void
 Dram::powerLoss(double off_seconds, double celsius, Rng &rng)
 {
-    remanence_.decay(data_, off_seconds, celsius, rng);
+    remanence_.decay(data_.contiguous(), off_seconds, celsius, rng);
 }
 
 } // namespace sentry::hw

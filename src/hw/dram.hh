@@ -10,12 +10,13 @@
 #define SENTRY_HW_DRAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "hw/bus.hh"
+#include "hw/cow_bytes.hh"
 #include "hw/remanence.hh"
 
 namespace sentry::hw
@@ -40,9 +41,31 @@ class Dram : public BusTarget
      * Direct (simulation-level) view of the cell array. Used by attack
      * code that dumps memory and by test assertions; not charged to the
      * simulated clock and not visible on the bus.
+     *
+     * Invalidation rule: the span materializes the COW backing store
+     * and stays valid until the next adoptImage() / Soc::forkFrom().
+     * Never hold it across a fork; take a fresh span instead (see
+     * cow_bytes.hh for the full contract).
      */
-    std::span<std::uint8_t> raw() { return data_; }
-    std::span<const std::uint8_t> raw() const { return data_; }
+    std::span<std::uint8_t> raw() { return data_.contiguous(); }
+    std::span<const std::uint8_t> raw() const { return data_.contiguous(); }
+
+    /** Publish the cell array as an immutable COW image. */
+    std::shared_ptr<const CowImage> snapshotImage() const
+    {
+        return data_.freeze();
+    }
+
+    /** Rebind the cell array to @p image copy-on-write. Invalidates
+     * raw() spans. */
+    void adoptImage(std::shared_ptr<const CowImage> image)
+    {
+        data_.adopt(std::move(image));
+    }
+
+    /** @return pages privatized since the last adoptImage() (the
+     * fork's dirty-page count). */
+    std::size_t dirtyPages() const { return data_.privatePages(); }
 
     /** Apply cell decay for a power loss of @p off_seconds. */
     void powerLoss(double off_seconds, double celsius, Rng &rng);
@@ -51,7 +74,7 @@ class Dram : public BusTarget
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
   private:
-    std::vector<std::uint8_t> data_;
+    CowBytes data_;
     RemanenceModel remanence_;
     probe::TraceEngine *trace_ = nullptr;
 };

@@ -89,6 +89,18 @@ class EnergyModel
     /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
+    /** Accumulator state for snapshot/fork (params and battery capacity
+     * are config constants). */
+    struct ForkState
+    {
+        std::array<double, static_cast<std::size_t>(
+                               EnergyCategory::NumCategories)>
+            consumed{};
+    };
+
+    ForkState forkState() const { return ForkState{consumed_}; }
+    void restoreForkState(const ForkState &fs) { consumed_ = fs.consumed; }
+
   private:
     EnergyParams params_;
     double batteryJoules_;

@@ -1,6 +1,5 @@
 #include "hw/iram.hh"
 
-#include <cstring>
 
 #include "common/logging.hh"
 
@@ -24,8 +23,7 @@ traceIramOp(probe::TraceEngine *trace, bool is_write, PhysAddr offset,
 
 } // namespace
 
-Iram::Iram(std::size_t size)
-    : data_(size, 0), remanence_(MemoryTech::Sram)
+Iram::Iram(std::size_t size) : data_(size), remanence_(MemoryTech::Sram)
 {
     if (size == 0)
         fatal("iRAM size must be non-zero");
@@ -44,27 +42,27 @@ Iram::read(PhysAddr offset, std::uint8_t *buf, std::size_t len) const
 {
     checkRange(offset, len);
     traceIramOp(trace_, false, offset, len);
-    std::memcpy(buf, data_.data() + offset, len);
+    data_.read(offset, buf, len);
 }
 
 void
 Iram::write(PhysAddr offset, const std::uint8_t *buf, std::size_t len)
 {
     checkRange(offset, len);
-    std::memcpy(data_.data() + offset, buf, len);
+    data_.write(offset, buf, len);
     traceIramOp(trace_, true, offset, len);
 }
 
 void
 Iram::powerLoss(double off_seconds, double celsius, Rng &rng)
 {
-    remanence_.decay(data_, off_seconds, celsius, rng);
+    remanence_.decay(data_.contiguous(), off_seconds, celsius, rng);
 }
 
 void
 Iram::zeroize()
 {
-    std::memset(data_.data(), 0, data_.size());
+    data_.zeroAll();
 }
 
 } // namespace sentry::hw

@@ -19,12 +19,13 @@
 #define SENTRY_HW_IRAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <vector>
 
 #include "common/rng.hh"
 #include "common/trace_engine.hh"
 #include "common/types.hh"
+#include "hw/cow_bytes.hh"
 #include "hw/remanence.hh"
 
 namespace sentry::hw
@@ -46,9 +47,32 @@ class Iram
     /** @return capacity in bytes. */
     std::size_t size() const { return data_.size(); }
 
-    /** Direct simulation-level view (attack dumps, test assertions). */
-    std::span<std::uint8_t> raw() { return data_; }
-    std::span<const std::uint8_t> raw() const { return data_; }
+    /**
+     * Direct simulation-level view (attack dumps, test assertions).
+     *
+     * Invalidation rule: the span materializes the COW backing store
+     * and stays valid until the next adoptImage() / Soc::forkFrom().
+     * Never hold it across a fork; take a fresh span instead (see
+     * cow_bytes.hh for the full contract).
+     */
+    std::span<std::uint8_t> raw() { return data_.contiguous(); }
+    std::span<const std::uint8_t> raw() const { return data_.contiguous(); }
+
+    /** Publish the cell array as an immutable COW image. */
+    std::shared_ptr<const CowImage> snapshotImage() const
+    {
+        return data_.freeze();
+    }
+
+    /** Rebind the cell array to @p image copy-on-write. Invalidates
+     * raw() spans. */
+    void adoptImage(std::shared_ptr<const CowImage> image)
+    {
+        data_.adopt(std::move(image));
+    }
+
+    /** @return pages privatized since the last adoptImage(). */
+    std::size_t dirtyPages() const { return data_.privatePages(); }
 
     /** Apply SRAM cell decay for a power loss. */
     void powerLoss(double off_seconds, double celsius, Rng &rng);
@@ -62,7 +86,7 @@ class Iram
   private:
     void checkRange(PhysAddr offset, std::size_t len) const;
 
-    std::vector<std::uint8_t> data_;
+    CowBytes data_;
     RemanenceModel remanence_;
     probe::TraceEngine *trace_ = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "hw/l2_cache.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -297,6 +298,28 @@ L2Cache::wayHasDirtyLines(unsigned way) const
             return true;
     }
     return false;
+}
+
+L2Cache::ForkState
+L2Cache::forkState() const
+{
+    return ForkState{lines_, data_,          rr_,    mru_,
+                     lockdownMask_, flushWayMask_, stats_};
+}
+
+void
+L2Cache::restoreForkState(const ForkState &fs)
+{
+    if (fs.lines.size() != lines_.size() || fs.data.size() != data_.size() ||
+        fs.rr.size() != rr_.size() || fs.mru.size() != mru_.size())
+        fatal("L2Cache::restoreForkState: geometry mismatch");
+    std::copy(fs.lines.begin(), fs.lines.end(), lines_.begin());
+    std::copy(fs.data.begin(), fs.data.end(), data_.begin());
+    std::copy(fs.rr.begin(), fs.rr.end(), rr_.begin());
+    std::copy(fs.mru.begin(), fs.mru.end(), mru_.begin());
+    lockdownMask_ = fs.lockdownMask;
+    flushWayMask_ = fs.flushWayMask;
+    stats_ = fs.stats;
 }
 
 } // namespace sentry::hw

@@ -253,6 +253,28 @@ class L2Cache
     /** Wire (or with nullptr unwire) the owning Soc's trace engine. */
     void setTraceEngine(probe::TraceEngine *trace) { trace_ = trace; }
 
+    /** Complete mutable controller state for snapshot/fork. */
+    struct ForkState
+    {
+        std::vector<L2Line> lines;
+        std::vector<std::uint8_t> data;
+        std::vector<std::uint32_t> rr;
+        std::vector<std::uint8_t> mru;
+        std::uint32_t lockdownMask = 0;
+        std::uint32_t flushWayMask = 0;
+        L2Stats stats;
+    };
+
+    /** Capture tag store, payloads, replacement and mask state. */
+    ForkState forkState() const;
+
+    /**
+     * Overwrite this controller's state in place (geometry must match;
+     * fatal otherwise). Storage is reused, so L2LineId handles never
+     * dangle — stale ids simply fail lineResident() revalidation.
+     */
+    void restoreForkState(const ForkState &fs);
+
   private:
     using Line = L2Line;
 

@@ -164,6 +164,63 @@ Soc::Soc(const PlatformConfig &config)
     }
 }
 
+SocSnapshot
+Soc::snapshot() const
+{
+    SocSnapshot snap;
+    snap.platformName = config_.name;
+    snap.dramSize = dram_.size();
+    snap.iramSize = iram_.size();
+    snap.l2Size = l2_.size();
+    snap.l2Ways = l2_.ways();
+    snap.dram = dram_.snapshotImage();
+    snap.iram = iram_.snapshotImage();
+    snap.clockNow = clock_.now();
+    snap.rng = rng_;
+    snap.energy = energy_.forkState();
+    snap.bus = bus_.stats();
+    snap.trustzone = tz_.forkState();
+    snap.l2 = l2_.forkState();
+    snap.dma = dma_.forkState();
+    snap.uart = uart_.forkState();
+    snap.nic = nic_.forkState();
+    snap.cpu = cpu_.forkState();
+    if (accel_ != nullptr)
+        snap.accel = accel_->forkState();
+    return snap;
+}
+
+void
+Soc::forkFrom(const SocSnapshot &snap)
+{
+    if (snap.platformName != config_.name || snap.dramSize != dram_.size() ||
+        snap.iramSize != iram_.size() || snap.l2Size != l2_.size() ||
+        snap.l2Ways != l2_.ways())
+        fatal("Soc::forkFrom: snapshot of platform '%s' does not match "
+              "target '%s' geometry",
+              snap.platformName.c_str(), config_.name.c_str());
+    if ((snap.accel.cipher != nullptr || snap.accel.downscaled) &&
+        accel_ == nullptr)
+        fatal("Soc::forkFrom: snapshot has crypto-accelerator state but "
+              "the target platform has none");
+
+    dram_.adoptImage(snap.dram);
+    iram_.adoptImage(snap.iram);
+    clock_.reset();
+    clock_.advance(snap.clockNow);
+    rng_ = snap.rng;
+    energy_.restoreForkState(snap.energy);
+    bus_.restoreStats(snap.bus);
+    tz_.restoreForkState(snap.trustzone);
+    l2_.restoreForkState(snap.l2);
+    dma_.restoreForkState(snap.dma);
+    uart_.restoreForkState(snap.uart);
+    nic_.restoreForkState(snap.nic);
+    cpu_.restoreForkState(snap.cpu);
+    if (accel_ != nullptr)
+        accel_->restoreForkState(snap.accel);
+}
+
 void
 Soc::powerCycle(double off_seconds, double celsius)
 {

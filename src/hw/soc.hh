@@ -76,6 +76,46 @@ class MemorySystem
     MemTiming timing_;
 };
 
+/**
+ * Immutable checkpoint of a whole Soc, produced by Soc::snapshot().
+ *
+ * The big cell arrays (DRAM, iRAM) are ref-counted COW images — forks
+ * share their pages read-only and privatize on first write — while the
+ * small per-device state (cache, CPU, TrustZone, clock, RNG streams,
+ * accelerator registers, traffic counters) is deep-copied by value.
+ * Wiring (trace engines, bus mappings, memory ports) is never part of
+ * a snapshot: it belongs to each device's own construction.
+ *
+ * TraceEngine counters follow the "reset by default, owner decides"
+ * policy: the engine itself holds no counters (they live in subscriber
+ * CounterSinks, which are per-device wiring), so a forked device starts
+ * with whatever sinks its owner attaches — typically fresh zeros.
+ */
+struct SocSnapshot
+{
+    /** Geometry fingerprint; forkFrom() refuses a mismatched target. */
+    std::string platformName;
+    std::size_t dramSize = 0;
+    std::size_t iramSize = 0;
+    std::size_t l2Size = 0;
+    unsigned l2Ways = 0;
+
+    std::shared_ptr<const CowImage> dram;
+    std::shared_ptr<const CowImage> iram;
+
+    Cycles clockNow = 0;
+    Rng rng;
+    EnergyModel::ForkState energy;
+    BusStats bus;
+    TrustZone::ForkState trustzone;
+    L2Cache::ForkState l2;
+    DmaController::ForkState dma;
+    UartDevice::ForkState uart;
+    NicDevice::ForkState nic;
+    Cpu::ForkState cpu;
+    CryptoAccelerator::ForkState accel; //!< cipher null when absent
+};
+
 /** The simulated device. */
 class Soc
 {
@@ -138,6 +178,19 @@ class Soc
      */
     probe::TraceEngine &trace() { return trace_; }
     const probe::TraceEngine &trace() const { return trace_; }
+
+    /** Checkpoint the entire device state (see SocSnapshot). Cheap: the
+     * cell arrays are frozen copy-on-write, not copied. */
+    SocSnapshot snapshot() const;
+
+    /**
+     * Overwrite this device's whole state with @p snap. The target must
+     * have been constructed from the same platform geometry (fatal
+     * otherwise). Invalidates any outstanding dramRaw()/iramRaw()
+     * spans. Wiring — trace subscribers, hooks, bus mappings — is
+     * untouched; only simulated state is replaced.
+     */
+    void forkFrom(const SocSnapshot &snap);
 
   private:
     // Declared first so it is destroyed last: devices hold raw pointers

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -102,6 +103,35 @@ class TrustZone
      *         registers (secure world only).
      */
     bool lockdownConfigAllowed() const { return world_ == World::Secure; }
+
+    /**
+     * Mutable security state for snapshot/fork. The fuse secret and
+     * secure-world availability are provisioning-time constants derived
+     * from the device's own config, so they stay with the target device
+     * (a fork with the same seed matches the source exactly).
+     */
+    struct ForkState
+    {
+        World world = World::Normal;
+        std::vector<std::pair<PhysAddr, std::size_t>> dmaProtected;
+    };
+
+    ForkState forkState() const
+    {
+        ForkState fs;
+        fs.world = world_;
+        for (const Region &region : dmaProtected_)
+            fs.dmaProtected.emplace_back(region.base, region.size);
+        return fs;
+    }
+
+    void restoreForkState(const ForkState &fs)
+    {
+        world_ = fs.world;
+        dmaProtected_.clear();
+        for (const auto &[base, size] : fs.dmaProtected)
+            dmaProtected_.push_back(Region{base, size});
+    }
 
   private:
     struct Region

@@ -1,6 +1,7 @@
 #include "os/kernel.hh"
 
 #include <cstring>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -192,6 +193,85 @@ Kernel::zeroFreedPages()
                          soc_.energy().params().zeroingPerByte *
                              static_cast<double>(bytes));
     return seconds;
+}
+
+KernelSnapshot
+Kernel::snapshot() const
+{
+    KernelSnapshot snap{{},
+                        nextPid_,
+                        allocator_,
+                        {},
+                        {},
+                        0,
+                        faultCount_,
+                        freedDirtyFrames_,
+                        powerState_,
+                        pin_,
+                        badPinAttempts_,
+                        suspendedSeconds_,
+                        wakeCount_,
+                        kernelCycles_};
+    snap.processes.reserve(processes_.size());
+    for (const auto &process : processes_) {
+        snap.processes.push_back(KernelSnapshot::ProcessImage{
+            process->pid(), process->name(), process->pageTable(),
+            process->addressSpace(), process->sensitive(),
+            process->schedulable(), process->kernelStackTop()});
+    }
+    const Scheduler::ForkState queues = scheduler_.forkState();
+    for (const Process *process : queues.runQueue)
+        snap.runQueue.push_back(process->pid());
+    for (const Process *process : queues.parked)
+        snap.parked.push_back(process->pid());
+    snap.currentPid =
+        queues.current != nullptr ? queues.current->pid() : 0;
+    return snap;
+}
+
+void
+Kernel::forkFrom(const KernelSnapshot &snap)
+{
+    processes_.clear();
+    std::unordered_map<int, Process *> byPid;
+    for (const KernelSnapshot::ProcessImage &image : snap.processes) {
+        auto process = std::make_unique<Process>(image.pid, image.name);
+        process->pageTable() = image.pageTable;
+        process->addressSpace() = image.addressSpace;
+        process->setSensitive(image.sensitive);
+        process->setSchedulable(image.schedulable);
+        process->setKernelStackTop(image.kernelStackTop);
+        byPid.emplace(image.pid, process.get());
+        processes_.push_back(std::move(process));
+    }
+
+    const auto lookup = [&](int pid) -> Process * {
+        const auto it = byPid.find(pid);
+        if (it == byPid.end())
+            panic("Kernel::forkFrom: scheduler names unknown pid %d", pid);
+        return it->second;
+    };
+    Scheduler::ForkState queues;
+    for (const int pid : snap.runQueue)
+        queues.runQueue.push_back(lookup(pid));
+    for (const int pid : snap.parked)
+        queues.parked.push_back(lookup(pid));
+    queues.current = snap.currentPid != 0 ? lookup(snap.currentPid) : nullptr;
+    scheduler_.restoreForkState(queues);
+
+    nextPid_ = snap.nextPid;
+    allocator_ = snap.allocator;
+    faultCount_ = snap.faultCount;
+    freedDirtyFrames_ = snap.freedDirtyFrames;
+    powerState_ = snap.powerState;
+    pin_ = snap.pin;
+    badPinAttempts_ = snap.badPinAttempts;
+    suspendedSeconds_ = snap.suspendedSeconds;
+    wakeCount_ = snap.wakeCount;
+    kernelCycles_ = snap.kernelCycles;
+    // Timer scopes never straddle a fork; reset the transient depth.
+    kernelTimerDepth_ = 0;
+    kernelTimerStart_ = 0;
 }
 
 void

@@ -45,6 +45,44 @@ enum class WakeReason
     Notification,
 };
 
+/**
+ * Checkpoint of all kernel state, produced by Kernel::snapshot().
+ *
+ * Process objects are captured as rebuildable images (page tables and
+ * address spaces copied by value, scheduler membership by pid); hooks
+ * (fault handler, lock hooks) and the crypto registry are wiring and
+ * stay with each device. Page *contents* live in the SocSnapshot's COW
+ * DRAM image, not here.
+ */
+struct KernelSnapshot
+{
+    struct ProcessImage
+    {
+        int pid = 0;
+        std::string name;
+        PageTable pageTable;
+        AddressSpace addressSpace;
+        bool sensitive = false;
+        bool schedulable = true;
+        PhysAddr kernelStackTop = 0;
+    };
+
+    std::vector<ProcessImage> processes;
+    int nextPid = 1;
+    PhysAllocator allocator;
+    std::vector<int> runQueue;
+    std::vector<int> parked;
+    int currentPid = 0; //!< 0 = none
+    std::uint64_t faultCount = 0;
+    std::vector<PhysAddr> freedDirtyFrames;
+    PowerState powerState = PowerState::Awake;
+    std::string pin;
+    unsigned badPinAttempts = 0;
+    double suspendedSeconds = 0.0;
+    std::uint64_t wakeCount = 0;
+    Cycles kernelCycles = 0;
+};
+
 /** The operating system kernel. */
 class Kernel
 {
@@ -177,6 +215,19 @@ class Kernel
 
     /** Zero the kernel-time accumulator. */
     void resetKernelCycles() { kernelCycles_ = 0; }
+
+    // ---- snapshot / fork -----------------------------------------------
+
+    /** Capture all kernel state (processes as rebuildable images). */
+    KernelSnapshot snapshot() const;
+
+    /**
+     * Replace this kernel's state with @p snap: existing processes are
+     * discarded, the snapshot's are rebuilt with their original pids,
+     * and scheduler queues are re-threaded onto the new objects.
+     * Installed hooks and the crypto registry are left untouched.
+     */
+    void forkFrom(const KernelSnapshot &snap);
 
     /** RAII scope attributing elapsed simulated time to the kernel. */
     class KernelTimer

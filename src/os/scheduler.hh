@@ -55,6 +55,31 @@ class Scheduler
     /** @return size of the run queue (excluding current). */
     std::size_t runnable() const { return runQueue_.size(); }
 
+    /**
+     * Queue state for snapshot/fork. The pointers name processes of one
+     * specific kernel; Kernel::snapshot() translates them to pids and
+     * Kernel::forkFrom() translates back to its freshly rebuilt
+     * Process objects before calling restoreForkState().
+     */
+    struct ForkState
+    {
+        std::deque<Process *> runQueue;
+        std::deque<Process *> parked;
+        Process *current = nullptr;
+    };
+
+    ForkState forkState() const
+    {
+        return ForkState{runQueue_, parked_, current_};
+    }
+
+    void restoreForkState(const ForkState &fs)
+    {
+        runQueue_ = fs.runQueue;
+        parked_ = fs.parked;
+        current_ = fs.current;
+    }
+
   private:
     hw::Cpu &cpu_;
     std::deque<Process *> runQueue_;

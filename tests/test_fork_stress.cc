@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Many-forks stress: one immutable DeviceSnapshot fanned out to many
+ * devices across many threads at once (the fleet spawn pattern). Runs
+ * under `ctest -L fleet`, so the TSAN leg of bench/run_benches.sh
+ * checks that concurrent forks really do share the COW image without
+ * data races, and that every fork computes an identical result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "apps/synthetic_app.hh"
+#include "common/bytes.hh"
+#include "common/logging.hh"
+#include "core/device.hh"
+#include "crypto/sha256.hh"
+
+using namespace sentry;
+using namespace sentry::core;
+
+namespace
+{
+
+const auto SECRET = fromHex("f0f0d1d15ca1ab1ef0f0d1d15ca1ab1e");
+
+hw::PlatformConfig
+config()
+{
+    return hw::PlatformConfig::nexus4(64 * MiB);
+}
+
+crypto::Sha256Digest
+deviceDigest(Device &device)
+{
+    crypto::Sha256 hasher;
+    hasher.update(device.soc().dramRaw());
+    hasher.update(device.soc().iramRaw());
+    const std::uint64_t now = device.soc().clock().now();
+    hasher.update({reinterpret_cast<const std::uint8_t *>(&now),
+                   sizeof now});
+    return hasher.finish();
+}
+
+} // namespace
+
+TEST(ForkStress, ManyThreadsForkOneSnapshotIdentically)
+{
+    setQuiet(true);
+
+    // Template: app populated and screen-locked, then checkpointed.
+    Device origin(config());
+    apps::SyntheticApp app(origin.kernel(),
+                           apps::AppProfile::byName("Contacts"));
+    app.populate(SECRET);
+    origin.sentry().markSensitive(app.process());
+    origin.kernel().lockScreen();
+    const auto snap = origin.snapshot();
+
+    constexpr unsigned THREADS = 8;
+    constexpr unsigned FORKS_PER_THREAD = 4;
+
+    std::vector<crypto::Sha256Digest> digests(THREADS *
+                                              FORKS_PER_THREAD);
+    std::vector<std::thread> workers;
+    workers.reserve(THREADS);
+    for (unsigned t = 0; t < THREADS; ++t) {
+        workers.emplace_back([&, t] {
+            // One target device per thread, re-forked repeatedly: the
+            // fleet's boot-once spawn loop in miniature.
+            Device target(config());
+            for (unsigned i = 0; i < FORKS_PER_THREAD; ++i) {
+                target.forkFrom(*snap);
+                os::Process *process =
+                    target.kernel().processes().front().get();
+                apps::SyntheticApp forked(target.kernel(), *process);
+                target.kernel().unlockScreen("0000");
+                forked.resume();
+                digests[t * FORKS_PER_THREAD + i] =
+                    deviceDigest(target);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    for (std::size_t i = 1; i < digests.size(); ++i)
+        ASSERT_EQ(digests[i], digests[0]) << "fork " << i;
+}
+
+TEST(ForkStress, SnapshotOutlivesItsSourceDevice)
+{
+    setQuiet(true);
+
+    std::shared_ptr<const DeviceSnapshot> snap;
+    {
+        Device origin(config());
+        apps::SyntheticApp app(origin.kernel(),
+                               apps::AppProfile::byName("Contacts"));
+        app.populate(SECRET);
+        origin.sentry().markSensitive(app.process());
+        origin.kernel().lockScreen();
+        snap = origin.snapshot();
+    } // origin destroyed; the snapshot must be self-contained
+
+    Device fork(config());
+    fork.forkFrom(*snap);
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    fork.kernel().unlockScreen("0000");
+    app.resume();
+
+    std::vector<std::uint8_t> back(SECRET.size());
+    fork.kernel().readVirt(app.process(), app.heapBase() + 64,
+                           back.data(), SECRET.size());
+    EXPECT_EQ(back, SECRET);
+}

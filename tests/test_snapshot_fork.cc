@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Snapshot/fork fidelity tests (label: snapshot).
+ *
+ * The boot-once / fan-out pattern is only sound if a forked device is
+ * indistinguishable from a cold-booted one: same memory image, same
+ * simulated clock, same trace-event stream, same crypto answers. These
+ * tests pin that down with whole-memory SHA-256 digests and
+ * CounterSink totals, and cover the COW semantics at device level:
+ * sibling isolation, snapshot immutability, re-forking one target, and
+ * dirty-page accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "apps/synthetic_app.hh"
+#include "common/bytes.hh"
+#include "common/trace_engine.hh"
+#include "core/device.hh"
+#include "core/dram_scanner.hh"
+#include "crypto/sha256.hh"
+
+using namespace sentry;
+using namespace sentry::core;
+
+namespace
+{
+
+const auto SECRET = fromHex("5ec2e7ba5eba115ec2e7ba5eba11f00d");
+
+hw::PlatformConfig
+config()
+{
+    return hw::PlatformConfig::nexus4(64 * MiB);
+}
+
+/** SHA-256 over DRAM + iRAM + the simulated clock: two devices with
+ * equal digests have bit-identical memory state and timing. */
+crypto::Sha256Digest
+deviceDigest(Device &device)
+{
+    crypto::Sha256 hasher;
+    hasher.update(device.soc().dramRaw());
+    hasher.update(device.soc().iramRaw());
+    const std::uint64_t now = device.soc().clock().now();
+    hasher.update({reinterpret_cast<const std::uint8_t *>(&now),
+                   sizeof now});
+    return hasher.finish();
+}
+
+/** Everything the parity tests compare between cold and forked runs. */
+struct RunRecord
+{
+    crypto::Sha256Digest digest;
+    std::string counters; //!< CounterSink totals, stable rendering
+    std::uint64_t faultsServiced = 0;
+    std::uint64_t bytesDecryptedOnDemand = 0;
+    std::vector<std::uint8_t> secretBack;
+};
+
+/** Warm phase: create the app, fill it with data, lock the screen. */
+apps::SyntheticApp
+warmUp(Device &device)
+{
+    apps::SyntheticApp app(device.kernel(),
+                           apps::AppProfile::byName("Contacts"));
+    app.populate(SECRET);
+    device.sentry().markSensitive(app.process());
+    device.kernel().lockScreen();
+    return app;
+}
+
+/** Measured phase: unlock, resume, and read the secret back. */
+RunRecord
+unlockAndResume(Device &device, apps::SyntheticApp &app,
+                probe::CounterSink &sink)
+{
+    device.kernel().unlockScreen("0000");
+    app.resume();
+
+    RunRecord record;
+    record.secretBack.resize(SECRET.size());
+    device.kernel().readVirt(app.process(), app.heapBase() + 64,
+                             record.secretBack.data(), SECRET.size());
+    record.counters = sink.counters().summary();
+    record.faultsServiced = device.sentry().stats().faultsServiced;
+    record.bytesDecryptedOnDemand =
+        device.sentry().stats().bytesDecryptedOnDemand;
+    record.digest = deviceDigest(device);
+    return record;
+}
+
+/** The cold-boot reference: boot, warm, unlock — all on one device. */
+RunRecord
+coldRun()
+{
+    Device device(config());
+    apps::SyntheticApp app = warmUp(device);
+    probe::CounterSink sink;
+    sink.attach(device.soc().trace());
+    return unlockAndResume(device, app, sink);
+}
+
+} // namespace
+
+TEST(SnapshotFork, ForkAfterBootMatchesColdBoot)
+{
+    // Template: boot and checkpoint immediately.
+    Device origin(config());
+    const auto snap = origin.snapshot();
+
+    // Fork a fresh target from the post-boot image and run the whole
+    // workload on it.
+    Device fork(config());
+    fork.forkFrom(*snap);
+    apps::SyntheticApp app = warmUp(fork);
+    probe::CounterSink sink;
+    sink.attach(fork.soc().trace());
+    const RunRecord forked = unlockAndResume(fork, app, sink);
+
+    const RunRecord cold = coldRun();
+    EXPECT_EQ(forked.digest, cold.digest);
+    EXPECT_EQ(forked.counters, cold.counters);
+    EXPECT_EQ(forked.secretBack, SECRET);
+}
+
+TEST(SnapshotFork, ForkAfterLockMatchesColdUnlock)
+{
+    // Template: warm through encrypt-on-lock, then checkpoint.
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    // Forked run: only the unlock/resume phase executes post-fork.
+    Device fork(config());
+    fork.forkFrom(*snap);
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    probe::CounterSink sink;
+    sink.attach(fork.soc().trace());
+    const RunRecord forked = unlockAndResume(fork, app, sink);
+
+    const RunRecord cold = coldRun();
+    EXPECT_EQ(forked.digest, cold.digest);
+    EXPECT_EQ(forked.counters, cold.counters);
+    EXPECT_EQ(forked.faultsServiced, cold.faultsServiced);
+    EXPECT_EQ(forked.bytesDecryptedOnDemand,
+              cold.bytesDecryptedOnDemand);
+    EXPECT_EQ(forked.secretBack, SECRET);
+}
+
+TEST(SnapshotFork, LockedSecretStaysEncryptedAcrossFork)
+{
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    Device fork(config());
+    fork.forkFrom(*snap);
+    // The fork inherits the locked state: no cleartext in DRAM until
+    // the PIN unlocks it.
+    EXPECT_FALSE(DramScanner(fork.soc()).dramContains(SECRET));
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    fork.kernel().unlockScreen("0000");
+    app.resume();
+    std::vector<std::uint8_t> back(SECRET.size());
+    fork.kernel().readVirt(app.process(), app.heapBase() + 64,
+                           back.data(), SECRET.size());
+    EXPECT_EQ(back, SECRET);
+}
+
+TEST(SnapshotFork, CryptoKnownAnswerHoldsOnFork)
+{
+    // SP 800-38A F.2.1 CBC-AES128, first block — run through the
+    // forked device's crypto API so a fork-time corruption of the AES
+    // state (key schedule, iRAM working set) fails against NIST, not
+    // against our own output.
+    Device origin(config());
+    origin.sentry().registerCryptoProviders();
+    const auto snap = origin.snapshot();
+    Device fork(config());
+    fork.forkFrom(*snap); // re-registers providers on the fresh target
+
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    const auto iv = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto plaintext = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    const auto expect = fromHex("7649abac8119b246cee98e9b12e9197d");
+
+    auto cipher = fork.kernel().cryptoApi().allocCipher("aes", key);
+    std::vector<std::uint8_t> buf = plaintext;
+    crypto::Iv ivArr;
+    std::memcpy(ivArr.data(), iv.data(), ivArr.size());
+    cipher->cbcEncrypt(ivArr, buf);
+    EXPECT_EQ(buf, expect);
+}
+
+TEST(SnapshotFork, SiblingForksAreIsolated)
+{
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    // Left sibling runs the workload; right sibling stays untouched.
+    Device left(config());
+    left.forkFrom(*snap);
+    Device right(config());
+    right.forkFrom(*snap);
+    const crypto::Sha256Digest rightBefore = deviceDigest(right);
+
+    os::Process *process = left.kernel().processes().front().get();
+    apps::SyntheticApp app(left.kernel(), *process);
+    left.kernel().unlockScreen("0000");
+    app.resume();
+
+    // Right sibling's state is untouched by left's writes, and still
+    // equals a brand-new fork of the same snapshot.
+    EXPECT_EQ(deviceDigest(right), rightBefore);
+    Device fresh(config());
+    fresh.forkFrom(*snap);
+    EXPECT_EQ(deviceDigest(fresh), rightBefore);
+}
+
+TEST(SnapshotFork, SnapshotSurvivesSourceMutation)
+{
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    Device before(config());
+    before.forkFrom(*snap);
+    const crypto::Sha256Digest expected = deviceDigest(before);
+
+    // Mutate the source heavily after the checkpoint.
+    origin.kernel().unlockScreen("0000");
+    originApp.resume();
+    originApp.runScript();
+
+    Device after(config());
+    after.forkFrom(*snap);
+    EXPECT_EQ(deviceDigest(after), expected);
+}
+
+TEST(SnapshotFork, ReForkingOneTargetRepeatsExactly)
+{
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    Device target(config());
+    crypto::Sha256Digest first{};
+    for (int round = 0; round < 3; ++round) {
+        target.forkFrom(*snap);
+        os::Process *process =
+            target.kernel().processes().front().get();
+        apps::SyntheticApp app(target.kernel(), *process);
+        target.kernel().unlockScreen("0000");
+        app.resume();
+        const crypto::Sha256Digest digest = deviceDigest(target);
+        if (round == 0)
+            first = digest;
+        else
+            EXPECT_EQ(digest, first) << "round " << round;
+    }
+}
+
+TEST(SnapshotFork, DirtyPagesTrackForkWrites)
+{
+    Device origin(config());
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    Device fork(config());
+    fork.forkFrom(*snap);
+    EXPECT_EQ(fork.soc().dram().dirtyPages(), 0u);
+
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    fork.kernel().unlockScreen("0000");
+    app.resume();
+
+    // Resume decrypts the resume set in place: those DRAM pages (and
+    // only a fork-local fraction of the model) privatize.
+    const std::size_t dirty = fork.soc().dram().dirtyPages();
+    EXPECT_GE(dirty, app.profile().resumeSetBytes / PAGE_SIZE);
+    EXPECT_LT(dirty, fork.soc().dram().size() / PAGE_SIZE / 2);
+}
+
+TEST(SnapshotFork, BackgroundPagerStateForksFaithfully)
+{
+    SentryOptions options;
+    options.backgroundMode = true;
+    options.pagerWays = 2;
+    const auto platform = hw::PlatformConfig::tegra3(64 * MiB);
+
+    auto runBackground = [](Device &device, bool fresh_app) {
+        os::Process *process = nullptr;
+        if (fresh_app) {
+            process = &device.kernel().createProcess("bg");
+            device.kernel().addVma(*process, "heap", os::VmaType::Heap,
+                                   2 * MiB);
+            std::vector<std::uint8_t> page(PAGE_SIZE, 0x5a);
+            const os::Vma &vma =
+                process->addressSpace().vmas().front();
+            for (std::size_t off = 0; off < vma.size; off += PAGE_SIZE)
+                device.kernel().writeVirt(*process, vma.base + off,
+                                          page.data(), PAGE_SIZE);
+            device.sentry().markSensitive(*process);
+            device.sentry().markBackground(*process);
+            device.kernel().lockScreen();
+        } else {
+            process = device.kernel().processes().front().get();
+        }
+        // Touch pages while locked: the pager pages them through the
+        // locked way (page-ins + evictions once frames fill).
+        const os::Vma &vma = process->addressSpace().vmas().front();
+        device.kernel().touchRange(*process, vma.base, 1 * MiB);
+    };
+
+    // Template: background app mid-flight, pager frames resident.
+    Device origin(platform, options);
+    runBackground(origin, true);
+    ASSERT_GT(origin.sentry().pager()->stats().pageIns, 0u);
+    const auto snap = origin.snapshot();
+
+    // Cold reference: same steps on one device, plus the epilogue.
+    Device cold(platform, options);
+    runBackground(cold, true);
+    cold.kernel().touchRange(
+        *cold.kernel().processes().front(),
+        cold.kernel().processes().front()->addressSpace().vmas()
+            .front().base + 1 * MiB,
+        512 * KiB);
+    cold.kernel().unlockScreen("0000");
+
+    // Forked run: only the epilogue executes post-fork. The pager's
+    // resident list must have re-threaded onto the forked processes.
+    Device fork(platform, options);
+    fork.forkFrom(*snap);
+    EXPECT_EQ(fork.sentry().pager()->stats().pageIns,
+              origin.sentry().pager()->stats().pageIns);
+    fork.kernel().touchRange(
+        *fork.kernel().processes().front(),
+        fork.kernel().processes().front()->addressSpace().vmas()
+            .front().base + 1 * MiB,
+        512 * KiB);
+    fork.kernel().unlockScreen("0000");
+
+    EXPECT_EQ(deviceDigest(fork), deviceDigest(cold));
+    EXPECT_EQ(fork.sentry().pager()->stats().evictions,
+              cold.sentry().pager()->stats().evictions);
+}
+
+TEST(SnapshotForkDeath, GeometryMismatchIsFatal)
+{
+    Device origin(config());
+    const auto snap = origin.snapshot();
+    Device small(hw::PlatformConfig::nexus4(32 * MiB));
+    EXPECT_EXIT(small.forkFrom(*snap), testing::ExitedWithCode(1),
+                "fork");
+}
+
+TEST(SnapshotForkDeath, OptionMismatchIsFatal)
+{
+    const auto platform = hw::PlatformConfig::tegra3(64 * MiB);
+    SentryOptions background;
+    background.backgroundMode = true;
+    Device origin(platform, background);
+    const auto snap = origin.snapshot();
+    Device plain(platform);
+    EXPECT_EXIT(plain.forkFrom(*snap), testing::ExitedWithCode(1),
+                "fork");
+}
