@@ -154,6 +154,88 @@ snapshotFleetSection(bench::Session &session,
     return 0;
 }
 
+/**
+ * Population scale: the fleet-scale preset (transition-only audits,
+ * snapshot spawn, streaming aggregation) at 1k / 10k / 100k devices,
+ * all forking one shared warmed template. The claim under test is
+ * *flat per-device overhead*: worker-local device recycling plus
+ * O(shards) accumulator memory keep the per-device host cost at 100k
+ * within ~2x of the 1k point. The 100k run's sim_shard_* layout keys
+ * land in the drift-checked record; per-device host-ns series carry no
+ * sim_ prefix (machine-dependent).
+ */
+int
+scaleSection(bench::Session &session)
+{
+    constexpr unsigned SCALE_POINTS[] = {1000, 10000, 100000};
+    const fleet::Scenario scenario =
+        fleet::builtinScenario("fleet-scale");
+    const unsigned hostThreads =
+        std::max(1u, std::min(8u, std::thread::hardware_concurrency()));
+
+    // One template for every point: none of them pays the boot.
+    fleet::FleetOptions templateOptions = baseOptions(1, 1);
+    const auto snapshot =
+        fleet::makeFleetTemplate(scenario, templateOptions);
+
+    std::printf("\npopulation scale (fleet-scale scenario, snapshot "
+                "spawn, streaming aggregation):\n");
+    std::printf("%9s %9s %12s %16s %10s\n", "devices", "shards",
+                "host s", "per-device ns", "steals");
+    double perDeviceNs1k = 0.0, perDeviceNs100k = 0.0;
+    for (unsigned devices : SCALE_POINTS) {
+        fleet::FleetOptions options = baseOptions(devices, hostThreads);
+        options.spawnMode = fleet::SpawnMode::Snapshot;
+        options.templateSnapshot = snapshot;
+        options.retainResults = false;
+        const fleet::FleetReport report =
+            fleet::runFleet(scenario, options);
+        if (!report.allOk) {
+            std::fprintf(stderr,
+                         "fleet: invariants violated at %u devices:\n%s",
+                         devices, report.summary().c_str());
+            return 1;
+        }
+        const double perDeviceNs =
+            report.hostSeconds * 1e9 / static_cast<double>(devices);
+        if (devices == SCALE_POINTS[0])
+            perDeviceNs1k = perDeviceNs;
+        if (devices == 100000)
+            perDeviceNs100k = perDeviceNs;
+        std::printf("%9u %9u %12.3f %16.0f %10llu\n", devices,
+                    report.shards, report.hostSeconds, perDeviceNs,
+                    static_cast<unsigned long long>(report.steals));
+        session.metric("host_per_device_ns_" + std::to_string(devices),
+                       perDeviceNs);
+        // Deterministic per-point spot checks (cheap drift tripwires
+        // at population scale).
+        const std::string tag = "sim_scale" + std::to_string(devices);
+        const auto *cycles = report.find("sim_cycles_total");
+        const auto *failedCount = report.find("sim_devices_failed");
+        const auto *seedHash = report.find("sim_device_seed_hash");
+        if (cycles != nullptr)
+            session.metric(tag + "_cycles_total", cycles->u);
+        if (failedCount != nullptr)
+            session.metric(tag + "_devices_failed", failedCount->u);
+        if (seedHash != nullptr)
+            session.metric(tag + "_seed_hash", seedHash->u);
+        if (devices == 100000) {
+            // The streaming layout of the headline point, verbatim.
+            for (const fleet::FleetMetric &metric : report.metrics) {
+                if (metric.name.rfind("sim_shard_", 0) == 0)
+                    session.metric(metric.name, metric.u);
+            }
+        }
+    }
+    const double flatness =
+        perDeviceNs1k > 0.0 ? perDeviceNs100k / perDeviceNs1k : 0.0;
+    std::printf("per-device host cost, 100k vs 1k devices: %.2fx "
+                "(flat-overhead target: <= 2x)\n",
+                flatness);
+    session.metric("host_scale_flatness_100k_vs_1k", flatness);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -231,6 +313,8 @@ main()
     if (const int rc = snapshotFleetSection(session, scenario); rc != 0)
         return rc;
     spinUpSection(session);
+    if (const int rc = scaleSection(session); rc != 0)
+        return rc;
 
     return 0;
 }

@@ -76,6 +76,23 @@ for ref_path in sorted(refdir.glob("BENCH_*.json")):
         where = "lost" if key in ref_wall else "gained"
         print(f"DRIFT: {ref_path.name}: {where} host timing key {key}")
         failures += 1
+# The sharded fleet engine must publish its streaming-aggregation
+# layout (sim_shard_*) and the population-scale per-device host-time
+# series. Values are covered above (sim_) or machine-dependent (host_);
+# here we pin that the keys exist at all.
+fleet_new = outdir / "BENCH_fleet.json"
+if fleet_new.exists():
+    fleet = json.load(fleet_new.open())["metrics"]
+    required = ["sim_shard_count", "sim_shard_size",
+                "sim_shard_sample_cap", "sim_shard_samples_retained",
+                "host_per_device_ns_1000", "host_per_device_ns_10000",
+                "host_per_device_ns_100000",
+                "host_scale_flatness_100k_vs_1k"]
+    for key in required:
+        if key not in fleet:
+            print(f"DRIFT: BENCH_fleet.json: missing required sharded-"
+                  f"engine key {key}")
+            failures += 1
 if failures:
     print(f"{failures} deterministic metric(s) drifted")
     sys.exit(1)

@@ -33,6 +33,8 @@ usage()
         "usage: sentry_fleet [options]\n"
         "  --devices N          fleet size (default: scenario's, else 8)\n"
         "  --threads N          worker threads (default 1)\n"
+        "  --shards N           work shards (default: scenario's, else\n"
+        "                       derived from the fleet size)\n"
         "  --scenario NAME|FILE built-in preset or .scn file\n"
         "                       (default interactive-day)\n"
         "  --seed HEX|DEC       fleet seed (default 0x5e47ee1d)\n"
@@ -45,6 +47,12 @@ usage()
         "  --snapshot           boot one template device and fork every\n"
         "                       fleet device from its COW snapshot\n"
         "  --cold-boot          boot every device from scratch (default)\n"
+        "  --no-results         stream aggregation only: do not keep a\n"
+        "                       DeviceResult per device (fleet memory\n"
+        "                       stays O(shards) at any fleet size)\n"
+        "  --replay-device N    re-run the single device index N exactly\n"
+        "                       as the fleet run would and print its\n"
+        "                       digest (see sim_shard_* determinism)\n"
         "  --list               list built-in scenarios and exit\n");
 }
 
@@ -77,6 +85,8 @@ main(int argc, char **argv)
     unsigned devices = 0; // 0 = take the scenario's default
     fleet::FleetOptions options;
     bool platformOverride = false;
+    bool wantReplay = false;
+    unsigned replayIndex = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -85,6 +95,9 @@ main(int argc, char **argv)
                 std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
         } else if (std::strcmp(arg, "--threads") == 0) {
             options.threads = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            options.shards = static_cast<unsigned>(
                 std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
         } else if (std::strcmp(arg, "--scenario") == 0) {
             scenarioName = nextArg(argc, argv, i, arg);
@@ -117,6 +130,12 @@ main(int argc, char **argv)
             options.spawnMode = fleet::SpawnMode::Snapshot;
         } else if (std::strcmp(arg, "--cold-boot") == 0) {
             options.spawnMode = fleet::SpawnMode::ColdBoot;
+        } else if (std::strcmp(arg, "--no-results") == 0) {
+            options.retainResults = false;
+        } else if (std::strcmp(arg, "--replay-device") == 0) {
+            wantReplay = true;
+            replayIndex = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
         } else if (std::strcmp(arg, "--list") == 0) {
             for (const std::string &name : fleet::builtinScenarioNames())
                 std::printf("%s\n", name.c_str());
@@ -150,6 +169,32 @@ main(int argc, char **argv)
                           : 8;
     if (platformOverride)
         scenario.hasPlatform = false; // CLI wins over the directive
+
+    if (wantReplay) {
+        try {
+            const fleet::DeviceResult result =
+                fleet::replayFleetDevice(scenario, options, replayIndex);
+            std::printf("device %u seed 0x%llx: %s\n", result.index,
+                        static_cast<unsigned long long>(result.seed),
+                        result.ok ? "ok" : result.error.c_str());
+            std::printf("  steps %u, audits %u, cycles %llu\n",
+                        result.stepsExecuted, result.auditsRun,
+                        static_cast<unsigned long long>(result.simCycles));
+            std::printf("  unlocks %llu, locks %llu, filebench %llu\n",
+                        static_cast<unsigned long long>(
+                            result.unlock.count()),
+                        static_cast<unsigned long long>(
+                            result.lock.count()),
+                        static_cast<unsigned long long>(
+                            result.filebench.count()));
+            std::printf("  digest %s\n",
+                        fleet::deviceDigest(result).c_str());
+            return result.ok ? 0 : 1;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sentry_fleet: %s\n", e.what());
+            return 2;
+        }
+    }
 
     fleet::FleetReport report;
     try {

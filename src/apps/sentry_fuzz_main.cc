@@ -29,9 +29,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/logging.hh"
 #include "fault/fuzzer.hh"
+#include "fleet/shard.hh"
 
 using namespace sentry;
 
@@ -45,6 +48,8 @@ usage()
         "usage: sentry_fuzz [options]\n"
         "  --seed HEX|DEC   campaign seed (default 0x5e47f0220000001)\n"
         "  --trials N       trials to run (default 8)\n"
+        "  --jobs N         campaign worker threads (default 1; output\n"
+        "                   is identical for any job count)\n"
         "  --steps N        approx. scenario steps per trial (default 18)\n"
         "  --schedule FILE  replay a reproducer instead of fuzzing\n"
         "  --repro-dir DIR  where to write reproducers (default '.')\n"
@@ -134,6 +139,7 @@ main(int argc, char **argv)
     fault::FuzzOptions options;
     std::string schedulePath;
     std::string reproDir = ".";
+    unsigned jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -142,6 +148,9 @@ main(int argc, char **argv)
                 std::strtoull(nextArg(argc, argv, i, arg), nullptr, 0);
         } else if (std::strcmp(arg, "--trials") == 0) {
             options.trials = static_cast<unsigned>(
+                std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            jobs = static_cast<unsigned>(
                 std::strtoul(nextArg(argc, argv, i, arg), nullptr, 0));
         } else if (std::strcmp(arg, "--steps") == 0) {
             options.steps = static_cast<unsigned>(
@@ -183,6 +192,11 @@ main(int argc, char **argv)
     }
     if (options.trials == 0 || options.steps == 0)
         usageError("--trials and --steps must be positive");
+    if (jobs == 0)
+        usageError("--jobs must be positive");
+    if (jobs > 1 && !options.traceOutPath.empty())
+        usageError("--trace-out needs --jobs 1 (a single trial's "
+                   "timeline cannot interleave workers)");
 
     if (!schedulePath.empty())
         return replay(schedulePath, options);
@@ -191,45 +205,81 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(options.seed),
                 options.trials, options.steps);
 
-    unsigned failures = 0;
-    for (unsigned t = 0; t < options.trials; ++t) {
+    // Trials are independent (each builds its own device), so the
+    // campaign fans out over the fleet work-stealing queue — one
+    // "shard" per trial. Output is buffered per trial and printed in
+    // trial order, so any job count emits identical bytes.
+    std::vector<std::string> reports(options.trials);
+    // Plain bytes, not vector<bool>: workers write distinct elements
+    // concurrently, which the bit-packed specialization cannot take.
+    std::vector<unsigned char> failed(options.trials, 0);
+    const auto runTrialAt = [&](unsigned t) {
+        std::string &out = reports[t];
+        char head[64];
         const fault::FuzzTrialSpec spec =
             fault::generateTrial(options, t);
         const fault::TrialOutcome outcome =
             fault::runTrial(spec, options);
-        std::printf("trial %u seed 0x%llx (%s): %s  [%s]\n", t,
-                    static_cast<unsigned long long>(spec.seed),
-                    trialSummary(spec).c_str(),
-                    outcome.ok
-                        ? "OK"
-                        : ("FAIL/" + fault::classifyOutcome(outcome))
-                              .c_str(),
-                    outcome.digest.c_str());
+        std::snprintf(head, sizeof head, "trial %u seed 0x%llx (", t,
+                      static_cast<unsigned long long>(spec.seed));
+        out += head;
+        out += trialSummary(spec);
+        out += "): ";
+        out += outcome.ok ? "OK"
+                          : "FAIL/" + fault::classifyOutcome(outcome);
+        out += "  [";
+        out += outcome.digest;
+        out += "]\n";
         if (outcome.ok)
-            continue;
-        ++failures;
-        std::printf("  error: %s\n", outcome.error.c_str());
+            return;
+        failed[t] = 1;
+        out += "  error: " + outcome.error + "\n";
 
         fault::FuzzTrialSpec repro = spec;
         fault::TrialOutcome reproOutcome = outcome;
         if (options.shrink) {
             repro = fault::shrinkTrial(spec, options);
             reproOutcome = fault::runTrial(repro, options);
-            std::printf("  shrunk to %s\n",
-                        trialSummary(repro).c_str());
+            out += "  shrunk to " + trialSummary(repro) + "\n";
         }
-        char name[96];
-        std::snprintf(name, sizeof(name),
-                      "%s/FUZZ_repro_%016llx_%u.fuzz", reproDir.c_str(),
+        char stem[64];
+        std::snprintf(stem, sizeof stem, "/FUZZ_repro_%016llx_%u.fuzz",
                       static_cast<unsigned long long>(options.seed), t);
-        std::ofstream out(name, std::ios::binary | std::ios::trunc);
-        if (out) {
-            out << fault::formatTrialFile(repro, &reproOutcome);
-            std::printf("  wrote %s\n", name);
+        const std::string name = reproDir + stem;
+        std::ofstream file(name, std::ios::binary | std::ios::trunc);
+        if (file) {
+            file << fault::formatTrialFile(repro, &reproOutcome);
+            out += "  wrote " + name + "\n";
         } else {
             std::fprintf(stderr, "sentry_fuzz: cannot write %s\n",
-                         name);
+                         name.c_str());
         }
+    };
+
+    const unsigned workers = std::min(jobs, options.trials);
+    if (workers <= 1) {
+        for (unsigned t = 0; t < options.trials; ++t)
+            runTrialAt(t);
+    } else {
+        fleet::WorkQueue queue(options.trials, workers);
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                unsigned t = 0;
+                while (queue.next(w, t))
+                    runTrialAt(t);
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    unsigned failures = 0;
+    for (unsigned t = 0; t < options.trials; ++t) {
+        std::fputs(reports[t].c_str(), stdout);
+        if (failed[t])
+            ++failures;
     }
     std::printf("%u/%u trials upheld the invariant set\n",
                 options.trials - failures, options.trials);

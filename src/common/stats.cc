@@ -65,4 +65,105 @@ RunningStat::summary(int precision) const
     return buf;
 }
 
+namespace
+{
+
+/** Heap/trim order: keep the samples with the *smallest* priorities,
+ * breaking ties on value so the retained set is a pure function of the
+ * sample multiset. */
+bool
+weightedLess(const MergeStat::Weighted &a, const MergeStat::Weighted &b)
+{
+    if (a.priority != b.priority)
+        return a.priority < b.priority;
+    return a.value < b.value;
+}
+
+} // namespace
+
+MergeStat::MergeStat(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {}
+
+void
+MergeStat::add(double sample, std::uint64_t priority)
+{
+    ++count_;
+    runningSum_ += sample;
+    if (count_ == 1) {
+        min_ = max_ = sample;
+    } else {
+        if (sample < min_)
+            min_ = sample;
+        if (sample > max_)
+            max_ = sample;
+    }
+    keep_.push_back({priority, sample});
+    std::push_heap(keep_.begin(), keep_.end(), weightedLess);
+    if (keep_.size() > cap_) {
+        std::pop_heap(keep_.begin(), keep_.end(), weightedLess);
+        keep_.pop_back();
+    }
+}
+
+void
+MergeStat::merge(const MergeStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    runningSum_ += other.runningSum_;
+    for (const Weighted &w : other.keep_) {
+        keep_.push_back(w);
+        std::push_heap(keep_.begin(), keep_.end(), weightedLess);
+        if (keep_.size() > cap_) {
+            std::pop_heap(keep_.begin(), keep_.end(), weightedLess);
+            keep_.pop_back();
+        }
+    }
+}
+
+double
+MergeStat::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ > keep_.size())
+        return runningSum_ / static_cast<double>(count_);
+    // Everything retained: sum in sorted order so the result is a pure
+    // function of the sample multiset, not of fold/merge order.
+    double sum = 0.0;
+    for (double value : sortedValues())
+        sum += value;
+    return sum / static_cast<double>(count_);
+}
+
+double
+MergeStat::percentile(double p) const
+{
+    if (keep_.empty())
+        return 0.0;
+    const std::vector<double> sorted = sortedValues();
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<double>
+MergeStat::sortedValues() const
+{
+    std::vector<double> values;
+    values.reserve(keep_.size());
+    for (const Weighted &w : keep_)
+        values.push_back(w.value);
+    std::sort(values.begin(), values.end());
+    return values;
+}
+
 } // namespace sentry

@@ -10,6 +10,7 @@
 #define SENTRY_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,89 @@ class RunningStat
     double min_ = 0.0;
     double max_ = 0.0;
     std::vector<double> samples_;
+};
+
+/**
+ * Mergeable, fixed-memory sample statistic for population-scale
+ * aggregation (the SentryFleet shard accumulators).
+ *
+ * Exact quantities (count, min, max) and a *weighted bottom-k*
+ * reservoir for percentiles: every sample carries a caller-supplied
+ * 64-bit priority (a deterministic hash of its origin — device seed,
+ * metric, ordinal), and the stat retains the `cap` samples with the
+ * smallest priorities. Bottom-k selection is commutative and
+ * associative under merge (bottom-k of a union equals bottom-k of the
+ * parts' bottom-k sets), so any merge tree over any partition of the
+ * samples yields the *same retained set* — aggregation order cannot
+ * change the result. While the total sample count fits the cap the
+ * reservoir holds everything and percentile() is exact (bit-identical
+ * to RunningStat::percentile over the same samples); beyond the cap it
+ * is a uniform subsample with the usual reservoir error bounds.
+ *
+ * mean() is order-independent by construction while all samples are
+ * retained: it sums the retained values in sorted order. Past the cap
+ * it falls back to a running sum, whose last-ulp rounding depends on
+ * the (deterministic) merge tree but not on thread count.
+ */
+class MergeStat
+{
+  public:
+    /** Default retained-sample bound (see FLEET_SAMPLE_CAP users). */
+    static constexpr std::size_t DEFAULT_CAP = 8192;
+
+    /** One retained sample and its selection priority. */
+    struct Weighted
+    {
+        std::uint64_t priority = 0;
+        double value = 0.0;
+    };
+
+    explicit MergeStat(std::size_t cap = DEFAULT_CAP);
+
+    /** Add one sample with its deterministic selection priority. */
+    void add(double sample, std::uint64_t priority);
+
+    /** Fold @p other into this stat (commutative, associative in the
+     * retained set; see class comment for mean() caveats). */
+    void merge(const MergeStat &other);
+
+    /** @return true count of samples added (not just retained). */
+    std::uint64_t count() const { return count_; }
+
+    /** @return number of samples currently retained (≤ cap). */
+    std::size_t retained() const { return keep_.size(); }
+
+    /** @return retained-sample bound. */
+    std::size_t cap() const { return cap_; }
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * @return arithmetic mean (0 when empty). Exact and merge-order
+     * independent while every sample is retained.
+     */
+    double mean() const;
+
+    /**
+     * Nearest-rank percentile over the retained samples (same formula
+     * as RunningStat::percentile; exact while count() ≤ cap()).
+     */
+    double percentile(double p) const;
+
+    /** @return retained values sorted ascending (for digests/tests). */
+    std::vector<double> sortedValues() const;
+
+  private:
+    std::size_t cap_;
+    std::uint64_t count_ = 0;
+    double runningSum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<Weighted> keep_; //!< max-heap by (priority, value)
 };
 
 } // namespace sentry

@@ -132,6 +132,32 @@ struct TraceCounters
     /** @return bus transactions of either direction (incl. duplicates). */
     std::uint64_t busOps() const { return busReads + busWrites; }
 
+    /** Sum another device's counters into this one (commutative for
+     * the integer fields; the two double fields are plain sums). */
+    TraceCounters &
+    operator+=(const TraceCounters &other)
+    {
+        dramReads += other.dramReads;
+        dramWrites += other.dramWrites;
+        iramReads += other.iramReads;
+        iramWrites += other.iramWrites;
+        busReads += other.busReads;
+        busWrites += other.busWrites;
+        busDuplicates += other.busDuplicates;
+        busReadBytes += other.busReadBytes;
+        busWriteBytes += other.busWriteBytes;
+        cacheWritebacks += other.cacheWritebacks;
+        powerEvents += other.powerEvents;
+        joules += other.joules;
+        dmaBursts += other.dmaBursts;
+        dmaBytes += other.dmaBytes;
+        cryptoOps += other.cryptoOps;
+        cryptoBytes += other.cryptoBytes;
+        kcryptdBlocks += other.kcryptdBlocks;
+        kcryptdStallSeconds += other.kcryptdStallSeconds;
+        return *this;
+    }
+
     /** @return one-line "k:v k:v ..." rendering (stable field order). */
     std::string summary() const;
 };

@@ -41,6 +41,11 @@ struct ProcInfo
  *  device; simulated results are worker-count independent). */
 constexpr unsigned FILEBENCH_WORKERS = 2;
 
+/** Metric tags feeding samplePriority (arbitrary distinct constants). */
+constexpr std::uint64_t SALT_UNLOCK = 0x756e6c6f636b5f73ULL;
+constexpr std::uint64_t SALT_LOCK = 0x6c6f636b5f5f5f73ULL;
+constexpr std::uint64_t SALT_FILEBENCH = 0x66696c6562656e63ULL;
+
 std::uint64_t
 splitmix64(std::uint64_t &state)
 {
@@ -75,10 +80,10 @@ class Runner
 {
   public:
     Runner(const Scenario &scenario, const FleetOptions &options,
-           unsigned index)
+           unsigned index, DevicePool *pool)
         : scenario_(scenario), options_(options), index_(index),
           seed_(fleetDeviceSeed(options.seed, index)),
-          workloadRng_(seed_ ^ 0xf1ee7a5c0ffee000ULL)
+          workloadRng_(seed_ ^ 0xf1ee7a5c0ffee000ULL), pool_(pool)
     {}
 
     DeviceResult
@@ -106,6 +111,11 @@ class Runner
         }
         if (device_)
             snapshot(result);
+        // Park the device for the next index this worker runs: the
+        // next boot() forkFrom() rewrites all simulated state, so
+        // recycling cannot leak state between devices.
+        if (pool_ && device_ && options_.spawnMode == SpawnMode::Snapshot)
+            pool_->device = std::move(device_);
         return result;
     }
 
@@ -115,12 +125,20 @@ class Runner
     {
         const auto [config, sentryOptions] =
             deviceConfig(scenario_, options_, seed_);
-        device_ = std::make_unique<core::Device>(config, sentryOptions);
         if (options_.spawnMode == SpawnMode::Snapshot) {
             if (!options_.templateSnapshot)
                 throw std::runtime_error(
                     "snapshot spawn mode without a template snapshot "
                     "(see makeFleetTemplate)");
+            // Reuse the worker's parked device when one is available
+            // (forkFrom rewrites all simulated state, so the
+            // construction-time config of the recycled stack is
+            // irrelevant); construct one only on the first run.
+            if (pool_ != nullptr && pool_->device)
+                device_ = std::move(pool_->device);
+            else
+                device_ =
+                    std::make_unique<core::Device>(config, sentryOptions);
             // Fork the warmed image instead of re-booting. forkFrom
             // re-registers the crypto providers on this fresh target.
             device_->forkFrom(*options_.templateSnapshot);
@@ -128,6 +146,7 @@ class Runner
             // each device keeps its own deterministic randomness.
             device_->soc().rng().reseed(seed_);
         } else {
+            device_ = std::make_unique<core::Device>(config, sentryOptions);
             device_->sentry().registerCryptoProviders();
         }
         checker_ = std::make_unique<core::InvariantChecker>(
@@ -248,13 +267,16 @@ class Runner
             break;
           case Op::Lock:
             kernel.lockScreen();
-            result.lockSeconds.push_back(
-                device_->sentry().stats().lastLockSeconds);
+            result.lock.add(
+                device_->sentry().stats().lastLockSeconds,
+                samplePriority(seed_, SALT_LOCK, result.lock.count()));
             break;
           case Op::Unlock:
             if (kernel.unlockScreen(step.pin)) {
-                result.unlockSeconds.push_back(
-                    device_->sentry().stats().lastUnlockSeconds);
+                result.unlock.add(
+                    device_->sentry().stats().lastUnlockSeconds,
+                    samplePriority(seed_, SALT_UNLOCK,
+                                   result.unlock.count()));
             } else {
                 ++result.failedUnlocks;
             }
@@ -363,7 +385,9 @@ class Runner
         Rng ioRng(workloadRng_.next64());
         const os::FilebenchResult fb =
             bench.run(step.workload, ioBytes, step.directIo, ioRng);
-        result.filebenchMbps.push_back(fb.mbPerSec());
+        result.filebench.add(fb.mbPerSec(),
+                             samplePriority(seed_, SALT_FILEBENCH,
+                                            result.filebench.count()));
     }
 
     void
@@ -540,6 +564,7 @@ class Runner
     std::unique_ptr<probe::ChromeTraceSink> chromeSink_;
     std::map<std::string, ProcInfo> procs_;
     bool coldBooted_ = false;
+    DevicePool *pool_ = nullptr;
 };
 
 } // namespace
@@ -554,6 +579,20 @@ fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index)
     return mixed != 0 ? mixed : 0x5e47ee1dULL;
 }
 
+std::uint64_t
+samplePriority(std::uint64_t device_seed, std::uint64_t salt,
+               std::uint64_t ordinal)
+{
+    std::uint64_t state =
+        (device_seed ^ salt) + ordinal * 0x9e3779b97f4a7c15ULL;
+    return splitmix64(state);
+}
+
+DevicePool::DevicePool() = default;
+DevicePool::~DevicePool() = default;
+DevicePool::DevicePool(DevicePool &&) noexcept = default;
+DevicePool &DevicePool::operator=(DevicePool &&) noexcept = default;
+
 std::shared_ptr<const core::DeviceSnapshot>
 makeFleetTemplate(const Scenario &scenario, const FleetOptions &options)
 {
@@ -566,9 +605,9 @@ makeFleetTemplate(const Scenario &scenario, const FleetOptions &options)
 
 DeviceResult
 runDevice(const Scenario &scenario, const FleetOptions &options,
-          unsigned index)
+          unsigned index, DevicePool *pool)
 {
-    return Runner(scenario, options, index).run();
+    return Runner(scenario, options, index, pool).run();
 }
 
 } // namespace sentry::fleet

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/trace_engine.hh"
 #include "common/types.hh"
 #include "fleet/scenario.hh"
@@ -36,6 +37,7 @@ struct FaultSchedule;
 
 namespace sentry::core
 {
+class Device;
 struct DeviceSnapshot;
 }
 
@@ -57,6 +59,16 @@ struct FleetOptions
 {
     unsigned devices = 1;               //!< fleet size
     unsigned threads = 1;               //!< worker threads
+    /** Shard count for the worker/dispatcher engine; 0 derives a
+     * default from the device count alone (see planShards). */
+    unsigned shards = 0;
+    /**
+     * Keep every DeviceResult in FleetReport::results. The default
+     * preserves the legacy API; population-scale runs switch it off so
+     * fleet memory is O(shards), not O(devices) — aggregates, failure
+     * detail, and `--replay-device` cover what the vector was for.
+     */
+    bool retainResults = true;
     std::uint64_t seed = 0x5e47ee1dULL; //!< fleet seed
     FleetPlatform platform = FleetPlatform::Tegra3;
     /** Per-device DRAM; small keeps audits and attacks fast. */
@@ -86,6 +98,15 @@ struct FleetOptions
     std::shared_ptr<const core::DeviceSnapshot> templateSnapshot;
 };
 
+/**
+ * Retained-sample bound of each per-device statistic. Scenarios are
+ * short scripts (a handful of locks/unlocks/filebench steps), so in
+ * practice every sample is retained and per-device percentiles stay
+ * exact; a pathological scenario looping thousands of unlocks is
+ * bounded here instead of growing a vector per device.
+ */
+constexpr std::size_t DEVICE_SAMPLE_CAP = 128;
+
 /** Deterministic per-device results (everything simulated). */
 struct DeviceResult
 {
@@ -98,9 +119,12 @@ struct DeviceResult
     unsigned auditsRun = 0;
     unsigned auditFailures = 0;
 
-    std::vector<double> unlockSeconds; //!< per successful unlock
-    std::vector<double> lockSeconds;   //!< per lock
-    std::vector<double> filebenchMbps; //!< per filebench step
+    /** Per successful unlock / per lock / per filebench step. Bounded
+     * MergeStats (count() is the true event count; samples carry
+     * samplePriority() weights so shard merges stay order-free). */
+    MergeStat unlock{DEVICE_SAMPLE_CAP};
+    MergeStat lock{DEVICE_SAMPLE_CAP};
+    MergeStat filebench{DEVICE_SAMPLE_CAP};
     unsigned failedUnlocks = 0;
 
     unsigned attacksRun = 0;
@@ -135,6 +159,35 @@ struct DeviceResult
 std::uint64_t fleetDeviceSeed(std::uint64_t fleet_seed, unsigned index);
 
 /**
+ * Deterministic reservoir priority for sample number @p ordinal of the
+ * metric tagged @p salt on the device seeded @p device_seed. A pure
+ * hash of its arguments: priorities — and therefore MergeStat retained
+ * sets — depend only on which samples exist, never on aggregation
+ * order, threads, or host state.
+ */
+std::uint64_t samplePriority(std::uint64_t device_seed, std::uint64_t salt,
+                             std::uint64_t ordinal);
+
+/**
+ * One worker's recycled device. In Snapshot spawn mode runDevice
+ * rebinds the resident Device to the template via forkFrom() instead
+ * of constructing and destructing a full stack per device — the fork
+ * rewrites all simulated state, so a recycled device is bit-identical
+ * to a freshly constructed one (the determinism tests cover this).
+ * Cold-boot mode ignores the pool: construction *is* the boot being
+ * measured there.
+ */
+struct DevicePool
+{
+    DevicePool();
+    ~DevicePool();
+    DevicePool(DevicePool &&) noexcept;
+    DevicePool &operator=(DevicePool &&) noexcept;
+
+    std::unique_ptr<core::Device> device;
+};
+
+/**
  * Boot one device the way Runner::boot does (platform from the
  * scenario/options, Sentry options from the scenario, crypto providers
  * registered) with the fleet seed, and checkpoint it. The result is
@@ -145,10 +198,12 @@ makeFleetTemplate(const Scenario &scenario, const FleetOptions &options);
 
 /**
  * Run one device through @p scenario. Never throws: failures are
- * reported via DeviceResult::ok / error.
+ * reported via DeviceResult::ok / error. @p pool, when given, recycles
+ * the worker's resident device across calls (Snapshot mode only).
  */
 DeviceResult runDevice(const Scenario &scenario,
-                       const FleetOptions &options, unsigned index);
+                       const FleetOptions &options, unsigned index,
+                       DevicePool *pool = nullptr);
 
 } // namespace sentry::fleet
 

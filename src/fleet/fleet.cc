@@ -1,12 +1,12 @@
 #include "fleet/fleet.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/stats.hh"
 
@@ -35,14 +35,112 @@ toUs(double seconds)
 
 void
 addPercentiles(std::vector<FleetMetric> &metrics, const std::string &what,
-               const std::vector<double> &seconds)
+               const MergeStat &seconds)
 {
     for (const auto &[tag, p] :
          {std::pair{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
-        metrics.push_back(FleetMetric::ofDouble(
-            "sim_" + what + "_" + tag + "_us",
-            toUs(percentile(seconds, p))));
+        metrics.push_back(
+            FleetMetric::ofDouble("sim_" + what + "_" + tag + "_us",
+                                  toUs(seconds.percentile(p))));
     }
+}
+
+/**
+ * Build the fixed-order metric list from the merged accumulator. The
+ * names and order match what the per-device aggregation loop used to
+ * emit; the `sim_shard_*` keys document the (deterministic) streaming
+ * layout and are appended at the end.
+ */
+std::vector<FleetMetric>
+buildMetrics(const ShardAccumulator &total, const ShardPlan &plan)
+{
+    std::vector<FleetMetric> m;
+    m.push_back(FleetMetric::ofInt("sim_devices", total.devices));
+    m.push_back(FleetMetric::ofInt("sim_steps_total", total.steps));
+    m.push_back(FleetMetric::ofInt("sim_audits_total", total.audits));
+    m.push_back(
+        FleetMetric::ofInt("sim_audit_failures", total.auditFailures));
+    m.push_back(
+        FleetMetric::ofInt("sim_devices_failed", total.failedDevices));
+    m.push_back(
+        FleetMetric::ofInt("sim_unlocks_total", total.unlock.count()));
+    m.push_back(
+        FleetMetric::ofInt("sim_failed_unlocks", total.failedUnlocks));
+    addPercentiles(m, "unlock", total.unlock);
+    addPercentiles(m, "lock", total.lock);
+    m.push_back(FleetMetric::ofInt("sim_attacks_total", total.attacks));
+    m.push_back(
+        FleetMetric::ofInt("sim_sensitive_probes", total.sensitiveProbes));
+    m.push_back(
+        FleetMetric::ofInt("sim_sensitive_leaks", total.sensitiveLeaks));
+    m.push_back(FleetMetric::ofInt("sim_nonsensitive_leaks",
+                                   total.nonSensitiveLeaks));
+    m.push_back(
+        FleetMetric::ofInt("sim_filebench_runs", total.filebench.count()));
+    m.push_back(FleetMetric::ofDouble("sim_filebench_mbps_mean",
+                                      total.filebench.mean()));
+    m.push_back(
+        FleetMetric::ofInt("sim_faults_total", total.faultsServiced));
+    m.push_back(FleetMetric::ofInt("sim_bytes_encrypted_on_lock",
+                                   total.bytesEncryptedOnLock));
+    m.push_back(FleetMetric::ofInt("sim_bytes_decrypted_on_demand",
+                                   total.bytesDecryptedOnDemand));
+    m.push_back(FleetMetric::ofInt("sim_bytes_decrypted_eager",
+                                   total.bytesDecryptedEager));
+    m.push_back(FleetMetric::ofInt("sim_cycles_total", total.cyclesTotal));
+    m.push_back(FleetMetric::ofInt("sim_cycles_max", total.cyclesMax));
+    m.push_back(FleetMetric::ofInt("sim_l2_hits_total", total.l2Hits));
+    m.push_back(FleetMetric::ofInt("sim_l2_misses_total", total.l2Misses));
+    m.push_back(FleetMetric::ofInt("sim_bus_reads_total", total.busReads));
+    m.push_back(
+        FleetMetric::ofInt("sim_bus_writes_total", total.busWrites));
+    m.push_back(
+        FleetMetric::ofInt("sim_trace_mem_ops_total", total.trace.memOps()));
+    m.push_back(
+        FleetMetric::ofInt("sim_trace_bus_ops_total", total.trace.busOps()));
+    m.push_back(FleetMetric::ofInt(
+        "sim_trace_bus_bytes_total",
+        total.trace.busReadBytes + total.trace.busWriteBytes));
+    m.push_back(FleetMetric::ofInt("sim_trace_writebacks_total",
+                                   total.trace.cacheWritebacks));
+    m.push_back(FleetMetric::ofInt("sim_trace_kcryptd_blocks_total",
+                                   total.trace.kcryptdBlocks));
+    m.push_back(FleetMetric::ofInt("sim_trace_dma_bytes_total",
+                                   total.trace.dmaBytes));
+    m.push_back(FleetMetric::ofInt("sim_trace_power_events_total",
+                                   total.trace.powerEvents));
+    m.push_back(FleetMetric::ofInt("sim_device_seed_hash", total.seedHash));
+    // Streaming-engine layout: all deterministic (retained counts are
+    // pure functions of the sample multiset — see MergeStat).
+    m.push_back(FleetMetric::ofInt("sim_shard_count", plan.shardCount));
+    m.push_back(FleetMetric::ofInt("sim_shard_size", plan.shardSize));
+    m.push_back(
+        FleetMetric::ofInt("sim_shard_sample_cap", MergeStat::DEFAULT_CAP));
+    m.push_back(FleetMetric::ofInt("sim_shard_samples_retained",
+                                   total.unlock.retained() +
+                                       total.lock.retained() +
+                                       total.filebench.retained()));
+    return m;
+}
+
+void
+validateOptions(const FleetOptions &options)
+{
+    if (options.devices < 1 || options.devices > MAX_DEVICES)
+        throw std::invalid_argument(
+            "fleet device count " + std::to_string(options.devices) +
+            " out of range (1.." + std::to_string(MAX_DEVICES) + ")");
+    if (options.threads < 1 || options.threads > MAX_THREADS)
+        throw std::invalid_argument(
+            "fleet thread count " + std::to_string(options.threads) +
+            " out of range (1.." + std::to_string(MAX_THREADS) + ")");
+    if (options.shards > MAX_SHARDS)
+        throw std::invalid_argument(
+            "fleet shard count " + std::to_string(options.shards) +
+            " out of range (0.." + std::to_string(MAX_SHARDS) + ")");
+    if (options.dramBytes < 4 * MiB || options.dramBytes > 1 * GiB)
+        throw std::invalid_argument(
+            "per-device DRAM out of range (4MiB..1GiB)");
 }
 
 } // namespace
@@ -99,29 +197,26 @@ FleetReport::summary() const
     char line[256];
     std::snprintf(line, sizeof line,
                   "fleet: %u device(s) x scenario '%s', %u thread(s), "
-                  "seed 0x%llx\n",
-                  devices, scenario.c_str(), threads,
+                  "%u shard(s), seed 0x%llx\n",
+                  devices, scenario.c_str(), threads, shards,
                   static_cast<unsigned long long>(seed));
     out += line;
-    unsigned failed = 0;
-    for (const DeviceResult &result : results) {
-        if (!result.ok) {
-            ++failed;
-            if (failed <= 8) {
-                std::snprintf(line, sizeof line, "  device %u FAILED: %s\n",
-                              result.index, result.error.c_str());
-                out += line;
-            }
-        }
+    for (const DeviceResult &result : failures) {
+        std::snprintf(line, sizeof line, "  device %u FAILED: %s\n",
+                      result.index, result.error.c_str());
+        out += line;
     }
-    if (failed > 8) {
-        std::snprintf(line, sizeof line, "  ... and %u more failure(s)\n",
-                      failed - 8);
+    if (failedDevices > failures.size()) {
+        std::snprintf(
+            line, sizeof line, "  ... and %llu more failure(s)\n",
+            static_cast<unsigned long long>(failedDevices -
+                                            failures.size()));
         out += line;
     }
     std::snprintf(line, sizeof line,
-                  "  invariants: %s (%u/%u devices green)\n",
-                  allOk ? "all green" : "VIOLATED", devices - failed,
+                  "  invariants: %s (%llu/%u devices green)\n",
+                  allOk ? "all green" : "VIOLATED",
+                  static_cast<unsigned long long>(devices - failedDevices),
                   devices);
     out += line;
     for (const FleetMetric &metric : metrics) {
@@ -129,9 +224,11 @@ FleetReport::summary() const
                       metric.name.c_str(), metric.jsonValue().c_str());
         out += line;
     }
-    std::snprintf(line, sizeof line, "  host: %.3f s, %.1f devices/s\n",
+    std::snprintf(line, sizeof line,
+                  "  host: %.3f s, %.1f devices/s, %llu steal(s)\n",
                   hostSeconds,
-                  hostSeconds > 0 ? devices / hostSeconds : 0.0);
+                  hostSeconds > 0 ? devices / hostSeconds : 0.0,
+                  static_cast<unsigned long long>(steals));
     out += line;
     return out;
 }
@@ -156,6 +253,7 @@ FleetReport::writeJson(const std::string &path) const
     for (const FleetMetric &metric : metrics)
         emit(metric.name, metric.jsonValue());
     emit("threads", std::to_string(threads));
+    emit("host_steals", std::to_string(steals));
     emit("host_devices_per_sec",
          formatDouble(hostSeconds > 0 ? devices / hostSeconds : 0.0));
     std::fprintf(f, "\n  }\n}\n");
@@ -163,168 +261,104 @@ FleetReport::writeJson(const std::string &path) const
     return true;
 }
 
-FleetReport
-runFleet(const Scenario &scenario, const FleetOptions &options)
+FleetOptions
+resolveFleetOptions(const Scenario &scenario, const FleetOptions &options)
 {
-    if (options.devices < 1 || options.devices > MAX_DEVICES)
-        throw std::invalid_argument(
-            "fleet device count " + std::to_string(options.devices) +
-            " out of range (1.." + std::to_string(MAX_DEVICES) + ")");
-    if (options.threads < 1 || options.threads > MAX_THREADS)
-        throw std::invalid_argument(
-            "fleet thread count " + std::to_string(options.threads) +
-            " out of range (1.." + std::to_string(MAX_THREADS) + ")");
-    if (options.dramBytes < 4 * MiB || options.dramBytes > 1 * GiB)
-        throw std::invalid_argument(
-            "per-device DRAM out of range (4MiB..1GiB)");
-
+    validateOptions(options);
     FleetOptions effective = options;
     if (scenario.hasPlatform)
         effective.platform = scenario.platform;
+    if (scenario.hasAuditMode)
+        effective.auditEveryStep = scenario.auditEveryStep;
+    if (effective.shards == 0)
+        effective.shards = scenario.defaultShards;
     if (effective.spawnMode == SpawnMode::Snapshot &&
         !effective.templateSnapshot)
         effective.templateSnapshot =
             makeFleetTemplate(scenario, effective);
+    return effective;
+}
+
+FleetReport
+runFleet(const Scenario &scenario, const FleetOptions &options)
+{
+    const FleetOptions effective = resolveFleetOptions(scenario, options);
+    const ShardPlan plan =
+        planShards(effective.devices, effective.shards);
 
     const auto t0 = std::chrono::steady_clock::now();
 
-    std::vector<DeviceResult> results(effective.devices);
-    if (effective.threads == 1) {
-        for (unsigned i = 0; i < effective.devices; ++i)
-            results[i] = runDevice(scenario, effective, i);
+    // Per-shard accumulators, each written by exactly one worker (the
+    // one that claimed the shard), merged below in shard-index order.
+    std::vector<ShardAccumulator> accumulators(plan.shardCount);
+    std::vector<DeviceResult> results(
+        effective.retainResults ? effective.devices : 0);
+
+    const unsigned workers =
+        std::min(effective.threads, plan.shardCount);
+    WorkQueue queue(plan.shardCount, workers);
+    const auto runShards = [&](unsigned worker) {
+        DevicePool pool;
+        unsigned shard = 0;
+        while (queue.next(worker, shard)) {
+            ShardAccumulator &acc = accumulators[shard];
+            for (unsigned i = plan.begin(shard); i < plan.end(shard);
+                 ++i) {
+                DeviceResult result =
+                    runDevice(scenario, effective, i, &pool);
+                acc.fold(result);
+                if (effective.retainResults)
+                    results[i] = std::move(result);
+            }
+        }
+    };
+    if (workers <= 1) {
+        runShards(0);
     } else {
-        std::atomic<unsigned> next{0};
-        const unsigned workers =
-            std::min(effective.threads, effective.devices);
         std::vector<std::thread> pool;
         pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w) {
-            pool.emplace_back([&] {
-                for (;;) {
-                    const unsigned i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= effective.devices)
-                        return;
-                    results[i] = runDevice(scenario, effective, i);
-                }
-            });
-        }
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(runShards, w);
         for (std::thread &t : pool)
             t.join();
     }
+
+    // Canonical merge: shard-index order, independent of which worker
+    // ran what when.
+    ShardAccumulator total;
+    for (const ShardAccumulator &acc : accumulators)
+        total.merge(acc);
 
     FleetReport report;
     report.scenario = scenario.name;
     report.devices = effective.devices;
     report.threads = effective.threads;
+    report.shards = plan.shardCount;
     report.seed = effective.seed;
     report.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    report.steals = queue.steals();
+    report.allOk = total.failedDevices == 0;
+    report.failedDevices = total.failedDevices;
+    report.failures = std::move(total.failures);
     report.results = std::move(results);
-
-    // ---- aggregation (index order: thread-count independent) ----------
-    std::vector<double> unlocks, locks, mbps;
-    std::uint64_t steps = 0, audits = 0, auditFailures = 0, devicesFailed = 0;
-    std::uint64_t attacks = 0, probes = 0, leaks = 0, nonSensLeaks = 0;
-    std::uint64_t failedUnlocks = 0, faults = 0;
-    std::uint64_t bytesEncrypted = 0, bytesOnDemand = 0, bytesEager = 0;
-    std::uint64_t cyclesTotal = 0, cyclesMax = 0;
-    std::uint64_t l2Hits = 0, l2Misses = 0, busReads = 0, busWrites = 0;
-    std::uint64_t traceMemOps = 0, traceBusOps = 0, traceBusBytes = 0;
-    std::uint64_t traceWritebacks = 0, traceKcryptdBlocks = 0;
-    std::uint64_t traceDmaBytes = 0, tracePowerEvents = 0;
-    std::uint64_t seedHash = 0;
-    for (const DeviceResult &r : report.results) {
-        unlocks.insert(unlocks.end(), r.unlockSeconds.begin(),
-                       r.unlockSeconds.end());
-        locks.insert(locks.end(), r.lockSeconds.begin(),
-                     r.lockSeconds.end());
-        mbps.insert(mbps.end(), r.filebenchMbps.begin(),
-                    r.filebenchMbps.end());
-        steps += r.stepsExecuted;
-        audits += r.auditsRun;
-        auditFailures += r.auditFailures;
-        devicesFailed += r.ok ? 0 : 1;
-        attacks += r.attacksRun;
-        probes += r.sensitiveSecretsProbed;
-        leaks += r.sensitiveSecretsLeaked;
-        nonSensLeaks += r.nonSensitiveLeaks;
-        failedUnlocks += r.failedUnlocks;
-        faults += r.faultsServiced;
-        bytesEncrypted += r.bytesEncryptedOnLock;
-        bytesOnDemand += r.bytesDecryptedOnDemand;
-        bytesEager += r.bytesDecryptedEager;
-        cyclesTotal += r.simCycles;
-        cyclesMax = std::max<std::uint64_t>(cyclesMax, r.simCycles);
-        l2Hits += r.l2Hits;
-        l2Misses += r.l2Misses;
-        busReads += r.busReads;
-        busWrites += r.busWrites;
-        traceMemOps += r.trace.memOps();
-        traceBusOps += r.trace.busOps();
-        traceBusBytes += r.trace.busReadBytes + r.trace.busWriteBytes;
-        traceWritebacks += r.trace.cacheWritebacks;
-        traceKcryptdBlocks += r.trace.kcryptdBlocks;
-        traceDmaBytes += r.trace.dmaBytes;
-        tracePowerEvents += r.trace.powerEvents;
-        seedHash ^= r.seed * 0x2545f4914f6cdd1dULL;
-    }
-    report.allOk = devicesFailed == 0;
-
-    auto &m = report.metrics;
-    m.push_back(FleetMetric::ofInt("sim_devices", report.devices));
-    m.push_back(FleetMetric::ofInt("sim_steps_total", steps));
-    m.push_back(FleetMetric::ofInt("sim_audits_total", audits));
-    m.push_back(FleetMetric::ofInt("sim_audit_failures", auditFailures));
-    m.push_back(FleetMetric::ofInt("sim_devices_failed", devicesFailed));
-    m.push_back(
-        FleetMetric::ofInt("sim_unlocks_total", unlocks.size()));
-    m.push_back(
-        FleetMetric::ofInt("sim_failed_unlocks", failedUnlocks));
-    addPercentiles(m, "unlock", unlocks);
-    addPercentiles(m, "lock", locks);
-    m.push_back(FleetMetric::ofInt("sim_attacks_total", attacks));
-    m.push_back(FleetMetric::ofInt("sim_sensitive_probes", probes));
-    m.push_back(FleetMetric::ofInt("sim_sensitive_leaks", leaks));
-    m.push_back(
-        FleetMetric::ofInt("sim_nonsensitive_leaks", nonSensLeaks));
-    m.push_back(
-        FleetMetric::ofInt("sim_filebench_runs", mbps.size()));
-    double mbpsSum = 0.0;
-    for (double sample : mbps)
-        mbpsSum += sample;
-    m.push_back(FleetMetric::ofDouble(
-        "sim_filebench_mbps_mean",
-        mbps.empty() ? 0.0 : mbpsSum / static_cast<double>(mbps.size())));
-    m.push_back(FleetMetric::ofInt("sim_faults_total", faults));
-    m.push_back(FleetMetric::ofInt("sim_bytes_encrypted_on_lock",
-                                   bytesEncrypted));
-    m.push_back(FleetMetric::ofInt("sim_bytes_decrypted_on_demand",
-                                   bytesOnDemand));
-    m.push_back(
-        FleetMetric::ofInt("sim_bytes_decrypted_eager", bytesEager));
-    m.push_back(FleetMetric::ofInt("sim_cycles_total", cyclesTotal));
-    m.push_back(FleetMetric::ofInt("sim_cycles_max", cyclesMax));
-    m.push_back(FleetMetric::ofInt("sim_l2_hits_total", l2Hits));
-    m.push_back(FleetMetric::ofInt("sim_l2_misses_total", l2Misses));
-    m.push_back(FleetMetric::ofInt("sim_bus_reads_total", busReads));
-    m.push_back(FleetMetric::ofInt("sim_bus_writes_total", busWrites));
-    m.push_back(FleetMetric::ofInt("sim_trace_mem_ops_total", traceMemOps));
-    m.push_back(FleetMetric::ofInt("sim_trace_bus_ops_total", traceBusOps));
-    m.push_back(
-        FleetMetric::ofInt("sim_trace_bus_bytes_total", traceBusBytes));
-    m.push_back(
-        FleetMetric::ofInt("sim_trace_writebacks_total", traceWritebacks));
-    m.push_back(FleetMetric::ofInt("sim_trace_kcryptd_blocks_total",
-                                   traceKcryptdBlocks));
-    m.push_back(
-        FleetMetric::ofInt("sim_trace_dma_bytes_total", traceDmaBytes));
-    m.push_back(FleetMetric::ofInt("sim_trace_power_events_total",
-                                   tracePowerEvents));
-    m.push_back(FleetMetric::ofInt("sim_device_seed_hash", seedHash));
+    report.metrics = buildMetrics(total, plan);
     return report;
+}
+
+DeviceResult
+replayFleetDevice(const Scenario &scenario, const FleetOptions &options,
+                  unsigned index)
+{
+    if (index >= options.devices)
+        throw std::invalid_argument(
+            "replay device index " + std::to_string(index) +
+            " out of range (fleet has " + std::to_string(options.devices) +
+            " devices)");
+    const FleetOptions effective = resolveFleetOptions(scenario, options);
+    return runDevice(scenario, effective, index);
 }
 
 } // namespace sentry::fleet

@@ -1,15 +1,22 @@
 /**
  * @file
  * SentryFleet engine: run N independent simulated devices through one
- * scenario on a worker pool and aggregate their deterministic metrics.
+ * scenario on a worker/dispatcher pool and aggregate their
+ * deterministic metrics in streaming fashion.
  *
- * Concurrency model: every device is a share-nothing hw::Soc +
- * os::Kernel + core::Sentry stack built and driven entirely on one
- * worker thread (see device_runner.hh); workers pull device indices
- * from an atomic counter, and results land in a pre-sized vector slot
- * per device. Aggregation walks devices in index order, so fleet
- * metrics are byte-identical for any thread count — the determinism
- * tests assert exactly that.
+ * Concurrency model (see shard.hh): the dispatcher — runFleet's
+ * calling thread — parses nothing and simulates nothing; it plans
+ * device-index shards, seeds a work-stealing queue, and starts N
+ * workers. Every device is a share-nothing hw::Soc + os::Kernel +
+ * core::Sentry stack built and driven entirely on one worker thread
+ * (see device_runner.hh); a worker claims whole shards (stealing half
+ * a loaded victim's remaining span when it runs dry), folds each
+ * finished device into the shard's ShardAccumulator, and recycles one
+ * resident Device across all its snapshot-mode runs. The dispatcher
+ * merges the per-shard accumulators in shard-index order after the
+ * join, so fleet memory is O(shards), not O(devices), and metrics are
+ * byte-identical for any thread count or steal schedule — the
+ * determinism tests assert exactly that.
  *
  * Metric naming follows bench_util.hh: `sim_` prefixed values are
  * deterministic simulation quantities (drift-checked against committed
@@ -26,6 +33,7 @@
 
 #include "fleet/device_runner.hh"
 #include "fleet/scenario.hh"
+#include "fleet/shard.hh"
 
 namespace sentry::fleet
 {
@@ -51,14 +59,26 @@ struct FleetReport
     std::string scenario;
     unsigned devices = 0;
     unsigned threads = 0;
+    unsigned shards = 0; //!< shard count the engine planned
     std::uint64_t seed = 0;
     double hostSeconds = 0.0;
+    /** Successful work steals (host scheduling artifact — never part
+     * of the drift-checked `sim_` metrics). */
+    std::uint64_t steals = 0;
 
     /** True when every device finished with all invariants green. */
     bool allOk = false;
+    /** Devices whose run ended not-ok (failure count is exact even
+     * when per-device detail is bounded). */
+    std::uint64_t failedDevices = 0;
+    /** The MAX_FAILURE_DETAIL lowest-index failures, full detail. */
+    std::vector<DeviceResult> failures;
 
-    std::vector<DeviceResult> results; //!< per device, index order
-    std::vector<FleetMetric> metrics;  //!< aggregates, fixed order
+    /** Per device, index order — populated only when
+     * FleetOptions::retainResults (the default); empty in streaming
+     * population-scale runs. Aggregates never read this vector. */
+    std::vector<DeviceResult> results;
+    std::vector<FleetMetric> metrics; //!< aggregates, fixed order
 
     /** @return the metric named @p name, or nullptr. */
     const FleetMetric *find(const std::string &name) const;
@@ -80,11 +100,34 @@ struct FleetReport
 double percentile(std::vector<double> samples, double p);
 
 /**
+ * Resolve the options a fleet run actually executes with: scenario
+ * directives (platform, shards, audits) applied over @p options, and a
+ * template snapshot built when Snapshot mode has none. runFleet and
+ * replayFleetDevice resolve identically — that is what makes a replay
+ * bit-identical to the device's in-fleet run.
+ * @throws std::invalid_argument on out-of-range options
+ */
+FleetOptions resolveFleetOptions(const Scenario &scenario,
+                                 const FleetOptions &options);
+
+/**
  * Run @p scenario on a fleet.
  * @throws std::invalid_argument on out-of-range options (device count,
- *         thread count, DRAM size)
+ *         thread count, shard count, DRAM size)
  */
 FleetReport runFleet(const Scenario &scenario, const FleetOptions &options);
+
+/**
+ * Re-run the single device @p index exactly as a full fleet run would
+ * have (same resolved options, same derived seed) — deviceDigest() of
+ * the result matches the digest of that device in the fleet. The
+ * `--replay-device` path: reproduce any one device of a 100k run
+ * without re-running the other 99999.
+ * @throws std::invalid_argument when @p index or options are out of
+ *         range
+ */
+DeviceResult replayFleetDevice(const Scenario &scenario,
+                               const FleetOptions &options, unsigned index);
 
 } // namespace sentry::fleet
 

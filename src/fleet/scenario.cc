@@ -210,6 +210,38 @@ parseScenario(const std::string &text, const std::string &name)
             scenario.defaultDevices = static_cast<unsigned>(n);
             continue;
         }
+        if (opcode == "shards") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "shards takes one count");
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(tokens[1].c_str(), &end, 10);
+            if (errno != 0 || end == nullptr || *end != '\0')
+                throw ScenarioError(lineNo, "malformed shard count '" +
+                                                tokens[1] + "'");
+            if (n < 1 || n > MAX_SHARDS)
+                throw ScenarioError(
+                    lineNo, "shard count " + tokens[1] +
+                                " out of range (1.." +
+                                std::to_string(MAX_SHARDS) + ")");
+            scenario.defaultShards = static_cast<unsigned>(n);
+            continue;
+        }
+        if (opcode == "audits") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "audits takes one mode");
+            if (tokens[1] == "every_step")
+                scenario.auditEveryStep = true;
+            else if (tokens[1] == "transitions")
+                scenario.auditEveryStep = false;
+            else
+                throw ScenarioError(lineNo,
+                                    "unknown audit mode '" + tokens[1] +
+                                        "' (every_step or transitions)");
+            scenario.hasAuditMode = true;
+            continue;
+        }
         if (opcode == "jitter") {
             if (argc != 1)
                 throw ScenarioError(lineNo, "jitter takes one percentage");
@@ -472,6 +504,13 @@ formatScenario(const Scenario &scenario)
         std::snprintf(buf, sizeof(buf), "%.9g", scenario.jitter * 100.0);
         out << "jitter " << buf << '\n';
     }
+    if (scenario.defaultShards != 0)
+        out << "shards " << scenario.defaultShards << '\n';
+    if (scenario.hasAuditMode) {
+        out << "audits "
+            << (scenario.auditEveryStep ? "every_step" : "transitions")
+            << '\n';
+    }
     for (const Step &step : scenario.steps)
         out << formatStep(step) << '\n';
     return out.str();
@@ -580,6 +619,25 @@ lock
 unlock 0000
 )";
 
+/**
+ * Population-scale engine workload: the smallest per-device unit of
+ * work that still pages real memory, sized so 10⁵ devices finish in
+ * bench time. Audits run at transitions only (this scenario has none:
+ * it measures the worker/dispatcher engine, not the audit scanner) and
+ * the shard count is pinned so the per-shard merge tree — and with it
+ * every `sim_shard_*` metric — is identical on every machine.
+ */
+const char FLEET_SCALE[] = R"(
+devices 4096
+shards 256
+audits transitions
+jitter 20
+spawn app sensitive heap 16KiB
+touch app 16KiB
+sleep 5ms
+touch app 8KiB
+)";
+
 struct Preset
 {
     const char *name;
@@ -591,6 +649,7 @@ const Preset PRESETS[] = {
     {"background-mail", BACKGROUND_MAIL},
     {"attack-campaign", ATTACK_CAMPAIGN},
     {"fleet-smoke", FLEET_SMOKE},
+    {"fleet-scale", FLEET_SCALE},
 };
 
 } // namespace

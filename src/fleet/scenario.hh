@@ -11,10 +11,16 @@
  *
  * Grammar (one statement per line; '#' starts a comment):
  *
- *   devices N                      # default fleet size (1..4096)
+ *   devices N                      # default fleet size (1..1048576)
  *   platform tegra3|nexus4         # default platform
  *   jitter PCT                     # per-device size/duration spread
  *                                  # (0..90; default 0 = homogeneous)
+ *   shards N                       # default shard count for the
+ *                                  # worker/dispatcher engine (1..4096;
+ *                                  # 0/absent = engine picks)
+ *   audits every_step|transitions  # security-audit cadence: after every
+ *                                  # step (default) or only after
+ *                                  # lock/unlock/suspend/attack steps
  *   spawn NAME [sensitive] [background] [heap SIZE] [dma SIZE]
  *   lock
  *   unlock PIN
@@ -47,7 +53,10 @@ namespace sentry::fleet
 {
 
 /** Upper bound on the fleet size a scenario or CLI may request. */
-constexpr unsigned MAX_DEVICES = 4096;
+constexpr unsigned MAX_DEVICES = 1u << 20;
+
+/** Upper bound on the shard count of the worker/dispatcher engine. */
+constexpr unsigned MAX_SHARDS = 4096;
 
 /** Parse/validation failure; carries the offending 1-based line. */
 class ScenarioError : public std::runtime_error
@@ -136,6 +145,13 @@ struct Scenario
      * latency percentiles spread out. 0 = all devices identical.
      */
     double jitter = 0.0;
+    /** `shards` directive; 0 when the scenario didn't say (the engine
+     * derives a device-count-only default — see planShards). */
+    unsigned defaultShards = 0;
+    /** `audits` directive present? (engine default applies when not) */
+    bool hasAuditMode = false;
+    /** `audits` directive: true = every_step, false = transitions. */
+    bool auditEveryStep = true;
 
     /** @return true when any spawn asks for background execution. */
     bool needsBackground() const;
@@ -163,7 +179,7 @@ bool isBuiltinScenario(const std::string &name);
 
 /**
  * @return a built-in preset (interactive-day, background-mail,
- *         attack-campaign, fleet-smoke).
+ *         attack-campaign, fleet-smoke, fleet-scale).
  * @throws std::runtime_error for unknown names
  */
 Scenario builtinScenario(const std::string &name);

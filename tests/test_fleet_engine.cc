@@ -57,7 +57,7 @@ TEST_F(FleetEngine, SmokeScenarioRunsGreen)
         EXPECT_EQ(result.auditFailures, 0u);
         EXPECT_EQ(result.attacksRun, 1u);
         EXPECT_EQ(result.sensitiveSecretsLeaked, 0u);
-        EXPECT_EQ(result.unlockSeconds.size(), 2u);
+        EXPECT_EQ(result.unlock.count(), 2u);
         EXPECT_GT(result.bytesEncryptedOnLock, 0u);
     }
 

@@ -127,10 +127,10 @@ TEST(FleetScenario, MalformedSizeReportsLine)
 TEST(FleetScenario, DeviceCountOutOfRangeReportsLine)
 {
     EXPECT_EQ(parseFailure("devices 0\nlock\n").line(), 1u);
-    EXPECT_EQ(parseFailure("lock\ndevices 5000\n").line(), 2u);
+    EXPECT_EQ(parseFailure("lock\ndevices 1048577\n").line(), 2u);
     EXPECT_EQ(parseFailure("devices many\nlock\n").line(), 1u);
 
-    const ScenarioError e = parseFailure("lock\ndevices 99999\n");
+    const ScenarioError e = parseFailure("lock\ndevices 99999999\n");
     EXPECT_NE(std::string(e.what()).find("out of range"),
               std::string::npos);
 }
@@ -204,10 +204,51 @@ TEST(FleetScenario, DeviceCountBoundsAreExact)
 {
     const std::string tail = "\nlock\n";
     EXPECT_EQ(parseScenario("devices 1" + tail, "t").defaultDevices, 1u);
-    EXPECT_EQ(parseScenario("devices 4096" + tail, "t").defaultDevices,
+    EXPECT_EQ(parseScenario("devices 1048576" + tail, "t").defaultDevices,
               MAX_DEVICES);
-    EXPECT_EQ(parseFailure("devices 4097" + tail).line(), 1u);
+    EXPECT_EQ(parseFailure("devices 1048577" + tail).line(), 1u);
     EXPECT_EQ(parseFailure("devices 0" + tail).line(), 1u);
+}
+
+TEST(FleetScenario, ShardAndAuditDirectivesParse)
+{
+    const std::string tail = "\nlock\n";
+    const Scenario sharded =
+        parseScenario("shards 512" + tail, "t");
+    EXPECT_EQ(sharded.defaultShards, 512u);
+    EXPECT_EQ(parseScenario("shards 4096" + tail, "t").defaultShards,
+              MAX_SHARDS);
+    EXPECT_EQ(parseFailure("shards 4097" + tail).line(), 1u);
+    EXPECT_EQ(parseFailure("shards 0" + tail).line(), 1u);
+    EXPECT_EQ(parseFailure("shards many" + tail).line(), 1u);
+
+    const Scenario unset = parseScenario("lock\n", "t");
+    EXPECT_EQ(unset.defaultShards, 0u);
+    EXPECT_FALSE(unset.hasAuditMode);
+
+    const Scenario everyStep =
+        parseScenario("audits every_step" + tail, "t");
+    EXPECT_TRUE(everyStep.hasAuditMode);
+    EXPECT_TRUE(everyStep.auditEveryStep);
+    const Scenario transitions =
+        parseScenario("audits transitions" + tail, "t");
+    EXPECT_TRUE(transitions.hasAuditMode);
+    EXPECT_FALSE(transitions.auditEveryStep);
+    EXPECT_EQ(parseFailure("audits sometimes" + tail).line(), 1u);
+    EXPECT_EQ(parseFailure("audits" + tail).line(), 1u);
+}
+
+TEST(FleetScenario, ShardAndAuditDirectivesRoundTrip)
+{
+    const Scenario first = parseScenario("shards 64\n"
+                                         "audits transitions\n"
+                                         "lock\n",
+                                         "t");
+    const Scenario second =
+        parseScenario(formatScenario(first), first.name);
+    EXPECT_EQ(second.defaultShards, 64u);
+    EXPECT_TRUE(second.hasAuditMode);
+    EXPECT_FALSE(second.auditEveryStep);
 }
 
 TEST(FleetScenario, ZeroAndNegativeDurationsAreRejected)
