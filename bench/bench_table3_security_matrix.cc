@@ -17,12 +17,16 @@
 #include "attacks/bus_monitor_attack.hh"
 #include "attacks/cold_boot.hh"
 #include "attacks/dma_attack.hh"
+#include "attacks/v2/cache_attack.hh"
+#include "attacks/v2/rowhammer.hh"
+#include "attacks/v2/tz_side_channel.hh"
 #include "bench_util.hh"
 #include "common/bytes.hh"
 #include "core/locked_way_manager.hh"
 #include "core/onsoc_allocator.hh"
 #include "hw/platform.hh"
 #include "hw/soc.hh"
+#include "os/phys_allocator.hh"
 
 using namespace sentry;
 using namespace sentry::attacks;
@@ -145,6 +149,121 @@ dmaUnsafe(Storage storage)
         .secretRecovered;
 }
 
+// ---------------------------------------------------------------------
+// Adversary suite v2 (DESIGN.md section 12): each row runs the attack
+// twice — defense off, defense on — on fresh fixed-seed devices.
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t V2_SEED = 0x5eedf00d;
+
+v2::CacheAttackConfig
+v2AttackerConfig(hw::Soc &soc, PhysAddr victim)
+{
+    v2::CacheAttackConfig config;
+    config.victimAddr = victim;
+    const std::size_t span =
+        (soc.l2().ways() + 1) * soc.l2().waySizeBytes();
+    config.attackerBase = soc.dramEnd() - span;
+    config.attackerSpan = span;
+    return config;
+}
+
+v2::VictimFn
+v2ReadVictim(PhysAddr victim)
+{
+    return [victim](hw::Soc &s) {
+        std::uint8_t buf[4];
+        s.memory().read(victim, buf, sizeof buf);
+    };
+}
+
+/** Run one cache attack against a plain line or a locked-way line. */
+v2::AttackOutcome
+cacheAttackOutcome(bool prime_probe, bool locked)
+{
+    hw::Soc soc(hw::PlatformConfig::tegra3(32 * MiB));
+    PhysAddr victim = DRAM_BASE + 4 * MiB + 64;
+    std::unique_ptr<core::LockedWayManager> manager;
+    if (locked) {
+        manager = std::make_unique<core::LockedWayManager>(
+            soc, DRAM_BASE + 16 * MiB);
+        victim = manager->lockWay()->base + 64;
+    }
+    soc.memory().write(victim, SECRET.data(), SECRET.size());
+
+    const v2::CacheAttackConfig config = v2AttackerConfig(soc, victim);
+    if (prime_probe) {
+        v2::PrimeProbeAttack attack(config, v2ReadVictim(victim), V2_SEED);
+        return attack.run(soc);
+    }
+    v2::EvictReloadAttack attack(config, v2ReadVictim(victim), V2_SEED);
+    return attack.run(soc);
+}
+
+/**
+ * Hammer and count flips that reached the victim row. Defense off: the
+ * attacker's aggressor row is bank-adjacent to the victim's. Defense
+ * on: aggressors come from the CATT-partitioned allocator's attacker
+ * region, a guard row away from every victim row.
+ */
+std::uint64_t
+rowhammerVictimFlips(bool catt)
+{
+    hw::Soc soc(hw::PlatformConfig::tegra3(32 * MiB));
+    const hw::DramGeometry &geom = soc.dram().geometry();
+
+    v2::RowhammerConfig config;
+    os::PhysAllocator alloc(DRAM_BASE, soc.dram().size());
+    if (catt) {
+        os::RowPartition plan;
+        plan.rowBytes = geom.rowBytes;
+        plan.banks = geom.banks;
+        plan.victimRowLimit = geom.rowsPerBank(soc.dram().size()) * 3 / 4;
+        plan.guardRows = 1;
+        plan.geomBase = DRAM_BASE;
+        alloc.partitionRows(plan);
+        for (int i = 0; i < 4; ++i)
+            config.aggressors.push_back(
+                alloc.allocFrame(os::MemDomain::Attacker));
+    } else {
+        // The attacker managed to grab a frame one bank-adjacent row
+        // away from the victim's secret.
+        config.aggressors.push_back(DRAM_BASE + 64 * geom.rowBytes);
+    }
+
+    const PhysAddr victimOff =
+        catt ? (alloc.allocFrame(os::MemDomain::Victim) - DRAM_BASE)
+             : (64 + geom.banks) * geom.rowBytes;
+    soc.dram().raw()[victimOff] = 0xff; // the bit the attacker wants
+
+    v2::RowhammerAttack attack(config, V2_SEED);
+    attack.run(soc);
+    std::uint64_t victimFlips = 0;
+    for (const hw::FlippedBit &flip : attack.flips()) {
+        const bool hit =
+            catt ? alloc.inVictimRows(
+                       alignDown(DRAM_BASE + flip.offset, PAGE_SIZE))
+                 : geom.globalRow(flip.offset) == geom.globalRow(victimOff);
+        if (hit)
+            ++victimFlips;
+    }
+    return victimFlips;
+}
+
+v2::AttackOutcome
+tzSideChannelOutcome(bool hardened)
+{
+    hw::Soc soc(hw::PlatformConfig::tegra3(32 * MiB));
+    v2::TzSecretService service(soc, DRAM_BASE + 4 * MiB, hardened);
+    v2::TzSideChannelConfig config;
+    const std::size_t span =
+        (soc.l2().ways() + 1) * soc.l2().waySizeBytes();
+    config.attackerBase = soc.dramEnd() - span;
+    config.attackerSpan = span;
+    v2::TzSideChannelAttack attack(config, service, V2_SEED);
+    return attack.run(soc);
+}
+
 } // namespace
 
 int
@@ -215,5 +334,75 @@ main()
             "sim_tresor_recovered_bytes",
             static_cast<std::uint64_t>(sideChannel.recoveredBytes()));
     }
+
+    // Adversary suite v2: the post-paper attacks (DESIGN.md section
+    // 12), each run with the matching defense off and on.
+    std::printf("\nAdversary suite v2: microarchitectural attacks\n");
+    std::printf("%-22s %-16s %-16s\n", "", "Defense off", "Defense on");
+    {
+        const v2::AttackOutcome ppOpen =
+            cacheAttackOutcome(/*prime_probe=*/true, /*locked=*/false);
+        const v2::AttackOutcome ppLocked =
+            cacheAttackOutcome(/*prime_probe=*/true, /*locked=*/true);
+        std::printf("%-22s %-16s %-16s\n", "Prime+Probe (L2)",
+                    ppOpen.secretRecovered ? "UNSAFE" : "Safe",
+                    ppLocked.secretRecovered ? "UNSAFE" : "Safe");
+        session.metric("sim_unsafe_prime_probe_open",
+                       static_cast<std::uint64_t>(ppOpen.secretRecovered));
+        session.metric(
+            "sim_unsafe_prime_probe_locked",
+            static_cast<std::uint64_t>(ppLocked.secretRecovered));
+        session.metric("sim_v2_prime_probe_locked_writebacks",
+                       ppLocked.counter("locked_writebacks"));
+
+        const v2::AttackOutcome erOpen =
+            cacheAttackOutcome(/*prime_probe=*/false, /*locked=*/false);
+        const v2::AttackOutcome erLocked =
+            cacheAttackOutcome(/*prime_probe=*/false, /*locked=*/true);
+        std::printf("%-22s %-16s %-16s\n", "Evict+Reload (L2)",
+                    erOpen.secretRecovered ? "UNSAFE" : "Safe",
+                    erLocked.secretRecovered ? "UNSAFE" : "Safe");
+        session.metric("sim_unsafe_evict_reload_open",
+                       static_cast<std::uint64_t>(erOpen.secretRecovered));
+        session.metric(
+            "sim_unsafe_evict_reload_locked",
+            static_cast<std::uint64_t>(erLocked.secretRecovered));
+
+        const std::uint64_t hammerOpen =
+            rowhammerVictimFlips(/*catt=*/false);
+        const std::uint64_t hammerCatt =
+            rowhammerVictimFlips(/*catt=*/true);
+        std::printf("%-22s %-16s %-16s\n", "Rowhammer (DRAM)",
+                    hammerOpen != 0 ? "UNSAFE" : "Safe",
+                    hammerCatt != 0 ? "UNSAFE" : "Safe");
+        session.metric("sim_unsafe_rowhammer_open",
+                       static_cast<std::uint64_t>(hammerOpen != 0));
+        session.metric("sim_unsafe_rowhammer_catt",
+                       static_cast<std::uint64_t>(hammerCatt != 0));
+        session.metric("sim_v2_rowhammer_victim_flips_open", hammerOpen);
+        session.metric("sim_v2_rowhammer_victim_flips_catt", hammerCatt);
+
+        const v2::AttackOutcome tzOpen =
+            tzSideChannelOutcome(/*hardened=*/false);
+        const v2::AttackOutcome tzHardened =
+            tzSideChannelOutcome(/*hardened=*/true);
+        std::printf("%-22s %-16s %-16s\n", "TZ mailbox channel",
+                    tzOpen.secretRecovered ? "UNSAFE" : "Safe",
+                    tzHardened.secretRecovered ? "UNSAFE" : "Safe");
+        session.metric("sim_unsafe_tz_sidechannel_open",
+                       static_cast<std::uint64_t>(tzOpen.secretRecovered));
+        session.metric(
+            "sim_unsafe_tz_sidechannel_hardened",
+            static_cast<std::uint64_t>(tzHardened.secretRecovered));
+        session.metric("sim_v2_tz_recovered_nibbles_open",
+                       tzOpen.counter("recovered_nibbles"));
+        session.metric("sim_v2_tz_recovered_nibbles_hardened",
+                       tzHardened.counter("recovered_nibbles"));
+    }
+    std::printf("\nDefenses: locked L2 ways pin the monitored line "
+                "(no eviction signal);\n          CATT row partition "
+                "keeps aggressors a guard row away;\n          "
+                "constant-touch mailboxes make SMC timing "
+                "secret-independent.\n");
     return 0;
 }

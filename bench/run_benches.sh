@@ -2,9 +2,11 @@
 # Perf-smoke driver: build and run the benchmarks that exercise the
 # host fast path (bench_fig11_aes_throughput), the batched kcryptd
 # pipeline (bench_fig9_dmcrypt), the fleet scenario engine
-# (bench_fleet), and the boot-once unlock path (bench_fig2_unlock),
-# then compare every `sim_`-prefixed metric in their BENCH_*.json
-# records against the committed references in bench/reference/.
+# (bench_fleet), the boot-once unlock path (bench_fig2_unlock), and
+# the full security matrix with the adversary-v2 rows
+# (bench_table3_security_matrix), then compare every `sim_`-prefixed
+# metric in their BENCH_*.json records against the committed
+# references in bench/reference/.
 # Simulated quantities are deterministic, so ANY drift is a
 # correctness regression and fails the run. `host_wall_*` keys are
 # checked for *presence* only (their values are machine-dependent): a
@@ -26,12 +28,14 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
     cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j --target bench_fig11_aes_throughput \
-    bench_fig9_dmcrypt bench_fleet bench_fig2_unlock
+    bench_fig9_dmcrypt bench_fleet bench_fig2_unlock \
+    bench_table3_security_matrix
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-for bench in fig11_aes_throughput fig9_dmcrypt fleet fig2_unlock; do
+for bench in fig11_aes_throughput fig9_dmcrypt fleet fig2_unlock \
+             table3_security_matrix; do
     echo "== bench_$bench =="
     SENTRY_BENCH_JSON_DIR="$OUT" "$BUILD/bench/bench_$bench"
 done
@@ -92,6 +96,28 @@ if fleet_new.exists():
         if key not in fleet:
             print(f"DRIFT: BENCH_fleet.json: missing required sharded-"
                   f"engine key {key}")
+            failures += 1
+# The security matrix must carry the adversary-v2 rows (defense off
+# and on for each new attack); values are pinned by the sim_ check
+# above, presence is pinned here so a silently dropped row is drift.
+matrix_new = outdir / "BENCH_table3_security_matrix.json"
+if matrix_new.exists():
+    matrix = json.load(matrix_new.open())["metrics"]
+    required = ["sim_unsafe_prime_probe_open",
+                "sim_unsafe_prime_probe_locked",
+                "sim_v2_prime_probe_locked_writebacks",
+                "sim_unsafe_evict_reload_open",
+                "sim_unsafe_evict_reload_locked",
+                "sim_unsafe_rowhammer_open",
+                "sim_unsafe_rowhammer_catt",
+                "sim_v2_rowhammer_victim_flips_catt",
+                "sim_unsafe_tz_sidechannel_open",
+                "sim_unsafe_tz_sidechannel_hardened",
+                "sim_v2_tz_recovered_nibbles_hardened"]
+    for key in required:
+        if key not in matrix:
+            print(f"DRIFT: BENCH_table3_security_matrix.json: missing "
+                  f"required adversary-v2 key {key}")
             failures += 1
 if failures:
     print(f"{failures} deterministic metric(s) drifted")

@@ -5,7 +5,11 @@
  * Campaign mode generates random (scenario, fault schedule) trials from
  * a seed, runs each on one simulated device with the full security
  * audit after every step, and shrinks any failure to a minimal
- * reproducer written to disk:
+ * reproducer written to disk. Generated scenarios draw on the whole
+ * attack verb set, including the adversary-v2 kinds (prime_probe,
+ * evict_reload, rowhammer, tz_side_channel); their AttackOutcome
+ * digests ride in each trial digest (the "atk:" segment), so a replay
+ * must reproduce the attack byte for byte, not just the verdict:
  *
  *   $ sentry_fuzz --seed 0xdecaf --trials 16
  *

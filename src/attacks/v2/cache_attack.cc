@@ -1,0 +1,230 @@
+#include "attacks/v2/cache_attack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "hw/soc.hh"
+
+namespace sentry::attacks::v2
+{
+
+namespace
+{
+
+/** Read 4 bytes at @p addr and return the simulated cycles it took. */
+Cycles
+timedRead(hw::Soc &soc, PhysAddr addr)
+{
+    std::uint8_t buf[4];
+    const Cycles before = soc.clock().now();
+    soc.memory().read(addr, buf, sizeof buf);
+    return soc.clock().now() - before;
+}
+
+/**
+ * Measure the attacker's own L2 hit latency: read a private scratch
+ * line twice and take the second (guaranteed-resident) access. Using a
+ * measured baseline instead of L2Timing::hitCycles keeps the
+ * classifier honest if the memory system ever adds fixed costs.
+ */
+Cycles
+calibrateHitCost(hw::Soc &soc, PhysAddr scratch)
+{
+    timedRead(soc, scratch);
+    return timedRead(soc, scratch);
+}
+
+/** Conflict-line addresses mapping to the same L2 set as the victim. */
+std::vector<PhysAddr>
+buildConflictSet(hw::Soc &soc, const CacheAttackConfig &config)
+{
+    const std::size_t waySize = soc.l2().waySizeBytes();
+    const unsigned ways = soc.l2().ways();
+    const PhysAddr setOffset =
+        alignDown(config.victimAddr, CACHE_LINE_SIZE) % waySize;
+    PhysAddr first = alignDown(config.attackerBase, waySize) + setOffset;
+    if (first < config.attackerBase)
+        first += waySize;
+    std::vector<PhysAddr> conflicts;
+    conflicts.reserve(ways);
+    for (unsigned i = 0; i < ways; ++i) {
+        const PhysAddr addr = first + i * waySize;
+        if (addr + CACHE_LINE_SIZE >
+            config.attackerBase + config.attackerSpan)
+            break;
+        conflicts.push_back(addr);
+    }
+    return conflicts;
+}
+
+/** Timed pass over the first @p n lines; @return how many missed. */
+unsigned
+probeMisses(hw::Soc &soc, const std::vector<PhysAddr> &lines,
+            std::size_t n, Cycles threshold)
+{
+    unsigned misses = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (timedRead(soc, lines[i]) >= threshold)
+            ++misses;
+    return misses;
+}
+
+/**
+ * Prime the set with the first @p n lines until a full timed pass
+ * sees zero misses. Against the PL310's round-robin allocator a
+ * single pass does not guarantee residency (a refill can land on an
+ * earlier conflict's way), but every missing pass advances the
+ * round-robin pointer, so repetition converges whenever n lines fit
+ * the unlocked ways. A clean sweep proves all n conflicts are
+ * resident — and hence that every *unlocked* way of the set is
+ * attacker-owned when n equals the eviction-set size.
+ *
+ * @return true once a pass was clean; false if @p n lines can never
+ *         co-reside (n exceeds the unlocked ways).
+ */
+bool
+primeUntilClean(hw::Soc &soc, const std::vector<PhysAddr> &lines,
+                std::size_t n, Cycles threshold)
+{
+    const unsigned passCap = soc.l2().ways() + 2;
+    for (unsigned pass = 0; pass < passCap; ++pass)
+        if (probeMisses(soc, lines, n, threshold) == 0)
+            return true;
+    return false;
+}
+
+/**
+ * ARMageddon's eviction-set calibration: the largest prime size that
+ * can reach a clean sweep equals the number of allocatable (unlocked)
+ * ways in the set. Runs before the measurement rounds, so any state
+ * it leaves behind is overwritten by the first real prime.
+ */
+std::size_t
+discoverEvictionSetSize(hw::Soc &soc, const std::vector<PhysAddr> &lines,
+                        Cycles threshold)
+{
+    std::size_t usable = 0;
+    for (std::size_t n = 1; n <= lines.size(); ++n) {
+        if (!primeUntilClean(soc, lines, n, threshold))
+            break;
+        usable = n;
+    }
+    return usable;
+}
+
+} // namespace
+
+AttackOutcome
+PrimeProbeAttack::execute(hw::Soc &soc)
+{
+    lockedWaybacks_ = 0;
+    AttackOutcome outcome = makeOutcome("l2_set");
+    if (config_.victimAddr == 0 || !victim_) {
+        outcome.notes.push_back("misconfigured: no victim");
+        return outcome;
+    }
+
+    const std::vector<PhysAddr> conflicts = buildConflictSet(soc, config_);
+    const PhysAddr scratch = alignUp(config_.attackerBase, CACHE_LINE_SIZE);
+    const Cycles hitCost = calibrateHitCost(soc, scratch);
+    const Cycles threshold =
+        hitCost + soc.l2().timing().missPenaltyCycles / 2;
+    const std::size_t usable =
+        discoverEvictionSetSize(soc, conflicts, threshold);
+
+    outcome.count("eviction_set_size", usable);
+    outcome.count("rounds", config_.rounds);
+    if (usable == 0) {
+        // Every way of the set is locked: nothing the attacker loads
+        // sticks, so there is no occupancy state to observe.
+        outcome.notes.push_back("set fully locked; no allocatable ways");
+        outcome.count("signal_rounds", 0);
+        outcome.count("locked_writebacks", lockedWaybacks_);
+        return outcome;
+    }
+
+    std::vector<PhysAddr> order(conflicts.begin(),
+                                conflicts.begin() +
+                                    static_cast<std::ptrdiff_t>(usable));
+    std::uint64_t signalRounds = 0;
+    std::uint64_t postMisses = 0;
+    for (unsigned round = 0; round < config_.rounds; ++round) {
+        // Per-round probe order comes off the attack's seeded stream
+        // (real attackers randomize to dodge prefetchers); the whole
+        // run stays a pure function of the seed.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng_.below(i)]);
+
+        primeUntilClean(soc, order, order.size(), threshold);
+        victim_(soc);
+        const unsigned post =
+            probeMisses(soc, order, order.size(), threshold);
+        postMisses += post;
+        // After a clean prime the attacker owns every unlocked way,
+        // so any probe miss means the victim allocated into the set.
+        if (post != 0)
+            ++signalRounds;
+    }
+    outcome.count("signal_rounds", signalRounds);
+    outcome.count("probe_misses", postMisses);
+    outcome.count("locked_writebacks", lockedWaybacks_);
+    outcome.secretRecovered = signalRounds != 0;
+    if (!outcome.secretRecovered)
+        outcome.notes.push_back(
+            "no eviction signal: victim line never displaced the set");
+    return outcome;
+}
+
+AttackOutcome
+EvictReloadAttack::execute(hw::Soc &soc)
+{
+    lockedWaybacks_ = 0;
+    AttackOutcome outcome = makeOutcome("shared_line");
+    if (config_.victimAddr == 0 || !victim_) {
+        outcome.notes.push_back("misconfigured: no victim");
+        return outcome;
+    }
+
+    const std::vector<PhysAddr> conflicts = buildConflictSet(soc, config_);
+    const PhysAddr scratch = alignUp(config_.attackerBase, CACHE_LINE_SIZE);
+    const Cycles hitCost = calibrateHitCost(soc, scratch);
+    const Cycles threshold =
+        hitCost + soc.l2().timing().missPenaltyCycles / 2;
+    const std::size_t usable =
+        discoverEvictionSetSize(soc, conflicts, threshold);
+
+    outcome.count("eviction_set_size", usable);
+    outcome.count("rounds", config_.rounds);
+    std::uint64_t signalRounds = 0;
+    std::uint64_t reloadHits = 0;
+    for (unsigned round = 0; round < config_.rounds; ++round) {
+        // Control: evict, then reload with no victim activity. A clean
+        // prime proves every unlocked way is attacker-owned, so a
+        // cacheable unlocked victim line must miss here.
+        primeUntilClean(soc, conflicts, usable, threshold);
+        const bool controlMissed =
+            timedRead(soc, config_.victimAddr) >= threshold;
+        // Measurement: evict, run the victim, reload.
+        primeUntilClean(soc, conflicts, usable, threshold);
+        victim_(soc);
+        const bool reloadHit =
+            timedRead(soc, config_.victimAddr) < threshold;
+        if (reloadHit)
+            ++reloadHits;
+        // Signal only when the victim made the difference: a locked
+        // line hits both reloads; an iRAM one costs the same fixed
+        // latency both times.
+        if (controlMissed && reloadHit)
+            ++signalRounds;
+    }
+    outcome.count("signal_rounds", signalRounds);
+    outcome.count("reload_hits", reloadHits);
+    outcome.count("locked_writebacks", lockedWaybacks_);
+    outcome.secretRecovered = signalRounds != 0;
+    if (!outcome.secretRecovered)
+        outcome.notes.push_back(
+            "reload timing carried no victim-dependent signal");
+    return outcome;
+}
+
+} // namespace sentry::attacks::v2

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ARMageddon-style L2 cache attacks (Lipp et al., PAPERS.md): a
+ * cross-core attacker who shares the PL310 with the victim measures
+ * access latencies to learn whether the victim touched a monitored
+ * line.
+ *
+ *   - Prime+Probe: fill the victim line's set with attacker-owned
+ *     conflict lines, let the victim run, and re-time the conflicts.
+ *     An evicted conflict means the victim pulled its line into the
+ *     set. Needs no shared memory.
+ *   - Evict+Reload: evict the (shared, attacker-mappable) victim line,
+ *     let the victim run, then time a reload of the victim address
+ *     itself. A hit means the victim re-fetched it.
+ *
+ * Both are defeated by Sentry's lockdown-by-way storage: a line held
+ * in a locked way hits without allocating on victim access, so the
+ * attacker's conflict set never moves and the reload timing never
+ * changes. The attack also subscribes to CacheEvent and counts
+ * writebacks of locked ways — a nonzero count would mean lockdown
+ * failed to pin the line.
+ */
+
+#ifndef SENTRY_ATTACKS_V2_CACHE_ATTACK_HH
+#define SENTRY_ATTACKS_V2_CACHE_ATTACK_HH
+
+#include <functional>
+
+#include "attacks/v2/attack.hh"
+#include "common/types.hh"
+
+namespace sentry::attacks::v2
+{
+
+/** Shared configuration of the two cache attacks. */
+struct CacheAttackConfig
+{
+    /** The line the attacker monitors (the victim's secret-holding
+     * line; must be DRAM/cacheable for Prime+Probe to be meaningful). */
+    PhysAddr victimAddr = 0;
+    /** Base of the attacker-controlled region used to build conflict
+     * sets; must be cacheable and span at least
+     * (ways+1) * waySizeBytes. */
+    PhysAddr attackerBase = 0;
+    std::size_t attackerSpan = 0;
+    /** Prime/probe (or evict/reload) repetitions. */
+    unsigned rounds = 4;
+};
+
+/** What the attacker induces the victim to do between measurements. */
+using VictimFn = std::function<void(hw::Soc &)>;
+
+/** Cross-core Prime+Probe against one L2 set. */
+class PrimeProbeAttack : public Attack
+{
+  public:
+    PrimeProbeAttack(CacheAttackConfig config, VictimFn victim,
+                     std::uint64_t seed)
+        : Attack("prime_probe", seed), config_(config),
+          victim_(std::move(victim))
+    {}
+
+  protected:
+    probe::TraceMask observeMask() const override
+    {
+        return probe::maskOf(probe::TraceKind::CacheEvent);
+    }
+
+    AttackOutcome execute(hw::Soc &soc) override;
+
+    void onCacheEvent(probe::CacheEvent &event) override
+    {
+        if (event.wayLocked)
+            ++lockedWaybacks_;
+    }
+
+  private:
+    CacheAttackConfig config_;
+    VictimFn victim_;
+    std::uint64_t lockedWaybacks_ = 0;
+};
+
+/** Evict+Reload against one shared line. */
+class EvictReloadAttack : public Attack
+{
+  public:
+    EvictReloadAttack(CacheAttackConfig config, VictimFn victim,
+                      std::uint64_t seed)
+        : Attack("evict_reload", seed), config_(config),
+          victim_(std::move(victim))
+    {}
+
+  protected:
+    probe::TraceMask observeMask() const override
+    {
+        return probe::maskOf(probe::TraceKind::CacheEvent);
+    }
+
+    AttackOutcome execute(hw::Soc &soc) override;
+
+    void onCacheEvent(probe::CacheEvent &event) override
+    {
+        if (event.wayLocked)
+            ++lockedWaybacks_;
+    }
+
+  private:
+    CacheAttackConfig config_;
+    VictimFn victim_;
+    std::uint64_t lockedWaybacks_ = 0;
+};
+
+} // namespace sentry::attacks::v2
+
+#endif // SENTRY_ATTACKS_V2_CACHE_ATTACK_HH

@@ -1,0 +1,61 @@
+#include "attacks/v2/rowhammer.hh"
+
+#include "hw/soc.hh"
+
+namespace sentry::attacks::v2
+{
+
+AttackOutcome
+RowhammerAttack::execute(hw::Soc &soc)
+{
+    flips_.clear();
+    AttackOutcome outcome = makeOutcome("dram_rows");
+    hw::Dram &dram = soc.dram();
+
+    std::uint64_t activations = 0;
+    std::uint64_t aggressorRows = 0;
+    for (const PhysAddr aggressor : config_.aggressors) {
+        if (aggressor < DRAM_BASE || aggressor >= soc.dramEnd())
+            continue;
+        const PhysAddr offset = aggressor - DRAM_BASE;
+        ++aggressorRows;
+
+        // A little real bus traffic so the campaign is visible to bus
+        // monitors and trace sinks; the activation counter models the
+        // tight uncached activate/precharge loop itself.
+        std::uint8_t line[CACHE_LINE_SIZE];
+        for (unsigned burst = 0; burst < 4; ++burst)
+            soc.bus().read(alignDown(aggressor, CACHE_LINE_SIZE), line,
+                           sizeof line, hw::BusInitiator::CpuCache);
+
+        dram.recordActivations(offset, config_.activationsPerRow);
+        activations += config_.activationsPerRow;
+
+        const std::vector<hw::FlippedBit> rowFlips =
+            dram.disturbAdjacentRows(offset, rng_, config_.params);
+        flips_.insert(flips_.end(), rowFlips.begin(), rowFlips.end());
+
+        // End of the refresh window for this aggressor's bank.
+        dram.refreshRows();
+    }
+
+    // Order-independent checksum of the flip set, so two runs can be
+    // compared byte-for-byte through the digest alone.
+    std::uint64_t flipDigest = 0;
+    for (const hw::FlippedBit &flip : flips_)
+        flipDigest ^= (static_cast<std::uint64_t>(flip.offset) << 3) ^
+                      flip.bit ^ (flipDigest << 13) ^ (flipDigest >> 7);
+
+    outcome.count("aggressor_rows", aggressorRows);
+    outcome.count("activations", activations);
+    outcome.count("bit_flips", flips_.size());
+    outcome.count("flip_digest", flipDigest);
+    // "Recovered" for Rowhammer means integrity loss, not
+    // confidentiality: any flip landed outside the attacker's frames.
+    outcome.secretRecovered = !flips_.empty();
+    if (config_.aggressors.empty())
+        outcome.notes.push_back("no aggressor rows allocated");
+    return outcome;
+}
+
+} // namespace sentry::attacks::v2

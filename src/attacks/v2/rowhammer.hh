@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rowhammer attack model (Kim et al.; defense per "CAn't Touch This",
+ * Brasser et al., see PAPERS.md). The attacker owns a handful of DRAM
+ * frames and hammers them with tight activate/precharge loops; rows
+ * physically adjacent in the same bank accumulate disturbance and may
+ * flip bits the attacker never had write access to.
+ *
+ * The defense is physical, not cryptographic: a CATT-style row
+ * partition in the allocator (os::PhysAllocator::partitionRows) keeps
+ * attacker-reachable frames at least one guard row away from
+ * victim-owned rows, so the disturbance radius (+-1 row in bank) can
+ * never reach sensitive data.
+ */
+
+#ifndef SENTRY_ATTACKS_V2_ROWHAMMER_HH
+#define SENTRY_ATTACKS_V2_ROWHAMMER_HH
+
+#include "attacks/v2/attack.hh"
+#include "common/types.hh"
+#include "hw/dram.hh"
+
+namespace sentry::attacks::v2
+{
+
+/** Configuration of one hammering campaign. */
+struct RowhammerConfig
+{
+    /** Physical (bus) addresses of the aggressor rows the attacker
+     * owns; each is hammered independently. */
+    std::vector<PhysAddr> aggressors;
+    /** Activations charged per aggressor row (one refresh window). */
+    std::uint32_t activationsPerRow = 16384;
+    /** Disturbance error model knobs. */
+    hw::DisturbParams params;
+};
+
+/** Deterministic double-sided-style Rowhammer campaign. */
+class RowhammerAttack : public Attack
+{
+  public:
+    RowhammerAttack(RowhammerConfig config, std::uint64_t seed)
+        : Attack("rowhammer", seed), config_(std::move(config))
+    {}
+
+    /** @return all flips applied, as DRAM-relative offsets. */
+    const std::vector<hw::FlippedBit> &flips() const { return flips_; }
+
+  protected:
+    AttackOutcome execute(hw::Soc &soc) override;
+
+  private:
+    RowhammerConfig config_;
+    std::vector<hw::FlippedBit> flips_;
+};
+
+} // namespace sentry::attacks::v2
+
+#endif // SENTRY_ATTACKS_V2_ROWHAMMER_HH

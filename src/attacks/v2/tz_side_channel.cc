@@ -1,0 +1,164 @@
+#include "attacks/v2/tz_side_channel.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "hw/soc.hh"
+
+namespace sentry::attacks::v2
+{
+
+TzSecretService::TzSecretService(hw::Soc &soc, PhysAddr shared_base,
+                                 bool hardened)
+    : soc_(soc), sharedBase_(shared_base), hardened_(hardened)
+{
+    hw::TrustZone &tz = soc.trustzone();
+    if (!tz.enterSecureWorld())
+        return;
+    if (tz.readFuse(secret_) &&
+        tz.bindSharedBuffer(shared_base,
+                            TZ_MAILBOX_LINES * CACHE_LINE_SIZE))
+        available_ = true;
+    tz.exitSecureWorld();
+}
+
+unsigned
+TzSecretService::nibble(unsigned i) const
+{
+    const std::uint8_t byte = secret_[(i / 2) % secret_.size()];
+    return (i % 2 == 0) ? (byte >> 4) : (byte & 0xf);
+}
+
+void
+TzSecretService::invoke(unsigned i)
+{
+    hw::TrustZone &tz = soc_.trustzone();
+    if (!available_ || !tz.enterSecureWorld())
+        return;
+    std::uint8_t buf[4];
+    if (hardened_) {
+        // Secret-independent access pattern: every line, fixed order.
+        for (unsigned line = 0; line < TZ_MAILBOX_LINES; ++line)
+            soc_.memory().read(sharedBase_ + line * CACHE_LINE_SIZE, buf,
+                               sizeof buf);
+    } else {
+        soc_.memory().read(sharedBase_ + nibble(i) * CACHE_LINE_SIZE, buf,
+                           sizeof buf);
+    }
+    tz.exitSecureWorld();
+}
+
+namespace
+{
+
+Cycles
+timedRead(hw::Soc &soc, PhysAddr addr)
+{
+    std::uint8_t buf[4];
+    const Cycles before = soc.clock().now();
+    soc.memory().read(addr, buf, sizeof buf);
+    return soc.clock().now() - before;
+}
+
+/** Conflict addresses sharing @p target's L2 set (see cache_attack). */
+std::vector<PhysAddr>
+conflictSet(hw::Soc &soc, const TzSideChannelConfig &config,
+            PhysAddr target)
+{
+    const std::size_t waySize = soc.l2().waySizeBytes();
+    const PhysAddr setOffset = alignDown(target, CACHE_LINE_SIZE) % waySize;
+    PhysAddr first = alignDown(config.attackerBase, waySize) + setOffset;
+    if (first < config.attackerBase)
+        first += waySize;
+    std::vector<PhysAddr> lines;
+    for (unsigned j = 0; j < soc.l2().ways(); ++j) {
+        const PhysAddr addr = first + j * waySize;
+        if (addr + CACHE_LINE_SIZE >
+            config.attackerBase + config.attackerSpan)
+            break;
+        lines.push_back(addr);
+    }
+    return lines;
+}
+
+/** Prime @p lines until a timed pass is clean (round-robin converges;
+ * see cache_attack.cc) or the pass cap is hit. */
+void
+evictSet(hw::Soc &soc, const std::vector<PhysAddr> &lines, Cycles threshold)
+{
+    const unsigned passCap = soc.l2().ways() + 2;
+    for (unsigned pass = 0; pass < passCap; ++pass) {
+        unsigned misses = 0;
+        for (const PhysAddr addr : lines)
+            if (timedRead(soc, addr) >= threshold)
+                ++misses;
+        if (misses == 0)
+            return;
+    }
+}
+
+} // namespace
+
+AttackOutcome
+TzSideChannelAttack::execute(hw::Soc &soc)
+{
+    recovered_.fill(-1);
+    AttackOutcome outcome = makeOutcome("tz_shared_mailbox");
+    hw::TrustZone &tz = soc.trustzone();
+    if (!service_.available() || !tz.hasSharedBuffer()) {
+        outcome.notes.push_back(
+            "secure world unavailable: no service to attack");
+        outcome.count("nibbles", 0);
+        outcome.count("recovered_nibbles", 0);
+        return outcome;
+    }
+
+    const PhysAddr mailbox = tz.sharedBufferBase();
+    // Calibrate the attacker's hit latency on a private scratch line.
+    const PhysAddr scratch = alignUp(config_.attackerBase, CACHE_LINE_SIZE);
+    timedRead(soc, scratch);
+    const Cycles hitCost = timedRead(soc, scratch);
+    const Cycles threshold =
+        hitCost + soc.l2().timing().missPenaltyCycles / 2;
+
+    std::vector<std::vector<PhysAddr>> evictionSets;
+    evictionSets.reserve(TZ_MAILBOX_LINES);
+    for (unsigned line = 0; line < TZ_MAILBOX_LINES; ++line)
+        evictionSets.push_back(conflictSet(
+            soc, config_, mailbox + line * CACHE_LINE_SIZE));
+
+    const std::uint64_t smcBefore = tz.smcEntries();
+    std::uint64_t recoveredCount = 0;
+    std::uint64_t ambiguous = 0;
+    for (unsigned i = 0; i < TZ_SECRET_NIBBLES; ++i) {
+        for (const std::vector<PhysAddr> &set : evictionSets)
+            evictSet(soc, set, threshold);
+        service_.invoke(i);
+        int hot = -1;
+        unsigned hotCount = 0;
+        for (unsigned line = 0; line < TZ_MAILBOX_LINES; ++line) {
+            if (timedRead(soc, mailbox + line * CACHE_LINE_SIZE) <
+                threshold) {
+                hot = static_cast<int>(line);
+                ++hotCount;
+            }
+        }
+        if (hotCount == 1) {
+            recovered_[i] = hot;
+            ++recoveredCount;
+        } else {
+            ++ambiguous;
+        }
+    }
+    outcome.count("nibbles", TZ_SECRET_NIBBLES);
+    outcome.count("recovered_nibbles", recoveredCount);
+    outcome.count("ambiguous_probes", ambiguous);
+    outcome.count("smc_entries", tz.smcEntries() - smcBefore);
+    outcome.secretRecovered = recoveredCount == TZ_SECRET_NIBBLES;
+    if (!outcome.secretRecovered)
+        outcome.notes.push_back(
+            "mailbox touch pattern was secret-independent");
+    return outcome;
+}
+
+} // namespace sentry::attacks::v2

@@ -43,13 +43,21 @@ makeSleep(Rng &rng)
 AttackKind
 liveAttackKind(Rng &rng)
 {
-    switch (rng.below(3)) {
+    switch (rng.below(7)) {
       case 0:
         return AttackKind::Dma;
       case 1:
         return AttackKind::BusMonitor;
-      default:
+      case 2:
         return AttackKind::CodeInjection;
+      case 3:
+        return AttackKind::PrimeProbe;
+      case 4:
+        return AttackKind::EvictReload;
+      case 5:
+        return AttackKind::Rowhammer;
+      default:
+        return AttackKind::TzSideChannel;
     }
 }
 
@@ -317,6 +325,8 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
            << " glitch:" << (result.powerGlitched ? 1 : 0);
     if (!result.faultDigest.empty())
         digest << " | " << result.faultDigest;
+    if (!result.attackDigest.empty())
+        digest << " | atk:" << result.attackDigest;
     outcome.digest = digest.str();
     outcome.traceSummary = result.trace.summary();
     return outcome;
@@ -333,6 +343,8 @@ classifyOutcome(const TrialOutcome &outcome)
         contains(outcome.error, "captured the secret") ||
         contains(outcome.error, "remanent memory"))
         return "leak";
+    if (contains(outcome.error, "rowhammer"))
+        return "hammer";
     if (contains(outcome.error, "iRAM byte"))
         return "iram";
     if (contains(outcome.error, "firmware image") ||

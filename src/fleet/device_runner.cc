@@ -1,14 +1,19 @@
 #include "fleet/device_runner.hh"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "attacks/bus_monitor_attack.hh"
 #include "attacks/code_injection.hh"
 #include "attacks/cold_boot.hh"
 #include "attacks/dma_attack.hh"
+#include "attacks/v2/cache_attack.hh"
+#include "attacks/v2/rowhammer.hh"
+#include "attacks/v2/tz_side_channel.hh"
 #include "common/bytes.hh"
 #include "common/logging.hh"
 #include "core/device.hh"
@@ -45,6 +50,7 @@ constexpr unsigned FILEBENCH_WORKERS = 2;
 constexpr std::uint64_t SALT_UNLOCK = 0x756e6c6f636b5f73ULL;
 constexpr std::uint64_t SALT_LOCK = 0x6c6f636b5f5f5f73ULL;
 constexpr std::uint64_t SALT_FILEBENCH = 0x66696c6562656e63ULL;
+constexpr std::uint64_t SALT_V2ATTACK = 0x76325f61747461b1ULL;
 
 std::uint64_t
 splitmix64(std::uint64_t &state)
@@ -149,6 +155,7 @@ class Runner
             device_ = std::make_unique<core::Device>(config, sentryOptions);
             device_->sentry().registerCryptoProviders();
         }
+        enableRowPartition();
         checker_ = std::make_unique<core::InvariantChecker>(
             device_->kernel(), device_->sentry());
         if (options_.faultSchedule != nullptr &&
@@ -166,6 +173,39 @@ class Runner
             chromeSink_->attach(device_->soc().trace(),
                                 device_->soc().clock());
         }
+    }
+
+    /**
+     * Install the CATT-style row partition on devices whose scenario
+     * hammers DRAM. Gated on the rowhammer verb so scenarios without
+     * one keep today's frame-allocation order bit for bit (the
+     * partition is only observable through disturbance anyway). Runs
+     * on both boot paths, after forkFrom() rewrote the allocator, so
+     * cold-booted and snapshot-forked devices agree.
+     */
+    void
+    enableRowPartition()
+    {
+        const bool hammers = std::any_of(
+            scenario_.steps.begin(), scenario_.steps.end(),
+            [](const Step &step) {
+                return step.op == Op::Attack &&
+                       step.attack == AttackKind::Rowhammer;
+            });
+        if (!hammers)
+            return;
+        hw::Dram &dram = device_->soc().dram();
+        const hw::DramGeometry &geom = dram.geometry();
+        const std::size_t rowsPerBank = geom.rowsPerBank(dram.size());
+        if (rowsPerBank < 8)
+            return; // too small to carve an attacker region out of
+        os::RowPartition plan;
+        plan.rowBytes = geom.rowBytes;
+        plan.banks = geom.banks;
+        plan.victimRowLimit = rowsPerBank * 3 / 4;
+        plan.guardRows = 1;
+        plan.geomBase = DRAM_BASE;
+        device_->kernel().allocator().partitionRows(plan);
     }
 
     /**
@@ -399,6 +439,20 @@ class Runner
         hw::Soc &soc = device_->soc();
         ++result.attacksRun;
 
+        if (step.attack == AttackKind::PrimeProbe ||
+            step.attack == AttackKind::EvictReload) {
+            doCacheAttack(step, result);
+            return;
+        }
+        if (step.attack == AttackKind::Rowhammer) {
+            doRowhammer(step, result);
+            return;
+        }
+        if (step.attack == AttackKind::TzSideChannel) {
+            doTzSideChannel(step, result);
+            return;
+        }
+
         std::vector<std::uint8_t> dramDump, iramDump;
         bool haveDumps = false;
         if (step.attack == AttackKind::Dma) {
@@ -495,6 +549,189 @@ class Runner
                                "process '" +
                                leaks.firstLeakedOwner + "'";
         }
+    }
+
+    /** Record a v2 outcome into the replay digest (" || "-joined). */
+    static void
+    appendAttackDigest(DeviceResult &result,
+                       const attacks::v2::AttackOutcome &outcome)
+    {
+        if (!result.attackDigest.empty())
+            result.attackDigest += " || ";
+        result.attackDigest += outcome.digest();
+    }
+
+    /** Per-attack seed: a pure hash, so the stream a given attack
+     * ordinal draws never depends on host or thread state. */
+    std::uint64_t
+    v2AttackSeed(const DeviceResult &result) const
+    {
+        return samplePriority(seed_, SALT_V2ATTACK, result.v2AttacksRun);
+    }
+
+    void
+    doCacheAttack(const Step &step, DeviceResult &result)
+    {
+        hw::Soc &soc = device_->soc();
+        ++result.v2AttacksRun;
+        const std::uint64_t atkSeed = v2AttackSeed(result);
+
+        // The monitored line: Sentry's locked-way key/pager window when
+        // lockdown is active (tegra3), else the iRAM key residence
+        // (nexus4) — i.e. wherever this device keeps what the paper
+        // protects. Both are expected to carry no timing signal.
+        core::LockedWayManager &ways = device_->sentry().wayManager();
+        const std::uint32_t lockedMask = ways.lockedMask();
+        const PhysAddr victim =
+            lockedMask != 0
+                ? ways.wayWindowBase(static_cast<unsigned>(
+                      std::countr_zero(lockedMask)))
+                : IRAM_BASE + IRAM_FIRMWARE_RESERVED + 4 * KiB;
+
+        attacks::v2::CacheAttackConfig config;
+        config.victimAddr = victim;
+        const std::size_t span =
+            (soc.l2().ways() + 1) * soc.l2().waySizeBytes();
+        // Top of DRAM: far from the kernel's low-address allocations,
+        // and the attacker only ever reads it.
+        config.attackerBase = soc.dramEnd() - span;
+        config.attackerSpan = span;
+        const attacks::v2::VictimFn victimFn = [victim](hw::Soc &s) {
+            std::uint8_t buf[4];
+            s.memory().read(victim, buf, sizeof buf);
+        };
+
+        attacks::v2::AttackOutcome outcome;
+        if (step.attack == AttackKind::PrimeProbe) {
+            attacks::v2::PrimeProbeAttack attack(config, victimFn,
+                                                 atkSeed);
+            outcome = attack.run(soc);
+        } else {
+            attacks::v2::EvictReloadAttack attack(config, victimFn,
+                                                  atkSeed);
+            outcome = attack.run(soc);
+        }
+        result.v2LockedWaybacks += outcome.counter("locked_writebacks");
+        appendAttackDigest(result, outcome);
+        if (outcome.secretRecovered ||
+            outcome.counter("locked_writebacks") != 0) {
+            result.ok = false;
+            if (result.error.empty())
+                result.error =
+                    "line " + std::to_string(step.line) + ": attack " +
+                    attackKindName(step.attack) +
+                    " recovered the secret storage location of the "
+                    "sentry keys via cache timing";
+        }
+    }
+
+    void
+    doRowhammer(const Step &step, DeviceResult &result)
+    {
+        hw::Soc &soc = device_->soc();
+        ++result.v2AttacksRun;
+        const std::uint64_t atkSeed = v2AttackSeed(result);
+        os::PhysAllocator &alloc = device_->kernel().allocator();
+
+        attacks::v2::RowhammerConfig config;
+        std::vector<PhysAddr> aggressorFrames;
+        if (alloc.rowPartition().enabled()) {
+            for (unsigned i = 0; i < 4; ++i) {
+                const PhysAddr frame =
+                    alloc.tryAllocFrame(os::MemDomain::Attacker);
+                if (frame == 0)
+                    break;
+                aggressorFrames.push_back(frame);
+            }
+        }
+        config.aggressors = aggressorFrames;
+
+        attacks::v2::RowhammerAttack attack(std::move(config), atkSeed);
+        attacks::v2::AttackOutcome outcome = attack.run(soc);
+        if (aggressorFrames.empty())
+            outcome.notes.push_back(
+                "row partition disabled or attacker region exhausted");
+
+        // Which frames hold sensitive-process pages right now?
+        std::set<PhysAddr> victimFrames;
+        for (const auto &[name, info] : procs_) {
+            if (!info.sensitive)
+                continue;
+            info.process->pageTable().forEach(
+                [&](VirtAddr, os::Pte &pte) {
+                    if (pte.frame != 0)
+                        victimFrames.insert(pte.frame);
+                });
+        }
+        std::uint64_t victimFlips = 0;
+        for (const hw::FlippedBit &flip : attack.flips()) {
+            const PhysAddr page =
+                alignDown(DRAM_BASE + flip.offset, PAGE_SIZE);
+            if (victimFrames.contains(page))
+                ++victimFlips;
+        }
+        outcome.count("victim_row_flips", victimFlips);
+        // The attack itself reports any flip as integrity loss; at the
+        // device level the defense goal is narrower — "recovered" in
+        // the replay digest means a flip reached sensitive memory.
+        outcome.secretRecovered = victimFlips != 0;
+        result.v2RowhammerFlips += outcome.counter("bit_flips");
+        result.v2VictimRowFlips += victimFlips;
+        appendAttackDigest(result, outcome);
+        if (victimFlips != 0) {
+            result.ok = false;
+            if (result.error.empty())
+                result.error =
+                    "line " + std::to_string(step.line) +
+                    ": rowhammer disturbance flipped " +
+                    std::to_string(victimFlips) +
+                    " bit(s) in sensitive process memory despite the "
+                    "row partition";
+        }
+        for (const PhysAddr frame : aggressorFrames)
+            alloc.freeFrame(frame);
+    }
+
+    void
+    doTzSideChannel(const Step &step, DeviceResult &result)
+    {
+        hw::Soc &soc = device_->soc();
+        ++result.v2AttacksRun;
+        const std::uint64_t atkSeed = v2AttackSeed(result);
+        os::PhysAllocator &alloc = device_->kernel().allocator();
+
+        // One frame of cacheable DRAM as the world-shared mailbox. The
+        // deployed service is the hardened (constant-touch) variant;
+        // the naive one exists for tests and the security matrix.
+        const PhysAddr mailbox =
+            alloc.tryAllocFrame(os::MemDomain::Default);
+        if (mailbox == 0) {
+            result.attackDigest += result.attackDigest.empty()
+                                       ? "attack=tz_side_channel;oom=1"
+                                       : " || attack=tz_side_channel;"
+                                         "oom=1";
+            return;
+        }
+        attacks::v2::TzSecretService service(soc, mailbox,
+                                             /*hardened=*/true);
+        attacks::v2::TzSideChannelConfig config;
+        const std::size_t span =
+            (soc.l2().ways() + 1) * soc.l2().waySizeBytes();
+        config.attackerBase = soc.dramEnd() - span;
+        config.attackerSpan = span;
+        attacks::v2::TzSideChannelAttack attack(config, service, atkSeed);
+        const attacks::v2::AttackOutcome outcome = attack.run(soc);
+        result.v2RecoveredNibbles += outcome.counter("recovered_nibbles");
+        appendAttackDigest(result, outcome);
+        if (outcome.secretRecovered) {
+            result.ok = false;
+            if (result.error.empty())
+                result.error =
+                    "line " + std::to_string(step.line) +
+                    ": tz_side_channel recovered the secret of the "
+                    "secure-world fuse through the shared mailbox";
+        }
+        alloc.freeFrame(mailbox);
     }
 
     void

@@ -150,6 +150,16 @@ struct DeviceResult
     std::uint64_t faultBitFlips = 0; //!< memory bits corrupted
     bool powerGlitched = false;      //!< a power_glitch ended the run
     std::string faultDigest;         //!< injector replay fingerprint
+
+    // Adversary suite v2 (all zero/empty when no v2 attack steps ran).
+    // Deliberately NOT merged into shard/fleet aggregates — they feed
+    // per-device replay digests, not population metrics.
+    unsigned v2AttacksRun = 0;
+    std::uint64_t v2LockedWaybacks = 0; //!< locked-way evictions (== 0)
+    std::uint64_t v2RowhammerFlips = 0; //!< total disturbance flips
+    std::uint64_t v2VictimRowFlips = 0; //!< ...that hit victim frames
+    std::uint64_t v2RecoveredNibbles = 0; //!< TZ channel leakage
+    std::string attackDigest; //!< " || "-joined AttackOutcome digests
 };
 
 /**

@@ -86,6 +86,14 @@ attackKindName(AttackKind kind)
         return "bus_monitor";
       case AttackKind::CodeInjection:
         return "code_injection";
+      case AttackKind::PrimeProbe:
+        return "prime_probe";
+      case AttackKind::EvictReload:
+        return "evict_reload";
+      case AttackKind::Rowhammer:
+        return "rowhammer";
+      case AttackKind::TzSideChannel:
+        return "tz_side_channel";
     }
     return "?";
 }
@@ -371,16 +379,25 @@ parseScenario(const std::string &text, const std::string &name)
                 step.attack = AttackKind::BusMonitor;
             else if (tokens[1] == "code_injection")
                 step.attack = AttackKind::CodeInjection;
+            else if (tokens[1] == "prime_probe")
+                step.attack = AttackKind::PrimeProbe;
+            else if (tokens[1] == "evict_reload")
+                step.attack = AttackKind::EvictReload;
+            else if (tokens[1] == "rowhammer")
+                step.attack = AttackKind::Rowhammer;
+            else if (tokens[1] == "tz_side_channel")
+                step.attack = AttackKind::TzSideChannel;
             else
                 throw ScenarioError(
                     lineNo, "unknown attack '" + tokens[1] +
                                 "' (cold_boot, os_reboot, 2s_reset, dma, "
-                                "bus_monitor, code_injection)");
+                                "bus_monitor, code_injection, prime_probe, "
+                                "evict_reload, rowhammer, tz_side_channel)");
             for (std::size_t i = 2; i < tokens.size(); ++i) {
                 if (tokens[i] == "frozen") {
-                    if (step.attack == AttackKind::Dma ||
-                        step.attack == AttackKind::BusMonitor ||
-                        step.attack == AttackKind::CodeInjection)
+                    if (step.attack != AttackKind::ColdBootReflash &&
+                        step.attack != AttackKind::OsReboot &&
+                        step.attack != AttackKind::TwoSecondReset)
                         throw ScenarioError(
                             lineNo, "frozen only applies to cold-boot "
                                     "attacks");

@@ -30,7 +30,8 @@
  *   touch NAME [SIZE]              # touch app memory through paging
  *   filebench SIZE [seqread|randread|randrw] [direct]
  *   attack cold_boot|os_reboot|2s_reset|dma|bus_monitor|code_injection
- *          [frozen]
+ *          |prime_probe|evict_reload|rowhammer|tz_side_channel [frozen]
+ *          # frozen only with the power-loss (cold-boot family) kinds
  *   zero_freed                     # run the freed-page zeroing kthread
  *
  * SIZE is an integer with an optional B/KiB/MiB/GiB suffix; DURATION is
@@ -105,6 +106,10 @@ enum class AttackKind
     Dma,             //!< `dma`: live peripheral dump, non-destructive
     BusMonitor,      //!< `bus_monitor`: DDR probe capturing live traffic
     CodeInjection,   //!< `code_injection`: DMA write + firmware replace
+    PrimeProbe,      //!< `prime_probe`: cross-core L2 Prime+Probe
+    EvictReload,     //!< `evict_reload`: shared-line Evict+Reload
+    Rowhammer,       //!< `rowhammer`: DRAM disturbance campaign
+    TzSideChannel,   //!< `tz_side_channel`: secure-world mailbox probe
 };
 
 /** @return the DSL spelling of @p kind. */

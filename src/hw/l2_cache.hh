@@ -186,6 +186,10 @@ class L2Cache
     /** @return number of sets. */
     std::size_t numSets() const { return sets_; }
 
+    /** @return the cycle costs this cache was configured with (used by
+     * timing side-channel attacks to calibrate hit/miss thresholds). */
+    const L2Timing &timing() const { return timing_; }
+
     /** @return performance counters. */
     const L2Stats &stats() const { return stats_; }
 

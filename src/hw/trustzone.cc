@@ -26,6 +26,7 @@ TrustZone::enterSecureWorld()
     if (!secureAvailable_)
         return false;
     world_ = World::Secure;
+    ++smcEntries_;
     return true;
 }
 
@@ -65,6 +66,16 @@ TrustZone::unprotectRegionFromDma(PhysAddr base, std::size_t size)
         }
     }
     return false;
+}
+
+bool
+TrustZone::bindSharedBuffer(PhysAddr base, std::size_t size)
+{
+    if (world_ != World::Secure)
+        return false;
+    sharedBase_ = base;
+    sharedSize_ = size;
+    return true;
 }
 
 bool

@@ -105,6 +105,27 @@ class TrustZone
     bool lockdownConfigAllowed() const { return world_ == World::Secure; }
 
     /**
+     * Register the world-shared mailbox buffer a secure service uses to
+     * pass results to the normal world (the Ahn & Lee side-channel
+     * setting: the buffer is cacheable and normal-world-visible, so the
+     * secure service's access pattern on it leaks through the shared
+     * L2). Secure world only; @return false otherwise.
+     */
+    bool bindSharedBuffer(PhysAddr base, std::size_t size);
+
+    /** @return true once bindSharedBuffer succeeded. */
+    bool hasSharedBuffer() const { return sharedSize_ != 0; }
+
+    /** @return the shared mailbox base (0 when unbound). */
+    PhysAddr sharedBufferBase() const { return sharedBase_; }
+
+    /** @return the shared mailbox size (0 when unbound). */
+    std::size_t sharedBufferSize() const { return sharedSize_; }
+
+    /** @return successful secure-world entries so far (SMC count). */
+    std::uint64_t smcEntries() const { return smcEntries_; }
+
+    /**
      * Mutable security state for snapshot/fork. The fuse secret and
      * secure-world availability are provisioning-time constants derived
      * from the device's own config, so they stay with the target device
@@ -114,6 +135,9 @@ class TrustZone
     {
         World world = World::Normal;
         std::vector<std::pair<PhysAddr, std::size_t>> dmaProtected;
+        PhysAddr sharedBase = 0;
+        std::size_t sharedSize = 0;
+        std::uint64_t smcEntries = 0;
     };
 
     ForkState forkState() const
@@ -122,6 +146,9 @@ class TrustZone
         fs.world = world_;
         for (const Region &region : dmaProtected_)
             fs.dmaProtected.emplace_back(region.base, region.size);
+        fs.sharedBase = sharedBase_;
+        fs.sharedSize = sharedSize_;
+        fs.smcEntries = smcEntries_;
         return fs;
     }
 
@@ -131,6 +158,9 @@ class TrustZone
         dmaProtected_.clear();
         for (const auto &[base, size] : fs.dmaProtected)
             dmaProtected_.push_back(Region{base, size});
+        sharedBase_ = fs.sharedBase;
+        sharedSize_ = fs.sharedSize;
+        smcEntries_ = fs.smcEntries;
     }
 
   private:
@@ -144,6 +174,9 @@ class TrustZone
     World world_ = World::Normal;
     SecureFuse fuse_;
     std::vector<Region> dmaProtected_;
+    PhysAddr sharedBase_ = 0;
+    std::size_t sharedSize_ = 0;
+    std::uint64_t smcEntries_ = 0;
 };
 
 /** RAII secure-world section; fatal if the device's firmware is locked. */

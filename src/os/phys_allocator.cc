@@ -43,6 +43,94 @@ PhysAllocator::allocFrame()
     return frame;
 }
 
+std::size_t
+PhysAllocator::rowInBank(PhysAddr frame) const
+{
+    const PhysAddr offset = frame - partition_.geomBase;
+    return (offset / partition_.rowBytes) / partition_.banks;
+}
+
+bool
+PhysAllocator::inVictimRows(PhysAddr frame) const
+{
+    if (!partition_.enabled())
+        return false;
+    return rowInBank(frame) < partition_.victimRowLimit;
+}
+
+bool
+PhysAllocator::inAttackerRows(PhysAddr frame) const
+{
+    if (!partition_.enabled())
+        return false;
+    return rowInBank(frame) >=
+           partition_.victimRowLimit + partition_.guardRows;
+}
+
+PhysAddr
+PhysAllocator::tryAllocFrame(MemDomain domain)
+{
+    if (freeList_.empty())
+        return 0;
+    // Fast path: no partition, or a Default request whose next frame
+    // already qualifies — identical behavior (and identical frame
+    // order) to the plain allocFrame() stack pop.
+    const bool partitioned = partition_.enabled();
+    if (!partitioned ||
+        (domain == MemDomain::Default && inVictimRows(freeList_.back()))) {
+        const PhysAddr frame = freeList_.back();
+        freeList_.pop_back();
+        allocated_.insert(frame);
+        return frame;
+    }
+
+    // Victim/Default scan from the back (low addresses first, like the
+    // stack pop); Attacker scans from the front, i.e. from the highest
+    // addresses, keeping the two regions' allocation orders disjoint.
+    const bool wantVictim = domain != MemDomain::Attacker;
+    if (wantVictim) {
+        for (std::size_t i = freeList_.size(); i > 0; --i) {
+            const PhysAddr frame = freeList_[i - 1];
+            if (!inVictimRows(frame))
+                continue;
+            freeList_.erase(freeList_.begin() +
+                            static_cast<std::ptrdiff_t>(i - 1));
+            allocated_.insert(frame);
+            return frame;
+        }
+        // Default degrades gracefully so enabling the partition never
+        // shrinks usable capacity; strict Victim does not.
+        if (domain == MemDomain::Default) {
+            const PhysAddr frame = freeList_.back();
+            freeList_.pop_back();
+            allocated_.insert(frame);
+            return frame;
+        }
+        return 0;
+    }
+    for (std::size_t i = 0; i < freeList_.size(); ++i) {
+        const PhysAddr frame = freeList_[i];
+        if (!inAttackerRows(frame))
+            continue;
+        freeList_.erase(freeList_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        allocated_.insert(frame);
+        return frame;
+    }
+    return 0;
+}
+
+PhysAddr
+PhysAllocator::allocFrame(MemDomain domain)
+{
+    const PhysAddr frame = tryAllocFrame(domain);
+    if (frame == 0)
+        fatal("out of physical memory in domain %d (%zu frames "
+              "allocated)",
+              static_cast<int>(domain), allocated_.size());
+    return frame;
+}
+
 PhysAddr
 PhysAllocator::allocContiguous(std::size_t frames)
 {

@@ -15,6 +15,37 @@
 namespace sentry::os
 {
 
+/**
+ * Which DRAM-row partition an allocation must land in once CATT-style
+ * row partitioning is enabled (see PhysAllocator::partitionRows).
+ * Default keeps today's placement; Victim/Attacker are strict.
+ */
+enum class MemDomain
+{
+    Default,
+    Victim,
+    Attacker,
+};
+
+/**
+ * CATT-style row-partitioning plan ("CAn't Touch This", Brasser et
+ * al.): split each DRAM bank's rows into a victim region (kernel +
+ * sensitive processes), a guard band no one may occupy, and an
+ * attacker region. Rowhammer disturbance only reaches *bank-adjacent*
+ * rows, so with at least one guard row an attacker frame can never
+ * flip bits in a victim row.
+ */
+struct RowPartition
+{
+    std::size_t rowBytes = 0;      //!< 0 = partitioning disabled
+    unsigned banks = 1;            //!< bank interleave factor
+    std::size_t victimRowLimit = 0;//!< rows-in-bank < limit are victim
+    std::size_t guardRows = 1;     //!< dead rows between the regions
+    PhysAddr geomBase = 0;         //!< frame addr of DRAM row 0
+
+    bool enabled() const { return rowBytes != 0; }
+};
+
 /** Stack-based free-frame allocator (4 KiB frames). */
 class PhysAllocator
 {
@@ -27,6 +58,32 @@ class PhysAllocator
 
     /** @return a free frame; fatal when exhausted. */
     PhysAddr allocFrame();
+
+    /**
+     * Domain-aware variant. With partitioning off (or Default before
+     * any partition is set) this is exactly allocFrame(). With a
+     * partition: Victim and Attacker are strict (fatal when their
+     * region is empty); Default prefers victim rows but falls back to
+     * any frame so total capacity is unchanged.
+     */
+    PhysAddr allocFrame(MemDomain domain);
+
+    /** Like allocFrame(domain) but returns 0 instead of dying when no
+     * qualifying frame exists. */
+    PhysAddr tryAllocFrame(MemDomain domain);
+
+    /** Install a row-partitioning plan (empty plan disables). */
+    void partitionRows(const RowPartition &plan) { partition_ = plan; }
+
+    /** @return the active row-partitioning plan. */
+    const RowPartition &rowPartition() const { return partition_; }
+
+    /** @return true if @p frame sits in a victim row. */
+    bool inVictimRows(PhysAddr frame) const;
+
+    /** @return true if @p frame sits past the guard band, in attacker
+     * rows. */
+    bool inAttackerRows(PhysAddr frame) const;
 
     /**
      * Allocate @p frames physically contiguous frames (for buffers that
@@ -51,11 +108,14 @@ class PhysAllocator
     }
 
   private:
+    std::size_t rowInBank(PhysAddr frame) const;
+
     PhysAddr base_;
     std::size_t size_;
     std::vector<PhysAddr> freeList_;
     std::unordered_set<PhysAddr> allocated_;
     std::size_t totalFrames_ = 0;
+    RowPartition partition_;
 };
 
 } // namespace sentry::os

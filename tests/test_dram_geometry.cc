@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DRAM row/bank geometry and disturbance-model tests: the address ↔
+ * (bank, row) mapping round-trips, activation counters accumulate and
+ * reset on refresh, and the flip model is a pure function of the seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "hw/dram.hh"
+
+using namespace sentry;
+using namespace sentry::hw;
+
+TEST(DramGeometry, AddressRowBankRoundTrip)
+{
+    const DramGeometry geom;
+    const std::size_t size = 16 * MiB;
+    for (const PhysAddr offset :
+         {PhysAddr{0}, PhysAddr{geom.rowBytes - 1}, PhysAddr{geom.rowBytes},
+          PhysAddr{5 * geom.rowBytes + 123}, PhysAddr{size - 1}}) {
+        const unsigned bank = geom.bankOf(offset);
+        const std::size_t row = geom.rowInBank(offset);
+        const PhysAddr base = geom.rowBase(bank, row);
+        EXPECT_LE(base, offset);
+        EXPECT_LT(offset - base, geom.rowBytes);
+        EXPECT_EQ(geom.bankOf(base), bank);
+        EXPECT_EQ(geom.rowInBank(base), row);
+        EXPECT_EQ(geom.globalRow(base), geom.globalRow(offset));
+    }
+    EXPECT_EQ(geom.rowCount(size), size / geom.rowBytes);
+    EXPECT_EQ(geom.rowsPerBank(size), size / geom.rowBytes / geom.banks);
+}
+
+TEST(DramGeometry, BankAdjacencyIsBanksRowsApart)
+{
+    // Two offsets rowBytes*banks apart share a bank and sit in
+    // consecutive rows of it — the Rowhammer adjacency relation.
+    const DramGeometry geom;
+    const PhysAddr a = 3 * geom.rowBytes;
+    const PhysAddr b = a + geom.rowBytes * geom.banks;
+    EXPECT_EQ(geom.bankOf(a), geom.bankOf(b));
+    EXPECT_EQ(geom.rowInBank(a) + 1, geom.rowInBank(b));
+}
+
+TEST(DramGeometry, ActivationCountersAccumulateAndRefreshResets)
+{
+    Dram dram(4 * MiB);
+    const DramGeometry &geom = dram.geometry();
+    const PhysAddr offset = 2 * geom.rowBytes + 64;
+    const std::size_t row = geom.globalRow(offset);
+
+    EXPECT_EQ(dram.activationCount(row), 0u);
+    dram.recordActivations(offset, 1000);
+    dram.recordActivations(offset + 8, 500); // same row, other column
+    EXPECT_EQ(dram.activationCount(row), 1500u);
+    EXPECT_EQ(dram.activationCount(row + 1), 0u);
+
+    dram.refreshRows();
+    EXPECT_EQ(dram.activationCount(row), 0u);
+}
+
+TEST(DramGeometry, NoFlipsBelowThreshold)
+{
+    Dram dram(4 * MiB);
+    Rng rng(0x1234);
+    DisturbParams params;
+    dram.recordActivations(0, params.activationThreshold);
+    EXPECT_TRUE(dram.disturbAdjacentRows(0, rng, params).empty());
+}
+
+TEST(DramGeometry, FlipsAreDeterministicPerSeed)
+{
+    const auto hammer = [](std::uint64_t seed) {
+        Dram dram(4 * MiB);
+        Rng rng(seed);
+        DisturbParams params;
+        const PhysAddr aggressor = 16 * dram.geometry().rowBytes;
+        dram.recordActivations(aggressor, 2 * params.activationThreshold);
+        return dram.disturbAdjacentRows(aggressor, rng, params);
+    };
+
+    const std::vector<FlippedBit> first = hammer(0xfeed);
+    const std::vector<FlippedBit> second = hammer(0xfeed);
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].offset, second[i].offset);
+        EXPECT_EQ(first[i].bit, second[i].bit);
+    }
+
+    // A different seed draws a different flip pattern.
+    const std::vector<FlippedBit> other = hammer(0xbeef);
+    const bool same =
+        other.size() == first.size() &&
+        std::equal(first.begin(), first.end(), other.begin(),
+                   [](const FlippedBit &a, const FlippedBit &b) {
+                       return a.offset == b.offset && a.bit == b.bit;
+                   });
+    EXPECT_FALSE(same);
+}
+
+TEST(DramGeometry, FlipsLandOnlyInBankAdjacentRows)
+{
+    Dram dram(4 * MiB);
+    Rng rng(0x77);
+    DisturbParams params;
+    const DramGeometry &geom = dram.geometry();
+    const PhysAddr aggressor = 40 * geom.rowBytes;
+    const std::size_t row = geom.globalRow(aggressor);
+    dram.recordActivations(aggressor, 2 * params.activationThreshold);
+
+    for (const FlippedBit &flip :
+         dram.disturbAdjacentRows(aggressor, rng, params)) {
+        const std::size_t flipRow = geom.globalRow(flip.offset);
+        EXPECT_TRUE(flipRow == row - geom.banks ||
+                    flipRow == row + geom.banks)
+            << "flip in global row " << flipRow << " (aggressor " << row
+            << ")";
+        EXPECT_EQ(geom.bankOf(flip.offset), geom.bankOf(aggressor));
+    }
+}
+
+TEST(DramGeometry, AdoptImageAndPowerLossClearActivations)
+{
+    Dram dram(1 * MiB);
+    dram.recordActivations(0, 4096);
+    EXPECT_EQ(dram.activationCount(0), 4096u);
+
+    dram.adoptImage(dram.snapshotImage());
+    EXPECT_EQ(dram.activationCount(0), 0u)
+        << "a fork must not inherit analog cell stress";
+
+    dram.recordActivations(0, 4096);
+    Rng rng(1);
+    dram.powerLoss(2.0, 22.0, rng);
+    EXPECT_EQ(dram.activationCount(0), 0u);
+}

@@ -146,7 +146,7 @@ TEST(FleetScenario, SemanticErrorsReportLine)
     // frozen DMA makes no sense
     EXPECT_EQ(parseFailure("attack dma frozen\n").line(), 1u);
     // unknown attack
-    EXPECT_EQ(parseFailure("attack rowhammer\n").line(), 1u);
+    EXPECT_EQ(parseFailure("attack meltdown\n").line(), 1u);
     // stray arguments
     EXPECT_EQ(parseFailure("lock now\n").line(), 1u);
     EXPECT_EQ(parseFailure("unlock\n").line(), 1u);
@@ -274,6 +274,36 @@ TEST(FleetScenario, LiveAttackKindsParseAndRejectFrozen)
     EXPECT_EQ(parseFailure("attack code_injection frozen\n").line(), 1u);
 }
 
+TEST(FleetScenario, AdversaryV2KindsParseAndRejectFrozen)
+{
+    const Scenario s = parseScenario("lock\n"
+                                     "attack prime_probe\n"
+                                     "attack evict_reload\n"
+                                     "attack rowhammer\n"
+                                     "attack tz_side_channel\n",
+                                     "adversary-v2");
+    ASSERT_EQ(s.steps.size(), 5u);
+    EXPECT_EQ(s.steps[1].attack, AttackKind::PrimeProbe);
+    EXPECT_EQ(s.steps[2].attack, AttackKind::EvictReload);
+    EXPECT_EQ(s.steps[3].attack, AttackKind::Rowhammer);
+    EXPECT_EQ(s.steps[4].attack, AttackKind::TzSideChannel);
+    EXPECT_FALSE(s.steps[1].frozen);
+
+    // None of the live v2 attacks involve a power loss, so the
+    // freezer variant is a semantic error for all of them.
+    EXPECT_EQ(parseFailure("attack prime_probe frozen\n").line(), 1u);
+    EXPECT_EQ(parseFailure("attack evict_reload frozen\n").line(), 1u);
+    EXPECT_EQ(parseFailure("attack rowhammer frozen\n").line(), 1u);
+    EXPECT_EQ(parseFailure("attack tz_side_channel frozen\n").line(), 1u);
+
+    // The unknown-verb diagnostic names the new kinds.
+    const ScenarioError e = parseFailure("attack spectre\n");
+    EXPECT_NE(std::string(e.what()).find("prime_probe"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tz_side_channel"),
+              std::string::npos);
+}
+
 TEST(FleetScenario, FormatScenarioRoundTrips)
 {
     // The fuzzer serializes shrunk scenarios with formatScenario();
@@ -289,6 +319,10 @@ TEST(FleetScenario, FormatScenarioRoundTrips)
         "sleep 300us\n"
         "attack cold_boot frozen\n"
         "attack bus_monitor\n"
+        "attack prime_probe\n"
+        "attack evict_reload\n"
+        "attack rowhammer\n"
+        "attack tz_side_channel\n"
         "zero_freed\n",
         "roundtrip");
     const Scenario second =

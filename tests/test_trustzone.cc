@@ -101,3 +101,55 @@ TEST(TrustZone, UnprotectUnknownRegionFails)
     SecureWorldGuard guard(tz);
     EXPECT_FALSE(tz.unprotectRegionFromDma(0x5000, 0x1000));
 }
+
+TEST(TrustZone, SmcEntriesCountSuccessfulSecureWorldEntries)
+{
+    TrustZone tz(true, 1);
+    EXPECT_EQ(tz.smcEntries(), 0u);
+    tz.enterSecureWorld();
+    tz.exitSecureWorld();
+    {
+        SecureWorldGuard guard(tz);
+        EXPECT_TRUE(guard.entered());
+    }
+    EXPECT_EQ(tz.smcEntries(), 2u);
+
+    // Locked firmware: no entry, no count.
+    TrustZone locked(false, 1);
+    EXPECT_FALSE(locked.enterSecureWorld());
+    EXPECT_EQ(locked.smcEntries(), 0u);
+}
+
+TEST(TrustZone, SharedBufferBindsOnlyFromSecureWorld)
+{
+    TrustZone tz(true, 1);
+    EXPECT_FALSE(tz.bindSharedBuffer(DRAM_BASE, 512));
+    EXPECT_FALSE(tz.hasSharedBuffer());
+
+    {
+        SecureWorldGuard guard(tz);
+        EXPECT_TRUE(tz.bindSharedBuffer(DRAM_BASE + 4 * KiB, 512));
+    }
+    EXPECT_TRUE(tz.hasSharedBuffer());
+    EXPECT_EQ(tz.sharedBufferBase(), DRAM_BASE + 4 * KiB);
+    EXPECT_EQ(tz.sharedBufferSize(), 512u);
+}
+
+TEST(TrustZone, ForkStateCarriesMailboxAndSmcCount)
+{
+    TrustZone source(true, 1);
+    {
+        SecureWorldGuard guard(source);
+        ASSERT_TRUE(source.bindSharedBuffer(DRAM_BASE + 8 * KiB, 256));
+    }
+    source.enterSecureWorld();
+    source.exitSecureWorld();
+
+    TrustZone fork(true, 1);
+    fork.restoreForkState(source.forkState());
+    EXPECT_EQ(fork.world(), World::Normal);
+    EXPECT_TRUE(fork.hasSharedBuffer());
+    EXPECT_EQ(fork.sharedBufferBase(), DRAM_BASE + 8 * KiB);
+    EXPECT_EQ(fork.sharedBufferSize(), 256u);
+    EXPECT_EQ(fork.smcEntries(), source.smcEntries());
+}
