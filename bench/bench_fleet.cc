@@ -220,10 +220,18 @@ scaleSection(bench::Session &session)
         if (seedHash != nullptr)
             session.metric(tag + "_seed_hash", seedHash->u);
         if (devices == 100000) {
-            // The streaming layout of the headline point, verbatim.
+            // The streaming layout of the headline point, verbatim —
+            // plus the defense-backend ledger, which must stay exact
+            // across the shard fold/merge tree at population scale.
             for (const fleet::FleetMetric &metric : report.metrics) {
                 if (metric.name.rfind("sim_shard_", 0) == 0)
                     session.metric(metric.name, metric.u);
+                if (metric.name.rfind("sim_defense_", 0) == 0) {
+                    if (metric.isInt)
+                        session.metric(metric.name, metric.u);
+                    else
+                        session.metric(metric.name, metric.d);
+                }
             }
         }
     }

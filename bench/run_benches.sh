@@ -3,7 +3,8 @@
 # host fast path (bench_fig11_aes_throughput), the batched kcryptd
 # pipeline (bench_fig9_dmcrypt), the fleet scenario engine
 # (bench_fleet), the boot-once unlock path (bench_fig2_unlock), and
-# the full security matrix with the adversary-v2 rows
+# the full security matrix with the adversary-v2 rows and the
+# 3-backend x 7-attack defense comparison
 # (bench_table3_security_matrix), then compare every `sim_`-prefixed
 # metric in their BENCH_*.json records against the committed
 # references in bench/reference/.
@@ -12,8 +13,9 @@
 # checked for *presence* only (their values are machine-dependent): a
 # bench silently losing its timing is drift too.
 #
-# When the build was configured with -DSENTRY_TSAN=ON, the fleet and
-# snapshot test labels also run under ThreadSanitizer at the end. With
+# When the build was configured with -DSENTRY_TSAN=ON, the fleet,
+# snapshot, and defense test labels also run under ThreadSanitizer at
+# the end. With
 # -DSENTRY_ASAN=ON or -DSENTRY_UBSAN=ON the full tier-1 test suite
 # runs under that sanitizer instead.
 #
@@ -89,6 +91,10 @@ if fleet_new.exists():
     fleet = json.load(fleet_new.open())["metrics"]
     required = ["sim_shard_count", "sim_shard_size",
                 "sim_shard_sample_cap", "sim_shard_samples_retained",
+                "sim_defense_kind", "sim_defense_claim_breaches",
+                "sim_defense_vulnerable_hits", "sim_defense_rekeys",
+                "sim_defense_evictions", "sim_defense_extra_seconds",
+                "sim_defense_extra_joules",
                 "host_per_device_ns_1000", "host_per_device_ns_10000",
                 "host_per_device_ns_100000",
                 "host_scale_flatness_100k_vs_1k"]
@@ -119,20 +125,39 @@ if matrix_new.exists():
             print(f"DRIFT: BENCH_table3_security_matrix.json: missing "
                   f"required adversary-v2 key {key}")
             failures += 1
+    # The defense-backend comparison (DESIGN.md section 13): the full
+    # 3-backend x 7-attack verdict grid, the cross-backend schedule
+    # parity counter, and each backend's simulated overhead ledger.
+    backends = ["sentry", "amnesia", "memshield"]
+    verbs = ["cold_boot", "bus_monitor", "dma", "prime_probe",
+             "evict_reload", "rowhammer", "tz_side_channel"]
+    required = [f"sim_defense_breached_{b}_{v}"
+                for b in backends for v in verbs]
+    required.append("sim_defense_schedule_mismatches")
+    required += [f"sim_defense_{b}_{cost}" for b in backends
+                 for cost in ("rekeys", "evictions", "extra_seconds",
+                              "extra_joules")]
+    for key in required:
+        if key not in matrix:
+            print(f"DRIFT: BENCH_table3_security_matrix.json: missing "
+                  f"required defense-backend key {key}")
+            failures += 1
 if failures:
     print(f"{failures} deterministic metric(s) drifted")
     sys.exit(1)
 print("all sim_ metrics match the committed references")
 EOF
 
-# TSAN builds: run the fleet and snapshot concurrency tests under the
-# sanitizer (the scenario engine, the per-device stacks, the kcryptd
-# pools, and the shared COW snapshots all cross real threads).
+# TSAN builds: run the fleet, snapshot, and defense concurrency tests
+# under the sanitizer (the scenario engine, the per-device stacks, the
+# kcryptd pools, the shared COW snapshots, and the multi-backend
+# differential harness all cross real threads).
 if grep -q "^SENTRY_TSAN:BOOL=ON$" "$BUILD/CMakeCache.txt"; then
-    echo "== fleet + snapshot tests under ThreadSanitizer =="
+    echo "== fleet + snapshot + defense tests under ThreadSanitizer =="
     cmake --build "$BUILD" -j --target sentry_fleet_tests \
-        sentry_snapshot_tests
-    ctest --test-dir "$BUILD" -L 'fleet|snapshot' --output-on-failure
+        sentry_snapshot_tests sentry_defense_tests
+    ctest --test-dir "$BUILD" -L 'fleet|snapshot|defense' \
+        --output-on-failure
 fi
 
 # ASAN/UBSAN builds: the whole tier-1 suite runs under the sanitizer

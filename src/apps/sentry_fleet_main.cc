@@ -39,6 +39,8 @@ usage()
         "                       (default interactive-day)\n"
         "  --seed HEX|DEC       fleet seed (default 0x5e47ee1d)\n"
         "  --platform NAME      tegra3 or nexus4 (default: scenario's)\n"
+        "  --defense NAME       sentry, amnesia, or memshield\n"
+        "                       (default: scenario's, else sentry)\n"
         "  --dram SIZE          per-device DRAM, e.g. 16MiB\n"
         "  --json PATH          metrics record (default BENCH_fleet.json)\n"
         "  --no-json            skip the JSON record\n"
@@ -85,6 +87,7 @@ main(int argc, char **argv)
     unsigned devices = 0; // 0 = take the scenario's default
     fleet::FleetOptions options;
     bool platformOverride = false;
+    bool defenseOverride = false;
     bool wantReplay = false;
     unsigned replayIndex = 0;
 
@@ -113,6 +116,13 @@ main(int argc, char **argv)
             else
                 usageError("unknown platform '" + name + "'");
             platformOverride = true;
+        } else if (std::strcmp(arg, "--defense") == 0) {
+            const std::string name = nextArg(argc, argv, i, arg);
+            const auto kind = core::parseDefenseKind(name);
+            if (!kind.has_value())
+                usageError("unknown defense backend '" + name + "'");
+            options.defense = *kind;
+            defenseOverride = true;
         } else if (std::strcmp(arg, "--dram") == 0) {
             try {
                 options.dramBytes =
@@ -169,6 +179,8 @@ main(int argc, char **argv)
                           : 8;
     if (platformOverride)
         scenario.hasPlatform = false; // CLI wins over the directive
+    if (defenseOverride)
+        scenario.hasDefense = false; // CLI wins over the directive
 
     if (wantReplay) {
         try {

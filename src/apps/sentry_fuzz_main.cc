@@ -59,6 +59,9 @@ usage()
         "  --repro-dir DIR  where to write reproducers (default '.')\n"
         "  --no-shrink      keep failing trials unminimized\n"
         "  --platform NAME  tegra3 or nexus4 (default tegra3)\n"
+        "  --defense NAME   pin every trial to one backend (sentry,\n"
+        "                   amnesia, or memshield; default: draw per\n"
+        "                   trial)\n"
         "  --dram SIZE      per-trial DRAM, e.g. 16MiB\n"
         "  --trace-out PATH write the last trial's timeline as\n"
         "                   chrome://tracing JSON\n"
@@ -179,6 +182,12 @@ main(int argc, char **argv)
                 options.platform = fleet::FleetPlatform::Nexus4;
             else
                 usageError("unknown platform '" + name + "'");
+        } else if (std::strcmp(arg, "--defense") == 0) {
+            const std::string name = nextArg(argc, argv, i, arg);
+            const auto kind = core::parseDefenseKind(name);
+            if (!kind.has_value())
+                usageError("unknown defense backend '" + name + "'");
+            options.defense = *kind;
         } else if (std::strcmp(arg, "--dram") == 0) {
             try {
                 options.dramBytes =

@@ -116,10 +116,16 @@ Sentry::Sentry(os::Kernel &kernel, SentryOptions options)
         soc, stateBase, std::span<const std::uint8_t>(volatileKey),
         toStatePlacement(placement_), /*kernel_path=*/true);
 
+    // Plug in the defense backend. The Sentry backend wraps engine_ and
+    // reproduces the pre-backend behaviour bit for bit; Amnesia and
+    // MemShield build their own key/engine machinery on top.
+    backend_ = makeDefenseBackend(options_.defense, kernel_, *engine_,
+                                  volatileKey, iramAlloc_);
+
     // Background paging: lock pagerWays ways as frame pool.
     if (options_.backgroundMode) {
         pager_ = std::make_unique<LockedCachePager>(
-            kernel_, *engine_,
+            kernel_, backend_->pagerCipher(),
             [this](const os::Process &p, VirtAddr va) {
                 return pageIv(p, va);
             });
@@ -191,8 +197,7 @@ Sentry::encryptProcess(os::Process &process)
                 pte->onSoc) {
                 continue;
             }
-            engine_->cbcEncryptPhys(pte->frame, PAGE_SIZE,
-                                    pageIv(process, va));
+            backend_->encryptPage(pte->frame, pageIv(process, va));
             pte->encrypted = true;
             pte->young = false;
             stats_.bytesEncryptedOnLock += PAGE_SIZE;
@@ -212,6 +217,7 @@ Sentry::onLock()
         kernel_.zeroFreedPages();
 
     ++lockEpoch_;
+    backend_->onLockEpoch(lockEpoch_);
     for (const auto &process : kernel_.processes()) {
         if (!process->sensitive())
             continue;
@@ -224,6 +230,9 @@ Sentry::onLock()
     // holds no stale plaintext lines.
     if (options_.cleanCacheAfterLock)
         kernel_.soc().l2().cleanAllMasked();
+
+    // The encrypt sweep re-encrypted every working-set resident.
+    workingSet_.clear();
 
     ++stats_.lockCount;
     stats_.lastLockSeconds = watch.elapsedSeconds();
@@ -256,8 +265,7 @@ Sentry::onUnlock()
                 os::Pte *pte = process->pageTable().find(va);
                 if (pte == nullptr || !pte->encrypted)
                     continue;
-                engine_->cbcDecryptPhys(pte->frame, PAGE_SIZE,
-                                        pageIv(*process, va));
+                backend_->decryptPage(pte->frame, pageIv(*process, va));
                 pte->encrypted = false;
                 pte->young = true;
                 stats_.bytesDecryptedEager += PAGE_SIZE;
@@ -278,6 +286,7 @@ Sentry::onDeepLock()
     // noise; nothing on or off the SoC can decrypt them.
     engine_->scrub();
     keys_->scrub();
+    backend_->scrubSecrets();
     keysDestroyed_ = true;
 }
 
@@ -311,11 +320,44 @@ Sentry::handleFault(os::Process &process, VirtAddr va, os::Pte &pte)
 
     // Decrypt-on-demand (device unlocked, or a non-pager access).
     const VirtAddr page = os::PageTable::pageOf(va);
-    engine_->cbcDecryptPhys(pte.frame, PAGE_SIZE, pageIv(process, page));
+    backend_->decryptPage(pte.frame, pageIv(process, page));
     pte.encrypted = false;
     pte.young = true;
     stats_.bytesDecryptedOnDemand += PAGE_SIZE;
+    noteWorkingSetPage(process, page);
     return true;
+}
+
+void
+Sentry::noteWorkingSetPage(os::Process &process, VirtAddr page)
+{
+    const std::size_t cap = backend_->plaintextWorkingSetCap();
+    if (cap == 0)
+        return; // unbounded plaintext (Sentry/Amnesia while unlocked)
+    workingSet_.emplace_back(process.pid(), page);
+    while (workingSet_.size() > cap)
+        evictWorkingSetPage();
+}
+
+void
+Sentry::evictWorkingSetPage()
+{
+    const auto [pid, va] = workingSet_.front();
+    workingSet_.pop_front();
+    for (const auto &process : kernel_.processes()) {
+        if (process->pid() != pid)
+            continue;
+        os::Pte *pte = process->pageTable().find(va);
+        if (pte == nullptr || !pte->present || pte->encrypted ||
+            pte->onSoc) {
+            return;
+        }
+        backend_->encryptPage(pte->frame, pageIv(*process, va));
+        pte->encrypted = true;
+        pte->young = false;
+        ++backend_->costs().evictions;
+        return;
+    }
 }
 
 void
@@ -370,6 +412,29 @@ Sentry::registerCryptoProviders()
              return std::make_unique<crypto::SimAesEngine>(
                  soc, base, key, statePlacement, /*kernel_path=*/true);
          }});
+
+    // Amnesia's dm-crypt path: register-only ciphers (no key schedule
+    // in memory, tables in DRAM) outrank even AES On SoC, so block
+    // crypto follows the same no-keys-in-DRAM policy as page crypto.
+    // MemShield keeps the AES-On-SoC provider: its engine speaks whole
+    // pages, not the Crypto API's block interface.
+    if (options_.defense == DefenseKind::Amnesia) {
+        kernel_.cryptoApi().registerImplementation(
+            {"aes", "aes-amnesia", 400,
+             [this, &soc](std::span<const std::uint8_t> key) {
+                 const auto layout =
+                     crypto::AesStateLayout::forKeyBytes(
+                         static_cast<unsigned>(key.size()));
+                 const std::size_t frames =
+                     alignUp(layout.totalBytes(), PAGE_SIZE) / PAGE_SIZE;
+                 const PhysAddr base =
+                     kernel_.allocator().allocContiguous(frames);
+                 return std::make_unique<crypto::SimAesEngine>(
+                     soc, base, key, crypto::StatePlacement::Dram,
+                     /*kernel_path=*/true,
+                     crypto::SecretResidency::RegistersOnly);
+             }});
+    }
 }
 
 SentrySnapshot
@@ -394,7 +459,10 @@ Sentry::snapshot() const
         lockEpoch_,
         keysDestroyed_,
         stats_,
-        !kernel_.cryptoApi().implementations().empty()};
+        !kernel_.cryptoApi().implementations().empty(),
+        options_.defense,
+        backend_->forkState(),
+        {workingSet_.begin(), workingSet_.end()}};
 }
 
 void
@@ -411,6 +479,11 @@ Sentry::forkFrom(const SentrySnapshot &snap)
         fatal("Sentry::forkFrom: snapshot lacks engine state");
     if ((pager_ != nullptr) != snap.pager.has_value())
         fatal("Sentry::forkFrom: pager presence mismatch");
+    if (snap.defenseKind != options_.defense)
+        fatal("Sentry::forkFrom: snapshot defense backend %s does not "
+              "match target backend %s",
+              defenseKindName(snap.defenseKind),
+              defenseKindName(options_.defense));
 
     iramAlloc_ = snap.iramAlloc;
     wayManager_.restoreLockedMask(snap.lockedWayMask);
@@ -427,6 +500,9 @@ Sentry::forkFrom(const SentrySnapshot &snap)
     lockEpoch_ = snap.lockEpoch;
     keysDestroyed_ = snap.keysDestroyed;
     stats_ = snap.stats;
+    backend_->restoreForkState(snap.defense);
+    workingSet_.assign(snap.plaintextWorkingSet.begin(),
+                       snap.plaintextWorkingSet.end());
 
     // A fresh fork target has an empty crypto registry; give it the
     // same providers the snapshotted device had. (Re-forking the same

@@ -38,11 +38,15 @@
 #define SENTRY_CORE_SENTRY_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/defense_backend.hh"
 #include "core/key_manager.hh"
 #include "core/locked_cache_pager.hh"
 #include "core/locked_way_manager.hh"
@@ -68,6 +72,10 @@ const char *aesPlacementName(AesPlacement placement);
 struct SentryOptions
 {
     AesPlacement placement = AesPlacement::Iram;
+    /** Which defense backend does the page crypto / key handling. The
+     *  default routes everything through Sentry's own engine
+     *  bit-identically to the pre-backend code. */
+    DefenseKind defense = DefenseKind::Sentry;
     /** Enable background execution (requires cache locking). */
     bool backgroundMode = false;
     /** Locked ways dedicated to pager frames when backgroundMode. */
@@ -127,6 +135,10 @@ struct SentrySnapshot
     bool keysDestroyed;
     SentryStats stats;
     bool providersRegistered;
+    DefenseKind defenseKind;
+    DefenseForkState defense;
+    /** MemShield plaintext residents as (pid, page VA). */
+    std::vector<std::pair<int, std::uint64_t>> plaintextWorkingSet;
 };
 
 /** The Sentry manager. */
@@ -164,6 +176,13 @@ class Sentry
 
     /** @return Sentry's page-crypto engine. */
     crypto::SimAesEngine &engine() { return *engine_; }
+
+    /** @return the active defense backend. */
+    DefenseBackend &defense() { return *backend_; }
+    const DefenseBackend &defense() const { return *backend_; }
+
+    /** @return which defense design is plugged in. */
+    DefenseKind defenseKind() const { return options_.defense; }
 
     /** @return counters. */
     const SentryStats &stats() const { return stats_; }
@@ -214,6 +233,8 @@ class Sentry
   private:
     void encryptProcess(os::Process &process);
     bool pageIsSkipped(const os::Vma &vma) const;
+    void noteWorkingSetPage(os::Process &process, VirtAddr page);
+    void evictWorkingSetPage();
 
     os::Kernel &kernel_;
     SentryOptions options_;
@@ -226,7 +247,10 @@ class Sentry
     std::unique_ptr<OnSocAllocator> engineWayAlloc_;
     std::unique_ptr<KeyManager> keys_;
     std::unique_ptr<crypto::SimAesEngine> engine_;
+    std::unique_ptr<DefenseBackend> backend_;
     std::unique_ptr<LockedCachePager> pager_;
+    /** MemShield plaintext residents, oldest first (pid, page VA). */
+    std::deque<std::pair<int, VirtAddr>> workingSet_;
 
     std::set<int> backgroundPids_;
     std::uint32_t lockEpoch_ = 0;

@@ -289,6 +289,15 @@ generateTrial(const FuzzOptions &options, unsigned index)
         fault.line = f + 1;
         spec.faults.faults.push_back(fault);
     }
+
+    // Defense backend: pinned by --defense, else drawn. The draw is
+    // appended to the stream, so every earlier decision of a given
+    // campaign seed is unchanged from pre-backend campaigns.
+    scenario.hasDefense = true;
+    scenario.defense = options.defense.has_value()
+                           ? *options.defense
+                           : static_cast<core::DefenseKind>(
+                                 rng.below(core::DEFENSE_KIND_COUNT));
     return spec;
 }
 
@@ -304,6 +313,11 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
     fleetOptions.auditEveryStep = true;
     fleetOptions.faultSchedule = &spec.faults;
     fleetOptions.traceOutPath = options.traceOutPath;
+    // runDevice bypasses resolveFleetOptions, so the scenario's defense
+    // directive must be applied here for reproducers to replay the
+    // backend they were fuzzed under.
+    if (spec.scenario.hasDefense)
+        fleetOptions.defense = spec.scenario.defense;
     if (spec.spawnSnapshot) {
         fleetOptions.spawnMode = fleet::SpawnMode::Snapshot;
         fleetOptions.templateSnapshot =
@@ -322,11 +336,15 @@ runTrial(const FuzzTrialSpec &spec, const FuzzOptions &options)
     digest << "cycles:" << result.simCycles
            << " steps:" << result.stepsExecuted
            << " ok:" << (result.ok ? 1 : 0)
-           << " glitch:" << (result.powerGlitched ? 1 : 0);
+           << " glitch:" << (result.powerGlitched ? 1 : 0)
+           << " defense:" << result.defenseKind
+           << " vuln_hits:" << result.defenseVulnerableHits;
     if (!result.faultDigest.empty())
         digest << " | " << result.faultDigest;
     if (!result.attackDigest.empty())
         digest << " | atk:" << result.attackDigest;
+    if (!result.scheduleDigest.empty())
+        digest << " | sched:" << result.scheduleDigest;
     outcome.digest = digest.str();
     outcome.traceSummary = result.trace.summary();
     return outcome;

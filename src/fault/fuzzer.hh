@@ -21,6 +21,7 @@
 #define SENTRY_FAULT_FUZZER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/types.hh"
@@ -50,6 +51,12 @@ struct FuzzOptions
     /** Spawn each trial device by forking a warmed snapshot instead of
      * cold-booting it (fuzzes the fork path itself). */
     bool spawnSnapshot = false;
+    /**
+     * Pin every trial to one defense backend (`--defense`); when unset
+     * the generator draws a backend per trial, so a campaign fuzzes all
+     * three designs under the same grammar.
+     */
+    std::optional<core::DefenseKind> defense;
 };
 
 /** One generated (or loaded) trial. */

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -51,6 +53,45 @@ constexpr std::uint64_t SALT_UNLOCK = 0x756e6c6f636b5f73ULL;
 constexpr std::uint64_t SALT_LOCK = 0x6c6f636b5f5f5f73ULL;
 constexpr std::uint64_t SALT_FILEBENCH = 0x66696c6562656e63ULL;
 constexpr std::uint64_t SALT_V2ATTACK = 0x76325f61747461b1ULL;
+constexpr std::uint64_t SALT_SCHEDULE = 0x7363686564756c65ULL;
+constexpr std::uint64_t SALT_BUSKEY = 0x6275736b65795f73ULL;
+
+/** The Threat a given attack verb exercises; nullopt for verbs outside
+ * the seven-threat matrix (code_injection stays a platform test every
+ * backend must pass). */
+std::optional<core::Threat>
+attackThreat(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::ColdBootReflash:
+      case AttackKind::OsReboot:
+      case AttackKind::TwoSecondReset:
+        return core::Threat::ColdBoot;
+      case AttackKind::Dma:
+        return core::Threat::Dma;
+      case AttackKind::BusMonitor:
+        return core::Threat::BusMonitor;
+      case AttackKind::PrimeProbe:
+        return core::Threat::PrimeProbe;
+      case AttackKind::EvictReload:
+        return core::Threat::EvictReload;
+      case AttackKind::Rowhammer:
+        return core::Threat::Rowhammer;
+      case AttackKind::TzSideChannel:
+        return core::Threat::TzSideChannel;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
 
 std::uint64_t
 splitmix64(std::uint64_t &state)
@@ -79,6 +120,7 @@ deviceConfig(const Scenario &scenario, const FleetOptions &options,
     sentryOptions.placement = core::AesPlacement::LockedL2;
     sentryOptions.backgroundMode = scenario.needsBackground();
     sentryOptions.pagerWays = 2;
+    sentryOptions.defense = options.defense;
     return {config, sentryOptions};
 }
 
@@ -194,6 +236,12 @@ class Runner
             });
         if (!hammers)
             return;
+        // The CATT partition is part of Sentry's bundle, not the
+        // hardware: a backend that doesn't claim Rowhammer doesn't
+        // deploy it (that's precisely the exposure the differential
+        // harness measures).
+        if (!defense().defeats(core::Threat::Rowhammer))
+            return;
         hw::Dram &dram = device_->soc().dram();
         const hw::DramGeometry &geom = dram.geometry();
         const std::size_t rowsPerBank = geom.rowsPerBank(dram.size());
@@ -291,6 +339,34 @@ class Runner
     {
         const os::PowerState state = device_->kernel().powerState();
         return state != os::PowerState::Awake;
+    }
+
+    core::DefenseBackend &
+    defense()
+    {
+        return device_->sentry().defense();
+    }
+
+    /**
+     * Score one observed breach against the backend's claimed threat
+     * matrix. A breach of a claimed-defeated threat fails the device —
+     * the caller applies its legacy error path, so the default Sentry
+     * backend (which claims everything) behaves byte-identically. A
+     * breach of a claimed-vulnerable threat is tallied and the run
+     * continues: that asymmetry is what the differential harness
+     * measures.
+     * @return true when the caller should apply its failure path.
+     */
+    bool
+    scoreBreach(DeviceResult &result, AttackKind kind)
+    {
+        const std::optional<core::Threat> threat = attackThreat(kind);
+        if (threat.has_value() && !defense().defeats(*threat)) {
+            ++result.defenseVulnerableHits;
+            return false;
+        }
+        ++result.defenseClaimBreaches;
+        return true;
     }
 
     void
@@ -439,6 +515,18 @@ class Runner
         hw::Soc &soc = device_->soc();
         ++result.attacksRun;
 
+        // Backend-independent schedule fingerprint: hashed from the
+        // device seed and the attack ordinal alone, never from backend
+        // state, so every backend replays a byte-identical schedule
+        // (the differential tests compare these across backends).
+        if (!result.scheduleDigest.empty())
+            result.scheduleDigest += " || ";
+        result.scheduleDigest +=
+            std::string(attackKindName(step.attack)) + "@" +
+            std::to_string(step.line) + ":" +
+            hex64(samplePriority(seed_, SALT_SCHEDULE,
+                                 result.attacksRun - 1));
+
         if (step.attack == AttackKind::PrimeProbe ||
             step.attack == AttackKind::EvictReload) {
             doCacheAttack(step, result);
@@ -476,7 +564,8 @@ class Runner
                     continue;
                 const attacks::AttackResult captured =
                     probe.analyzeForSecret(marker.bytes, marker.owner);
-                if (captured.secretRecovered) {
+                if (captured.secretRecovered &&
+                    scoreBreach(result, step.attack)) {
                     result.ok = false;
                     if (result.error.empty())
                         result.error =
@@ -484,6 +573,28 @@ class Runner
                             ": bus probe captured the secret of "
                             "sensitive process '" +
                             marker.owner + "'";
+                }
+            }
+            // A backend whose cipher state sits in DRAM gives the probe
+            // a second channel: the table-access pattern of the cipher
+            // itself (Tromer/Osvik/Shamir). Sentry and MemShield keep
+            // all cipher state on the SoC, so this phase never runs for
+            // them and their bus traffic stays untouched.
+            crypto::SimAesEngine *dramEngine = defense().dramStateEngine();
+            if (dramEngine != nullptr) {
+                Rng sideRng(samplePriority(seed_, SALT_BUSKEY,
+                                           result.attacksRun - 1));
+                const attacks::SideChannelResult side =
+                    probe.recoverAesKeyBits(*dramEngine,
+                                            /*num_blocks=*/48, sideRng);
+                if (side.recoveredBytes() != 0 &&
+                    scoreBreach(result, step.attack)) {
+                    result.ok = false;
+                    if (result.error.empty())
+                        result.error =
+                            "line " + std::to_string(step.line) +
+                            ": bus probe recovered AES key bits from "
+                            "the DRAM-resident cipher state";
                 }
             }
         } else if (step.attack == AttackKind::CodeInjection) {
@@ -540,7 +651,8 @@ class Runner
         result.sensitiveSecretsProbed += leaks.sensitiveProbed;
         result.sensitiveSecretsLeaked += leaks.sensitiveLeaked;
         result.nonSensitiveLeaks += leaks.nonSensitiveLeaks;
-        if (leaks.sensitiveLeaked != 0) {
+        if (leaks.sensitiveLeaked != 0 &&
+            scoreBreach(result, step.attack)) {
             result.ok = false;
             if (result.error.empty())
                 result.error = "line " + std::to_string(step.line) +
@@ -582,11 +694,19 @@ class Runner
         // protects. Both are expected to carry no timing signal.
         core::LockedWayManager &ways = device_->sentry().wayManager();
         const std::uint32_t lockedMask = ways.lockedMask();
+        // A backend with DRAM-resident cipher state hands the attacker
+        // a better line to monitor: its own table region, cacheable and
+        // touched on every encryption. Sentry and MemShield keep that
+        // state on the SoC, so their victim stays the locked-way/iRAM
+        // window (expected to carry no signal).
+        crypto::SimAesEngine *dramEngine = defense().dramStateEngine();
         const PhysAddr victim =
-            lockedMask != 0
-                ? ways.wayWindowBase(static_cast<unsigned>(
-                      std::countr_zero(lockedMask)))
-                : IRAM_BASE + IRAM_FIRMWARE_RESERVED + 4 * KiB;
+            dramEngine != nullptr
+                ? dramEngine->stateBase()
+                : (lockedMask != 0
+                       ? ways.wayWindowBase(static_cast<unsigned>(
+                             std::countr_zero(lockedMask)))
+                       : IRAM_BASE + IRAM_FIRMWARE_RESERVED + 4 * KiB);
 
         attacks::v2::CacheAttackConfig config;
         config.victimAddr = victim;
@@ -613,8 +733,9 @@ class Runner
         }
         result.v2LockedWaybacks += outcome.counter("locked_writebacks");
         appendAttackDigest(result, outcome);
-        if (outcome.secretRecovered ||
-            outcome.counter("locked_writebacks") != 0) {
+        if ((outcome.secretRecovered ||
+             outcome.counter("locked_writebacks") != 0) &&
+            scoreBreach(result, step.attack)) {
             result.ok = false;
             if (result.error.empty())
                 result.error =
@@ -633,12 +754,24 @@ class Runner
         const std::uint64_t atkSeed = v2AttackSeed(result);
         os::PhysAllocator &alloc = device_->kernel().allocator();
 
+        const bool claimed =
+            defense().defeats(core::Threat::Rowhammer);
         attacks::v2::RowhammerConfig config;
         std::vector<PhysAddr> aggressorFrames;
         if (alloc.rowPartition().enabled()) {
             for (unsigned i = 0; i < 4; ++i) {
                 const PhysAddr frame =
                     alloc.tryAllocFrame(os::MemDomain::Attacker);
+                if (frame == 0)
+                    break;
+                aggressorFrames.push_back(frame);
+            }
+        } else if (!claimed) {
+            // No CATT partition deployed: the attacker's pages come out
+            // of the common pool, row-adjacent to everyone else's.
+            for (unsigned i = 0; i < 4; ++i) {
+                const PhysAddr frame =
+                    alloc.tryAllocFrame(os::MemDomain::Default);
                 if (frame == 0)
                     break;
                 aggressorFrames.push_back(frame);
@@ -678,7 +811,14 @@ class Runner
         result.v2RowhammerFlips += outcome.counter("bit_flips");
         result.v2VictimRowFlips += victimFlips;
         appendAttackDigest(result, outcome);
-        if (victimFlips != 0) {
+        // A defending backend (CATT partition) is breached only when a
+        // flip reaches sensitive memory; a non-defending one counts any
+        // disturbance flip at all — without the partition the attacker
+        // can steer aggressors next to whatever it likes eventually.
+        const bool breached = claimed
+                                  ? victimFlips != 0
+                                  : outcome.counter("bit_flips") != 0;
+        if (breached && scoreBreach(result, step.attack)) {
             result.ok = false;
             if (result.error.empty())
                 result.error =
@@ -700,9 +840,12 @@ class Runner
         const std::uint64_t atkSeed = v2AttackSeed(result);
         os::PhysAllocator &alloc = device_->kernel().allocator();
 
-        // One frame of cacheable DRAM as the world-shared mailbox. The
-        // deployed service is the hardened (constant-touch) variant;
-        // the naive one exists for tests and the security matrix.
+        // One frame of cacheable DRAM as the world-shared mailbox. A
+        // backend that claims this threat deploys the hardened
+        // (constant-touch) service; the others ship the naive variant
+        // the attack was published against.
+        const bool hardened =
+            defense().defeats(core::Threat::TzSideChannel);
         const PhysAddr mailbox =
             alloc.tryAllocFrame(os::MemDomain::Default);
         if (mailbox == 0) {
@@ -712,8 +855,7 @@ class Runner
                                          "oom=1";
             return;
         }
-        attacks::v2::TzSecretService service(soc, mailbox,
-                                             /*hardened=*/true);
+        attacks::v2::TzSecretService service(soc, mailbox, hardened);
         attacks::v2::TzSideChannelConfig config;
         const std::size_t span =
             (soc.l2().ways() + 1) * soc.l2().waySizeBytes();
@@ -723,7 +865,7 @@ class Runner
         const attacks::v2::AttackOutcome outcome = attack.run(soc);
         result.v2RecoveredNibbles += outcome.counter("recovered_nibbles");
         appendAttackDigest(result, outcome);
-        if (outcome.secretRecovered) {
+        if (outcome.secretRecovered && scoreBreach(result, step.attack)) {
             result.ok = false;
             if (result.error.empty())
                 result.error =
@@ -780,6 +922,13 @@ class Runner
             result.faultBitFlips = injector_->stats().bitFlips;
             result.faultDigest = injector_->replayDigest();
         }
+        const core::DefenseBackend &backend = device_->sentry().defense();
+        result.defenseKind = static_cast<unsigned>(backend.kind());
+        const core::DefenseCosts &costs = backend.costs();
+        result.defenseRekeys = costs.rekeys;
+        result.defenseEvictions = costs.evictions;
+        result.defenseExtraSeconds = costs.extraSeconds;
+        result.defenseExtraJoules = costs.extraJoules;
         result.trace = counters_.counters();
         if (chromeSink_ && !chromeSink_->writeJson(options_.traceOutPath))
             warn("could not write trace to %s",

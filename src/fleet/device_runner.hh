@@ -71,6 +71,9 @@ struct FleetOptions
     bool retainResults = true;
     std::uint64_t seed = 0x5e47ee1dULL; //!< fleet seed
     FleetPlatform platform = FleetPlatform::Tegra3;
+    /** Defense backend every device runs (see core::DefenseKind); the
+     * default routes bit-identically through the legacy Sentry path. */
+    core::DefenseKind defense = core::DefenseKind::Sentry;
     /** Per-device DRAM; small keeps audits and attacks fast. */
     std::size_t dramBytes = 16 * MiB;
     /** Run the full security audit after every step (vs attacks only). */
@@ -160,6 +163,29 @@ struct DeviceResult
     std::uint64_t v2VictimRowFlips = 0; //!< ...that hit victim frames
     std::uint64_t v2RecoveredNibbles = 0; //!< TZ channel leakage
     std::string attackDigest; //!< " || "-joined AttackOutcome digests
+
+    // Defense-backend differential results (core/defense_backend.hh).
+    // Like the v2 counters these stay out of deviceDigest, so legacy
+    // Sentry digests are untouched; the schedule digest is the parity
+    // object the differential tests byte-compare across backends.
+    unsigned defenseKind = 0; //!< core::DefenseKind the device ran
+    /** Breaches of threats the backend claimed to defeat (fail). */
+    std::uint64_t defenseClaimBreaches = 0;
+    /** Breaches of threats the backend is openly vulnerable to
+     * (expected; the run continues). */
+    std::uint64_t defenseVulnerableHits = 0;
+    std::uint64_t defenseRekeys = 0;    //!< working-key rekey events
+    std::uint64_t defenseEvictions = 0; //!< working-set re-encrypts
+    double defenseExtraSeconds = 0.0;   //!< backend latency overhead
+    double defenseExtraJoules = 0.0;    //!< backend energy overhead
+    /**
+     * Backend-independent attack schedule fingerprint: one
+     * `verb@line:priority` entry per attack step, derived purely from
+     * the device seed and the step sequence — never from backend
+     * behaviour — so the same scenario yields byte-identical digests
+     * under every backend (only verdicts and costs may differ).
+     */
+    std::string scheduleDigest;
 };
 
 /**

@@ -52,7 +52,8 @@ addPercentiles(std::vector<FleetMetric> &metrics, const std::string &what,
  * layout and are appended at the end.
  */
 std::vector<FleetMetric>
-buildMetrics(const ShardAccumulator &total, const ShardPlan &plan)
+buildMetrics(const ShardAccumulator &total, const ShardPlan &plan,
+             core::DefenseKind defense)
 {
     std::vector<FleetMetric> m;
     m.push_back(FleetMetric::ofInt("sim_devices", total.devices));
@@ -120,6 +121,23 @@ buildMetrics(const ShardAccumulator &total, const ShardPlan &plan)
                                    total.unlock.retained() +
                                        total.lock.retained() +
                                        total.filebench.retained()));
+    // Defense-backend differentials (defense_backend.hh): which design
+    // the fleet ran, its claim-vs-observation verdict counters, and the
+    // simulated latency/energy it cost beyond baseline Sentry.
+    m.push_back(FleetMetric::ofInt("sim_defense_kind",
+                                   static_cast<unsigned>(defense)));
+    m.push_back(FleetMetric::ofInt("sim_defense_claim_breaches",
+                                   total.defenseClaimBreaches));
+    m.push_back(FleetMetric::ofInt("sim_defense_vulnerable_hits",
+                                   total.defenseVulnerableHits));
+    m.push_back(
+        FleetMetric::ofInt("sim_defense_rekeys", total.defenseRekeys));
+    m.push_back(FleetMetric::ofInt("sim_defense_evictions",
+                                   total.defenseEvictions));
+    m.push_back(FleetMetric::ofDouble("sim_defense_extra_seconds",
+                                      total.defenseExtraSeconds));
+    m.push_back(FleetMetric::ofDouble("sim_defense_extra_joules",
+                                      total.defenseExtraJoules));
     return m;
 }
 
@@ -270,6 +288,8 @@ resolveFleetOptions(const Scenario &scenario, const FleetOptions &options)
         effective.platform = scenario.platform;
     if (scenario.hasAuditMode)
         effective.auditEveryStep = scenario.auditEveryStep;
+    if (scenario.hasDefense)
+        effective.defense = scenario.defense;
     if (effective.shards == 0)
         effective.shards = scenario.defaultShards;
     if (effective.spawnMode == SpawnMode::Snapshot &&
@@ -344,7 +364,7 @@ runFleet(const Scenario &scenario, const FleetOptions &options)
     report.failedDevices = total.failedDevices;
     report.failures = std::move(total.failures);
     report.results = std::move(results);
-    report.metrics = buildMetrics(total, plan);
+    report.metrics = buildMetrics(total, plan, effective.defense);
     return report;
 }
 

@@ -157,17 +157,21 @@ parseDuration(const std::string &token, unsigned line)
     const double value = std::strtod(number.c_str(), &end);
     if (errno != 0 || end == nullptr || *end != '\0')
         throw ScenarioError(line, "malformed duration '" + token + "'");
-    double scale = 0.0;
+    double usPerUnit = 0.0;
     if (suffix == "us")
-        scale = 1e-6;
+        usPerUnit = 1.0;
     else if (suffix == "ms")
-        scale = 1e-3;
+        usPerUnit = 1e3;
     else if (suffix == "s")
-        scale = 1.0;
+        usPerUnit = 1e6;
     else
         throw ScenarioError(line, "duration '" + token +
                                       "' needs a us/ms/s suffix");
-    const double seconds = value * scale;
+    // Normalize through microseconds so equal durations parse to the
+    // same double regardless of spelling: 100ms, 100000us, and 0.1s
+    // must drive bit-identical simulations (value * 1e-3 and
+    // value * 1e-6 round differently by one ULP for some inputs).
+    const double seconds = value * usPerUnit / 1e6;
     if (seconds <= 0.0)
         throw ScenarioError(line,
                             "duration must be positive: '" + token + "'");
@@ -248,6 +252,21 @@ parseScenario(const std::string &text, const std::string &name)
                                     "unknown audit mode '" + tokens[1] +
                                         "' (every_step or transitions)");
             scenario.hasAuditMode = true;
+            continue;
+        }
+        if (opcode == "defense") {
+            if (argc != 1)
+                throw ScenarioError(lineNo, "defense takes one backend");
+            if (scenario.hasDefense)
+                throw ScenarioError(lineNo,
+                                    "duplicate defense directive");
+            const auto kind = core::parseDefenseKind(tokens[1]);
+            if (!kind.has_value())
+                throw ScenarioError(
+                    lineNo, "unknown defense backend '" + tokens[1] +
+                                "' (sentry, amnesia, or memshield)");
+            scenario.defense = *kind;
+            scenario.hasDefense = true;
             continue;
         }
         if (opcode == "jitter") {
@@ -528,6 +547,9 @@ formatScenario(const Scenario &scenario)
             << (scenario.auditEveryStep ? "every_step" : "transitions")
             << '\n';
     }
+    if (scenario.hasDefense)
+        out << "defense " << core::defenseKindName(scenario.defense)
+            << '\n';
     for (const Step &step : scenario.steps)
         out << formatStep(step) << '\n';
     return out.str();

@@ -21,6 +21,9 @@
  *   audits every_step|transitions  # security-audit cadence: after every
  *                                  # step (default) or only after
  *                                  # lock/unlock/suspend/attack steps
+ *   defense sentry|amnesia|memshield
+ *                                  # defense backend the devices run
+ *                                  # (default sentry; at most once)
  *   spawn NAME [sensitive] [background] [heap SIZE] [dma SIZE]
  *   lock
  *   unlock PIN
@@ -48,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "core/defense_backend.hh"
 #include "os/filebench.hh"
 
 namespace sentry::fleet
@@ -157,6 +161,10 @@ struct Scenario
     bool hasAuditMode = false;
     /** `audits` directive: true = every_step, false = transitions. */
     bool auditEveryStep = true;
+    /** `defense` directive present? (engine default applies when not) */
+    bool hasDefense = false;
+    /** `defense` directive: which backend the devices run. */
+    core::DefenseKind defense = core::DefenseKind::Sentry;
 
     /** @return true when any spawn asks for background execution. */
     bool needsBackground() const;

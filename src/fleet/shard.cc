@@ -156,6 +156,12 @@ ShardAccumulator::fold(const DeviceResult &result)
     busWrites += result.busWrites;
     faultFirings += result.faultFirings;
     faultBitFlips += result.faultBitFlips;
+    defenseClaimBreaches += result.defenseClaimBreaches;
+    defenseVulnerableHits += result.defenseVulnerableHits;
+    defenseRekeys += result.defenseRekeys;
+    defenseEvictions += result.defenseEvictions;
+    defenseExtraSeconds += result.defenseExtraSeconds;
+    defenseExtraJoules += result.defenseExtraJoules;
     seedHash ^= result.seed * 0x2545f4914f6cdd1dULL;
     trace += result.trace;
     if (!result.ok) {
@@ -195,6 +201,12 @@ ShardAccumulator::merge(const ShardAccumulator &other)
     busWrites += other.busWrites;
     faultFirings += other.faultFirings;
     faultBitFlips += other.faultBitFlips;
+    defenseClaimBreaches += other.defenseClaimBreaches;
+    defenseVulnerableHits += other.defenseVulnerableHits;
+    defenseRekeys += other.defenseRekeys;
+    defenseEvictions += other.defenseEvictions;
+    defenseExtraSeconds += other.defenseExtraSeconds;
+    defenseExtraJoules += other.defenseExtraJoules;
     seedHash ^= other.seedHash;
     trace += other.trace;
     // Index-merge two sorted failure lists and keep the K lowest

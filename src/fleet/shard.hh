@@ -151,6 +151,14 @@ struct ShardAccumulator
     std::uint64_t busWrites = 0;
     std::uint64_t faultFirings = 0;
     std::uint64_t faultBitFlips = 0;
+    // Defense-backend differential sums (all zero under the default
+    // Sentry backend on a passing fleet).
+    std::uint64_t defenseClaimBreaches = 0;
+    std::uint64_t defenseVulnerableHits = 0;
+    std::uint64_t defenseRekeys = 0;
+    std::uint64_t defenseEvictions = 0;
+    double defenseExtraSeconds = 0.0;
+    double defenseExtraJoules = 0.0;
     std::uint64_t seedHash = 0; //!< xor-fold of per-device seed mixes
     probe::TraceCounters trace;
 

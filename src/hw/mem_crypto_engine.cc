@@ -1,0 +1,62 @@
+#include "hw/mem_crypto_engine.hh"
+
+#include "common/logging.hh"
+
+namespace sentry::hw
+{
+
+MemCryptoEngine::MemCryptoEngine(SimClock &clock, EnergyModel &energy,
+                                 MemCryptoParams params)
+    : clock_(clock), energy_(energy), params_(params)
+{}
+
+void
+MemCryptoEngine::setKey(std::span<const std::uint8_t> key)
+{
+    cipher_ = std::make_unique<crypto::Aes>(key);
+}
+
+void
+MemCryptoEngine::chargeRequest(std::size_t bytes, bool encrypt)
+{
+    const double seconds =
+        params_.setupSeconds +
+        static_cast<double>(bytes) / params_.fullRateBytesPerSec;
+    const double joules =
+        params_.joulesPerRequest +
+        params_.joulesPerByte * static_cast<double>(bytes);
+    clock_.advanceSeconds(seconds);
+    energy_.charge(EnergyCategory::CryptoAccel, joules);
+    ++stats_.requests;
+    stats_.bytesProcessed += bytes;
+    stats_.secondsCharged += seconds;
+    stats_.joulesCharged += joules;
+    if (trace_ != nullptr && trace_->enabled(probe::TraceKind::CryptoOp)) {
+        probe::CryptoOp event{bytes, encrypt};
+        trace_->emit(event);
+    }
+}
+
+void
+MemCryptoEngine::cbcEncrypt(const crypto::Iv &iv,
+                            std::span<std::uint8_t> data)
+{
+    if (!cipher_)
+        fatal("memory-crypto engine used before a key was loaded");
+    crypto::AesBlockCipher block(*cipher_);
+    crypto::cbcEncrypt(block, iv, data);
+    chargeRequest(data.size(), true);
+}
+
+void
+MemCryptoEngine::cbcDecrypt(const crypto::Iv &iv,
+                            std::span<std::uint8_t> data)
+{
+    if (!cipher_)
+        fatal("memory-crypto engine used before a key was loaded");
+    crypto::AesBlockCipher block(*cipher_);
+    crypto::cbcDecrypt(block, iv, data);
+    chargeRequest(data.size(), false);
+}
+
+} // namespace sentry::hw

@@ -162,6 +162,8 @@ Soc::Soc(const PlatformConfig &config)
                                                 config.accel);
         accel_->setTraceEngine(&trace_);
     }
+    memCrypto_ = std::make_unique<MemCryptoEngine>(clock_, energy_);
+    memCrypto_->setTraceEngine(&trace_);
 }
 
 SocSnapshot
@@ -187,6 +189,7 @@ Soc::snapshot() const
     snap.cpu = cpu_.forkState();
     if (accel_ != nullptr)
         snap.accel = accel_->forkState();
+    snap.memCrypto = memCrypto_->forkState();
     return snap;
 }
 
@@ -219,6 +222,7 @@ Soc::forkFrom(const SocSnapshot &snap)
     cpu_.restoreForkState(snap.cpu);
     if (accel_ != nullptr)
         accel_->restoreForkState(snap.accel);
+    memCrypto_->restoreForkState(snap.memCrypto);
 }
 
 void

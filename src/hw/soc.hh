@@ -31,6 +31,7 @@
 #include "hw/firmware.hh"
 #include "hw/iram.hh"
 #include "hw/l2_cache.hh"
+#include "hw/mem_crypto_engine.hh"
 #include "hw/platform.hh"
 #include "hw/trustzone.hh"
 
@@ -114,6 +115,7 @@ struct SocSnapshot
     NicDevice::ForkState nic;
     Cpu::ForkState cpu;
     CryptoAccelerator::ForkState accel; //!< cipher null when absent
+    MemCryptoEngine::ForkState memCrypto; //!< cipher null when unkeyed
 };
 
 /** The simulated device. */
@@ -141,6 +143,10 @@ class Soc
 
     /** @return the crypto engine, or nullptr on platforms without one. */
     CryptoAccelerator *accel() { return accel_ ? accel_.get() : nullptr; }
+
+    /** @return the GPU-like bulk memory-crypto engine (every platform
+     * has one; it sits idle unless the MemShield backend keys it). */
+    MemCryptoEngine &memCrypto() { return *memCrypto_; }
 
     /** Const view of the DRAM cell array (forensics/tests). */
     std::span<const std::uint8_t> dramRaw() const { return dram_.raw(); }
@@ -212,6 +218,7 @@ class Soc
     Firmware firmware_;
     MemorySystem memory_;
     std::unique_ptr<CryptoAccelerator> accel_;
+    std::unique_ptr<MemCryptoEngine> memCrypto_;
 };
 
 } // namespace sentry::hw

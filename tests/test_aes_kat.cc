@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.hh"
+#include "core/defense_backend.hh"
 #include "core/locked_way_manager.hh"
 #include "core/onsoc_allocator.hh"
 #include "crypto/aes.hh"
@@ -286,6 +287,97 @@ TEST_P(KatPlacementTest, AuditedAndBulkCbcMatchSp800_38a)
     EXPECT_EQ(toHex(bulk), kat.ciphertext);
     engine->cbcDecrypt(iv, bulk);
     EXPECT_EQ(toHex(bulk), SP800_38A_PLAINTEXT);
+}
+
+TEST(AesKat, DefenseWorkingKeyDerivationIsPinned)
+{
+    // The Amnesia rekey path derives its working key with
+    // PBKDF2-HMAC-SHA256 over the volatile root key; pin the derived
+    // bytes for a known master so a KDF regression fails here rather
+    // than as a silent fleet-digest drift.
+    core::RootKey master{};
+    const auto bytes = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    std::copy(bytes.begin(), bytes.end(), master.begin());
+
+    const auto amnesia = core::amnesiaWorkingKey(master);
+    EXPECT_EQ(toHex({amnesia.data(), amnesia.size()}),
+              "5c41e6ef33a65fa333a33747ba3bbeaf");
+    EXPECT_EQ(amnesia,
+              core::defenseWorkingKey(master, "amnesia-working-key"));
+
+    const auto memshield =
+        core::defenseWorkingKey(master, "memshield-working-key");
+    EXPECT_EQ(toHex({memshield.data(), memshield.size()}),
+              "48926aa472fffd5a46a7bb80c0bf2311");
+
+    // Distinct labels must yield distinct keys, and neither working
+    // key may degenerate to the master it was derived from.
+    EXPECT_NE(amnesia, memshield);
+    EXPECT_NE(toHex({amnesia.data(), amnesia.size()}),
+              "2b7e151628aed2a6abf7158809cf4f3c");
+}
+
+TEST_P(KatPlacementTest, DerivedWorkingKeyRoundTripsEveryTier)
+{
+    // Amnesia swaps the master for a derived working key; the cipher
+    // under that key must still be textbook AES on every placement and
+    // tier. The host crypto::Aes is pinned against FIPS-197 above, so
+    // agreeing with it chains the working-key engines to the standard.
+    for (const BlockKat &kat : BLOCK_KATS) {
+        if (std::string(kat.key).size() != 32)
+            continue; // working keys are AES-128
+        SCOPED_TRACE(kat.name);
+        core::RootKey master{};
+        const auto masterBytes = fromHex(kat.key);
+        std::copy(masterBytes.begin(), masterBytes.end(), master.begin());
+        const auto wk = core::amnesiaWorkingKey(master);
+
+        Aes host(std::vector<std::uint8_t>(wk.begin(), wk.end()));
+        const auto pt = fromHex(kat.plaintext);
+        std::uint8_t want[16];
+        host.encryptBlock(pt.data(), want);
+
+        auto engine = makeEngine(GetParam(), wk);
+        std::uint8_t ct[16], back[16];
+        engine->encryptBlock(pt.data(), ct);
+        EXPECT_EQ(toHex({ct, 16}), toHex({want, 16}));
+        engine->decryptBlock(ct, back);
+        EXPECT_EQ(toHex({back, 16}), kat.plaintext);
+
+        // The batched fast path must agree with the audited tier.
+        ASSERT_TRUE(engine->fastPathEnabled());
+        engine->encryptBlocks(pt.data(), ct, 1);
+        EXPECT_EQ(toHex({ct, 16}), toHex({want, 16}));
+    }
+}
+
+TEST(AesKat, RegisterOnlyWorkingKeyEngineMatchesHostAes)
+{
+    // Amnesia's exact engine construction: DRAM-placed tables with the
+    // key schedule held register-only. The residency policy must not
+    // change the ciphertext.
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    core::RootKey master{};
+    const auto bytes = fromHex("000102030405060708090a0b0c0d0e0f");
+    std::copy(bytes.begin(), bytes.end(), master.begin());
+    const auto wk = core::amnesiaWorkingKey(master);
+
+    SimAesEngine engine(soc, DRAM_BASE + 4 * MiB,
+                        std::span<const std::uint8_t>(wk),
+                        StatePlacement::Dram,
+                        /*kernel_path=*/true,
+                        SecretResidency::RegistersOnly);
+    Aes host(std::vector<std::uint8_t>(wk.begin(), wk.end()));
+
+    const auto pt = fromHex(SP800_38A_PLAINTEXT);
+    std::vector<std::uint8_t> want(pt), got(pt);
+    const Iv iv = ivFromHex(SP800_38A_IV);
+    AesBlockCipher cipher(host);
+    cbcEncrypt(cipher, iv, want);
+    engine.cbcEncrypt(iv, got);
+    EXPECT_EQ(toHex(got), toHex(want));
+    engine.cbcDecrypt(iv, got);
+    EXPECT_EQ(toHex(got), SP800_38A_PLAINTEXT);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPlacements, KatPlacementTest,

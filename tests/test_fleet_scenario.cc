@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/defense_backend.hh"
 #include "fleet/scenario.hh"
 
 using namespace sentry;
@@ -249,6 +250,76 @@ TEST(FleetScenario, ShardAndAuditDirectivesRoundTrip)
     EXPECT_EQ(second.defaultShards, 64u);
     EXPECT_TRUE(second.hasAuditMode);
     EXPECT_FALSE(second.auditEveryStep);
+}
+
+TEST(FleetScenario, DefenseDirectiveParsesAndRoundTrips)
+{
+    const std::string tail = "\nlock\n";
+    const Scenario unset = parseScenario("lock\n", "t");
+    EXPECT_FALSE(unset.hasDefense);
+    EXPECT_EQ(unset.defense, core::DefenseKind::Sentry);
+
+    const struct
+    {
+        const char *name;
+        core::DefenseKind kind;
+    } backends[] = {
+        {"sentry", core::DefenseKind::Sentry},
+        {"amnesia", core::DefenseKind::Amnesia},
+        {"memshield", core::DefenseKind::MemShield},
+    };
+    for (const auto &backend : backends) {
+        SCOPED_TRACE(backend.name);
+        const Scenario first = parseScenario(
+            std::string("defense ") + backend.name + tail, "t");
+        EXPECT_TRUE(first.hasDefense);
+        EXPECT_EQ(first.defense, backend.kind);
+        // formatScenario() must emit the directive back out so saved
+        // fuzz repros keep their backend.
+        const Scenario second =
+            parseScenario(formatScenario(first), first.name);
+        EXPECT_TRUE(second.hasDefense);
+        EXPECT_EQ(second.defense, backend.kind);
+    }
+}
+
+TEST(FleetScenario, DefenseDirectiveErrorsReportLine)
+{
+    const ScenarioError unknown =
+        parseFailure("lock\ndefense fortknox\n");
+    EXPECT_EQ(unknown.line(), 2u);
+    EXPECT_NE(std::string(unknown.what()).find("unknown defense backend"),
+              std::string::npos);
+    // The diagnostic lists the valid spellings.
+    EXPECT_NE(std::string(unknown.what()).find("amnesia"),
+              std::string::npos);
+    EXPECT_NE(std::string(unknown.what()).find("memshield"),
+              std::string::npos);
+
+    const ScenarioError dup =
+        parseFailure("defense sentry\ndefense amnesia\nlock\n");
+    EXPECT_EQ(dup.line(), 2u);
+    EXPECT_NE(std::string(dup.what()).find("duplicate defense"),
+              std::string::npos);
+
+    EXPECT_EQ(parseFailure("defense\nlock\n").line(), 1u);
+    EXPECT_EQ(parseFailure("defense sentry amnesia\nlock\n").line(), 1u);
+}
+
+TEST(FleetScenario, DurationSpellingsParseBitIdentically)
+{
+    // Scenario digests embed simulated cycle counts, so equal
+    // durations must parse to the *same double* no matter how they
+    // are spelled — value * 1e-3 and value * 1e-6 differ by one ULP
+    // for some inputs (e.g. 100ms vs 100000us), which once split a
+    // device digest purely on formatting.
+    EXPECT_EQ(parseDuration("100ms", 1), parseDuration("100000us", 1));
+    EXPECT_EQ(parseDuration("100ms", 1), parseDuration("0.1s", 1));
+    EXPECT_EQ(parseDuration("2s", 1), parseDuration("2000ms", 1));
+    EXPECT_EQ(parseDuration("2s", 1), parseDuration("2000000us", 1));
+    EXPECT_EQ(parseDuration("1.5s", 1), parseDuration("1500ms", 1));
+    EXPECT_EQ(parseDuration("250ms", 1), parseDuration("250000us", 1));
+    EXPECT_EQ(parseDuration("5ms", 1), parseDuration("5000us", 1));
 }
 
 TEST(FleetScenario, ZeroAndNegativeDurationsAreRejected)

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "fault/fuzzer.hh"
 
@@ -81,6 +83,66 @@ TEST(Fuzzer, RunTrialIsBitReplayable)
     EXPECT_EQ(first.digest, second.digest);
     EXPECT_FALSE(first.digest.empty());
     EXPECT_GT(first.stepsExecuted, 0u);
+}
+
+TEST(Fuzzer, ParallelJobsAreByteIdenticalPerBackend)
+{
+    // The `--jobs N` campaign mode stripes trials across worker
+    // threads; every (spec, outcome) pair must be byte-identical to
+    // the sequential run, for every pinned defense backend — a
+    // cross-thread dependency anywhere in a backend would show up as
+    // digest drift here.
+    for (const core::DefenseKind kind :
+         {core::DefenseKind::Sentry, core::DefenseKind::Amnesia,
+          core::DefenseKind::MemShield}) {
+        SCOPED_TRACE(core::defenseKindName(kind));
+        FuzzOptions options = quickOptions();
+        options.seed = 0xd1ff10b5ULL;
+        options.defense = kind;
+        constexpr unsigned TRIALS = 6;
+
+        std::vector<std::string> sequential(TRIALS);
+        for (unsigned i = 0; i < TRIALS; ++i) {
+            const FuzzTrialSpec spec = generateTrial(options, i);
+            const TrialOutcome outcome = runTrial(spec, options);
+            sequential[i] = formatTrialFile(spec, &outcome);
+        }
+
+        constexpr unsigned JOBS = 3;
+        std::vector<std::string> striped(TRIALS);
+        std::vector<std::thread> pool;
+        for (unsigned job = 0; job < JOBS; ++job) {
+            pool.emplace_back([&, job] {
+                for (unsigned i = job; i < TRIALS; i += JOBS) {
+                    const FuzzTrialSpec spec =
+                        generateTrial(options, i);
+                    const TrialOutcome outcome =
+                        runTrial(spec, options);
+                    striped[i] = formatTrialFile(spec, &outcome);
+                }
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+
+        for (unsigned i = 0; i < TRIALS; ++i)
+            EXPECT_EQ(striped[i], sequential[i]) << "trial " << i;
+    }
+}
+
+TEST(Fuzzer, PinnedBackendCampaignKeepsItsBackend)
+{
+    // `--defense X` pins every generated trial to one backend; the
+    // scenario text of each trial must carry the directive so saved
+    // reproducers replay under the same design.
+    FuzzOptions options = quickOptions();
+    options.defense = core::DefenseKind::MemShield;
+    for (unsigned i = 0; i < 4; ++i) {
+        const FuzzTrialSpec spec = generateTrial(options, i);
+        EXPECT_TRUE(spec.scenario.hasDefense) << i;
+        EXPECT_EQ(spec.scenario.defense, core::DefenseKind::MemShield)
+            << i;
+    }
 }
 
 TEST(Fuzzer, TrialFileRoundTripsThroughFormatAndParse)

@@ -97,9 +97,9 @@ unlockAndResume(Device &device, apps::SyntheticApp &app,
 
 /** The cold-boot reference: boot, warm, unlock — all on one device. */
 RunRecord
-coldRun()
+coldRun(SentryOptions options = {})
 {
-    Device device(config());
+    Device device(config(), options);
     apps::SyntheticApp app = warmUp(device);
     probe::CounterSink sink;
     sink.attach(device.soc().trace());
@@ -354,6 +354,79 @@ TEST(SnapshotFork, BackgroundPagerStateForksFaithfully)
     EXPECT_EQ(deviceDigest(fork), deviceDigest(cold));
     EXPECT_EQ(fork.sentry().pager()->stats().evictions,
               cold.sentry().pager()->stats().evictions);
+}
+
+TEST(SnapshotFork, RekeyedAmnesiaForkMatchesColdUnlock)
+{
+    // Amnesia rekeys its pinned working key on every lock epoch; the
+    // warm-up's lockScreen() is rekey #1. A fork taken after that
+    // rekey must carry the epoch, the pinned key slot, and the
+    // register-only engine schedule, so the forked unlock runs
+    // bit-identically to a cold-booted device.
+    SentryOptions options;
+    options.defense = DefenseKind::Amnesia;
+
+    Device origin(config(), options);
+    apps::SyntheticApp originApp = warmUp(origin);
+    ASSERT_EQ(origin.sentry().defense().costs().rekeys, 1u);
+    const auto snap = origin.snapshot();
+
+    Device fork(config(), options);
+    fork.forkFrom(*snap);
+    EXPECT_EQ(fork.sentry().defense().costs().rekeys, 1u);
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    probe::CounterSink sink;
+    sink.attach(fork.soc().trace());
+    const RunRecord forked = unlockAndResume(fork, app, sink);
+
+    const RunRecord cold = coldRun(options);
+    EXPECT_EQ(forked.digest, cold.digest);
+    EXPECT_EQ(forked.counters, cold.counters);
+    EXPECT_EQ(forked.faultsServiced, cold.faultsServiced);
+    EXPECT_EQ(forked.bytesDecryptedOnDemand,
+              cold.bytesDecryptedOnDemand);
+    EXPECT_EQ(forked.secretBack, SECRET);
+}
+
+TEST(SnapshotFork, MemShieldWorkingSetForksFaithfully)
+{
+    // MemShield's bounded plaintext working set (and its mem-crypto
+    // engine key) must survive the fork: the forked unlock decrypts
+    // the same pages through hw::MemCryptoEngine as the cold run.
+    SentryOptions options;
+    options.defense = DefenseKind::MemShield;
+
+    Device origin(config(), options);
+    apps::SyntheticApp originApp = warmUp(origin);
+    const auto snap = origin.snapshot();
+
+    Device fork(config(), options);
+    fork.forkFrom(*snap);
+    os::Process *process = fork.kernel().processes().front().get();
+    apps::SyntheticApp app(fork.kernel(), *process);
+    probe::CounterSink sink;
+    sink.attach(fork.soc().trace());
+    const RunRecord forked = unlockAndResume(fork, app, sink);
+
+    const RunRecord cold = coldRun(options);
+    EXPECT_EQ(forked.digest, cold.digest);
+    EXPECT_EQ(forked.counters, cold.counters);
+    EXPECT_EQ(forked.secretBack, SECRET);
+}
+
+TEST(SnapshotForkDeath, DefenseKindMismatchIsFatal)
+{
+    // A snapshot of an Amnesia device must not restore into a device
+    // running a different backend — silent key-model mixing would
+    // invalidate every differential result downstream.
+    SentryOptions amnesia;
+    amnesia.defense = DefenseKind::Amnesia;
+    Device origin(config(), amnesia);
+    const auto snap = origin.snapshot();
+    Device plain(config());
+    EXPECT_EXIT(plain.forkFrom(*snap), testing::ExitedWithCode(1),
+                "fork");
 }
 
 TEST(SnapshotForkDeath, GeometryMismatchIsFatal)
