@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "bench_util.hh"
+#include "crypto/aes_on_soc.hh"
 #include "crypto/sha256.hh"
 #include "common/bytes.hh"
 #include "core/device.hh"
@@ -235,6 +236,63 @@ kcryptdBatchSection(bench::Session &session)
                    toHex(crypto::Sha256::hash(batch.disk)));
 }
 
+/**
+ * Time the host-side CBC bulk path under the active kernel tier and
+ * again pinned to the portable tier. Ciphertexts must match byte for
+ * byte — the tiers are interchangeable by construction (registry KATs)
+ * and this cross-check would catch a divergence on the actual workload.
+ */
+void
+hostTierSection(bench::Session &session)
+{
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    const crypto::AesKeySchedule schedule(key);
+    const crypto::HostAesCbc cbc(schedule);
+    crypto::Iv iv{};
+    for (std::size_t i = 0; i < iv.size(); ++i)
+        iv[i] = static_cast<std::uint8_t>(i * 17 + 1);
+
+    std::vector<std::uint8_t> seedBuf(8 * MiB);
+    for (std::size_t i = 0; i < seedBuf.size(); ++i)
+        seedBuf[i] = static_cast<std::uint8_t>(i * 37 + 11);
+
+    const auto timeTier = [&](std::vector<std::uint8_t> &buf) {
+        buf = seedBuf;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned pass = 0; pass < 8; ++pass) {
+            cbc.cbcEncrypt(iv, buf);
+            cbc.cbcDecrypt(iv, buf);
+        }
+        cbc.cbcEncrypt(iv, buf);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    std::vector<std::uint8_t> activeOut;
+    std::vector<std::uint8_t> portableOut;
+    const double active = timeTier(activeOut);
+    host::setActiveKernelsForTest(&host::portableKernels());
+    const double portable = timeTier(portableOut);
+    host::setActiveKernelsForTest(nullptr);
+    if (activeOut != portableOut) {
+        std::fprintf(stderr, "fig9: kernel tiers disagree on the bulk "
+                             "CBC workload\n");
+        std::exit(1);
+    }
+
+    std::printf("\nhost AES tier (%s), 8 MiB CBC x8 round trips:\n",
+                host::kernels().aes.tier);
+    std::printf("  active tier  : %8.3f s host\n", active);
+    std::printf("  portable tier: %8.3f s host\n", portable);
+    std::printf("  host speedup : %8.2fx  (ciphertext bit-identical)\n",
+                portable / active);
+    session.metric("host_wall_tier_active_seconds", active);
+    session.metric("host_wall_tier_portable_seconds", portable);
+    session.metric("sim_tier_ciphertext_sha256",
+                   toHex(crypto::Sha256::hash(activeOut)));
+}
+
 } // namespace
 
 int
@@ -255,6 +313,7 @@ main()
     runWorkload(session, FilebenchWorkload::RandRW, true);
 
     kcryptdBatchSection(session);
+    hostTierSection(session);
 
     std::printf("\nPaper shape: cached randread masks encryption "
                 "entirely; randrw pays ~2x even cached;\ndirect I/O "

@@ -318,6 +318,34 @@ main()
         return 1;
     }
 
+    // Kernel-tier parity: the same fleet pinned to the portable tier
+    // must reproduce every deterministic metric byte for byte — the
+    // accelerated kernels change host wall-clock only. The active- and
+    // portable-tier host times land in the record (drift check asserts
+    // their presence; values are machine-dependent).
+    host::setActiveKernelsForTest(&host::portableKernels());
+    const fleet::FleetReport portableRun =
+        fleet::runFleet(scenario, baseOptions(8, 1));
+    host::setActiveKernelsForTest(nullptr);
+    const bool tierIdentical =
+        simFingerprint(serial) == simFingerprint(portableRun);
+    std::printf("active tier (%s) vs portable tier sim metrics: %s "
+                "(host %.3fs vs %.3fs)\n",
+                host::kernels().aes.tier,
+                tierIdentical ? "bit-identical" : "DIVERGED",
+                serial.hostSeconds, portableRun.hostSeconds);
+    if (!tierIdentical) {
+        std::fprintf(stderr,
+                     "fleet: kernel tier changed deterministic "
+                     "metrics\n--- active ---\n%s--- portable ---\n%s",
+                     simFingerprint(serial).c_str(),
+                     simFingerprint(portableRun).c_str());
+        return 1;
+    }
+    session.metric("host_wall_tier_active_seconds", serial.hostSeconds);
+    session.metric("host_wall_tier_portable_seconds",
+                   portableRun.hostSeconds);
+
     if (const int rc = snapshotFleetSection(session, scenario); rc != 0)
         return rc;
     spinUpSection(session);

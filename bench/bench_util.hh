@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/device.hh"
+#include "host/kernels.hh"
 #include "hw/soc.hh"
 
 namespace sentry::bench
@@ -74,6 +75,11 @@ class Session
             std::snprintf(buf, sizeof buf, "%.6f", wall);
             entries_.emplace_back("host_wall_seconds", buf);
         }
+        // Every record carries the host CPU features and active kernel
+        // tiers, so a perf regression can be traced to the tier that
+        // produced the numbers (run_benches.sh asserts presence).
+        entries_.emplace_back("host_cpu_features",
+                              "\"" + host::hostFeaturesKey() + "\"");
         std::fprintf(f, "  \"metrics\": {");
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",

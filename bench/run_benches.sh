@@ -82,6 +82,26 @@ for ref_path in sorted(refdir.glob("BENCH_*.json")):
         where = "lost" if key in ref_wall else "gained"
         print(f"DRIFT: {ref_path.name}: {where} host timing key {key}")
         failures += 1
+    # Every record names the host CPU features and active kernel tiers
+    # (host/kernels.hh), so a perf number can always be traced to the
+    # tier that produced it.
+    if "host_cpu_features" not in new:
+        print(f"DRIFT: {ref_path.name}: missing host_cpu_features key")
+        failures += 1
+# The two tier-parity benchmarks time the active kernel tier against
+# the pinned portable tier (and exit nonzero themselves if the outputs
+# diverge); losing either timing key means the comparison stopped
+# running.
+for name in ("BENCH_fig9_dmcrypt.json", "BENCH_fleet.json"):
+    path = outdir / name
+    if not path.exists():
+        continue
+    record = json.load(path.open())["metrics"]
+    for key in ("host_wall_tier_active_seconds",
+                "host_wall_tier_portable_seconds"):
+        if key not in record:
+            print(f"DRIFT: {name}: missing kernel-tier timing key {key}")
+            failures += 1
 # The sharded fleet engine must publish its streaming-aggregation
 # layout (sim_shard_*) and the population-scale per-device host-time
 # series. Values are covered above (sim_) or machine-dependent (host_);

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "fleet/fleet.hh"
 #include "fleet/scenario.hh"
+#include "host/kernels.hh"
 
 using namespace sentry;
 
@@ -55,7 +56,10 @@ usage()
         "  --replay-device N    re-run the single device index N exactly\n"
         "                       as the fleet run would and print its\n"
         "                       digest (see sim_shard_* determinism)\n"
-        "  --list               list built-in scenarios and exit\n");
+        "  --list               list built-in scenarios and exit\n"
+        "  --host-info          print detected host CPU features and the\n"
+        "                       active kernel tier per hot path, then "
+        "exit\n");
 }
 
 [[noreturn]] void
@@ -149,6 +153,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--list") == 0) {
             for (const std::string &name : fleet::builtinScenarioNames())
                 std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (std::strcmp(arg, "--host-info") == 0) {
+            std::printf("%s", host::hostInfoString().c_str());
             return 0;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {

@@ -39,6 +39,7 @@
 #include "common/logging.hh"
 #include "fault/fuzzer.hh"
 #include "fleet/shard.hh"
+#include "host/kernels.hh"
 
 using namespace sentry;
 
@@ -68,7 +69,9 @@ usage()
         "  --snapshot       fork each trial device from a warmed COW\n"
         "                   snapshot (fuzzes the fork path)\n"
         "  --cold-boot      boot each trial device from scratch "
-        "(default)\n");
+        "(default)\n"
+        "  --host-info      print detected host CPU features and the\n"
+        "                   active kernel tier per hot path, then exit\n");
 }
 
 [[noreturn]] void
@@ -195,6 +198,9 @@ main(int argc, char **argv)
             } catch (const fleet::ScenarioError &e) {
                 usageError(std::string("--dram: ") + e.what());
             }
+        } else if (std::strcmp(arg, "--host-info") == 0) {
+            std::printf("%s", host::hostInfoString().c_str());
+            return 0;
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             usage();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "host/kernels.hh"
 
 namespace sentry
 {
@@ -13,12 +14,16 @@ fillPattern(std::span<std::uint8_t> buf, std::span<const std::uint8_t> pattern)
 {
     if (pattern.empty())
         panic("fillPattern: empty pattern");
-    std::size_t offset = 0;
-    while (offset < buf.size()) {
-        const std::size_t chunk =
-            std::min(pattern.size(), buf.size() - offset);
-        std::memcpy(buf.data() + offset, pattern.data(), chunk);
-        offset += chunk;
+    if (buf.empty())
+        return;
+    // Seed one copy, then double the filled prefix with self-memcpy
+    // (log2 copies instead of one per repetition).
+    std::size_t filled = std::min(pattern.size(), buf.size());
+    std::memcpy(buf.data(), pattern.data(), filled);
+    while (filled < buf.size()) {
+        const std::size_t chunk = std::min(filled, buf.size() - filled);
+        std::memcpy(buf.data() + filled, buf.data(), chunk);
+        filled += chunk;
     }
 }
 
@@ -28,37 +33,27 @@ countPattern(std::span<const std::uint8_t> buf,
 {
     if (pattern.empty())
         panic("countPattern: empty pattern");
-    std::size_t hits = 0;
-    for (std::size_t offset = 0; offset + pattern.size() <= buf.size();
-         offset += pattern.size()) {
-        if (std::memcmp(buf.data() + offset, pattern.data(),
-                        pattern.size()) == 0) {
-            ++hits;
-        }
-    }
-    return hits;
+    return host::kernels().bytes.countPattern(buf.data(), buf.size(),
+                                              pattern.data(),
+                                              pattern.size());
 }
 
 bool
 containsBytes(std::span<const std::uint8_t> haystack,
               std::span<const std::uint8_t> needle)
 {
-    if (needle.empty() || needle.size() > haystack.size())
-        return false;
-    // memchr-hop to candidate first bytes: the fleet audits scan every
-    // device's whole DRAM after every scenario step, so this path is hot.
-    const auto *p = haystack.data();
-    const auto *end = haystack.data() + haystack.size() - needle.size() + 1;
-    while (p < end) {
-        const auto *hit = static_cast<const std::uint8_t *>(
-            std::memchr(p, needle[0], static_cast<std::size_t>(end - p)));
-        if (hit == nullptr)
-            return false;
-        if (std::memcmp(hit, needle.data(), needle.size()) == 0)
-            return true;
-        p = hit + 1;
-    }
-    return false;
+    // The fleet audits scan every device's whole DRAM after every
+    // scenario step, so this path is hot and kernel-dispatched.
+    return host::kernels().bytes.containsBytes(haystack.data(),
+                                               haystack.size(),
+                                               needle.data(),
+                                               needle.size());
+}
+
+bool
+allZero(std::span<const std::uint8_t> buf)
+{
+    return host::kernels().bytes.allZero(buf.data(), buf.size());
 }
 
 std::string

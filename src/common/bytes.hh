@@ -34,6 +34,9 @@ std::size_t countPattern(std::span<const std::uint8_t> buf,
 bool containsBytes(std::span<const std::uint8_t> haystack,
                    std::span<const std::uint8_t> needle);
 
+/** @return true when every byte of @p buf is zero. */
+bool allZero(std::span<const std::uint8_t> buf);
+
 /** @return lowercase hex string of @p buf. */
 std::string toHex(std::span<const std::uint8_t> buf);
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace sentry
 {
@@ -12,6 +14,47 @@ namespace
 /** Atomic: fleet worker threads consult this concurrently (the only
  *  process-global mutable state in the library — see DESIGN.md §7). */
 std::atomic<bool> quietFlag{false};
+
+struct CrashHook
+{
+    void (*fn)(void *);
+    void *arg;
+};
+
+std::mutex &
+crashHookMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<CrashHook> &
+crashHooks()
+{
+    static std::vector<CrashHook> hooks;
+    return hooks;
+}
+
+/**
+ * Run the registered crash hooks newest-first. Reentrancy-guarded: a
+ * hook that itself panics falls straight through to abort instead of
+ * looping. The mutex is only held to snapshot the list — a hook may
+ * legitimately unregister itself (or others) while running.
+ */
+void
+runCrashHooks()
+{
+    static std::atomic<bool> ran{false};
+    if (ran.exchange(true))
+        return;
+    std::vector<CrashHook> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(crashHookMutex());
+        snapshot = crashHooks();
+    }
+    for (auto it = snapshot.rbegin(); it != snapshot.rend(); ++it)
+        it->fn(it->arg);
+}
 
 void
 vreport(FILE *stream, const char *prefix, const char *fmt, va_list args)
@@ -35,12 +78,33 @@ isQuiet()
 }
 
 void
+addCrashHook(void (*fn)(void *), void *arg)
+{
+    std::lock_guard<std::mutex> lock(crashHookMutex());
+    crashHooks().push_back({fn, arg});
+}
+
+void
+removeCrashHook(void (*fn)(void *), void *arg)
+{
+    std::lock_guard<std::mutex> lock(crashHookMutex());
+    auto &hooks = crashHooks();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->fn == fn && it->arg == arg) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
+
+void
 panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
     vreport(stderr, "panic: ", fmt, args);
     va_end(args);
+    runCrashHooks();
     std::abort();
 }
 

@@ -37,6 +37,18 @@ void setQuiet(bool quiet);
 /** @return true when warn()/inform() are suppressed. */
 bool isQuiet();
 
+/**
+ * Register @p fn to run (with @p arg) after panic() prints its message
+ * and before it aborts, so best-effort salvage work — dumping a partial
+ * chrome trace, say — happens even when an invariant fails. Hooks run
+ * newest-first, at most once per process (a hook that panics again does
+ * not recurse), and never on the fatal()/exit path.
+ */
+void addCrashHook(void (*fn)(void *), void *arg);
+
+/** Remove a previously registered hook (matched on both fn and arg). */
+void removeCrashHook(void (*fn)(void *), void *arg);
+
 } // namespace sentry
 
 #endif // SENTRY_COMMON_LOGGING_HH

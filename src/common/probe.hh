@@ -159,6 +159,31 @@ struct KcryptdOp
     double stallSeconds;
 };
 
+/**
+ * One batched trace point: a POD snapshot of the payload taken at emit
+ * time, *after* every synchronous subscriber ran — response fields
+ * (stallSeconds, extraWrites) carry their final values.
+ *
+ * Snapshots outlive the emitting call, so transient pointers are
+ * dropped: BusTransfer::data is nulled (it is only valid during a
+ * synchronous callback). PowerEvent::category survives because it
+ * always points at a static energyCategoryName() string.
+ */
+struct TraceRecord
+{
+    TraceKind kind;
+    double tsUs; //!< simulated microseconds at emit (0 with no clock)
+    union {
+        MemAccess mem;
+        BusTransfer bus;
+        CacheEvent cache;
+        PowerEvent power;
+        DmaBurst dma;
+        CryptoOp crypto;
+        KcryptdOp kcryptd;
+    };
+};
+
 } // namespace sentry::probe
 
 #endif // SENTRY_COMMON_PROBE_HH

@@ -5,10 +5,25 @@
  * accumulator (CounterSink) and a chrome://tracing timeline dumper
  * (ChromeTraceSink).
  *
- * Subscribers are called synchronously, in subscription order — the
- * fault injector subscribes at arm time (before any attack probe), so
- * fault effects are applied before monitors record the transaction,
- * exactly as the old hook-before-observer plumbing behaved.
+ * Two subscriber classes exist:
+ *
+ *   - synchronous Subscribers are called inline at the emission site, in
+ *     subscription order — the fault injector subscribes at arm time
+ *     (before any attack probe), so fault effects are applied before
+ *     monitors record the transaction, and response channels
+ *     (BusTransfer::extraWrites, KcryptdOp::stallSeconds) work exactly
+ *     as the old hook-before-observer plumbing behaved;
+ *
+ *   - batched BatchSubscribers (the passive sinks) receive POD
+ *     TraceRecord snapshots from a per-Soc pending ring that the
+ *     emitting devices flush at bus-burst boundaries. An enabled
+ *     CounterSink or ChromeTraceSink therefore costs one snapshot
+ *     append on the hot path instead of a virtual dispatch per event,
+ *     while the *disabled* cost stays one pointer load plus one bit
+ *     test. Records are appended after the synchronous pass, so batch
+ *     consumers observe final response-field values, in exact emission
+ *     order; sink accessors (counters(), writeJson()) force a flush, so
+ *     readers never see a stale prefix (DESIGN.md section 14).
  */
 
 #ifndef SENTRY_COMMON_TRACE_ENGINE_HH
@@ -50,6 +65,20 @@ class Subscriber
 };
 
 /**
+ * Receiver interface for batched trace records. Records arrive in
+ * emission order, already filtered to the subscription mask, at burst
+ * boundaries (or per event when batching is off).
+ */
+class BatchSubscriber
+{
+  public:
+    virtual ~BatchSubscriber() = default;
+
+    virtual void onRecords(const TraceRecord *records,
+                           std::size_t count) = 0;
+};
+
+/**
  * Fan-out point for one simulated machine. Every device of a Soc holds
  * a pointer to its engine and guards each emission site with
  * `enabled(kind)` — one load plus one bit test when nobody listens.
@@ -57,6 +86,9 @@ class Subscriber
 class TraceEngine
 {
   public:
+    /** Default pending-ring capacity (records) before a forced flush. */
+    static constexpr std::size_t DEFAULT_BATCH_CAPACITY = 256;
+
     /**
      * Attach @p sub for the kinds in @p mask. Subscribing an already
      * attached subscriber replaces its mask.
@@ -65,6 +97,16 @@ class TraceEngine
 
     /** Detach @p sub (no-op when it is not attached). */
     void unsubscribe(Subscriber *sub);
+
+    /**
+     * Attach @p sub as a batch consumer for the kinds in @p mask.
+     * Pending records are flushed first, so a new consumer never sees
+     * events emitted before it attached.
+     */
+    void subscribeBatched(BatchSubscriber *sub, TraceMask mask);
+
+    /** Flush, then detach @p sub (no-op when it is not attached). */
+    void unsubscribeBatched(BatchSubscriber *sub);
 
     /** @return true when at least one subscriber wants @p kind. */
     bool
@@ -76,8 +118,44 @@ class TraceEngine
     /** @return true when any subscriber is attached at all. */
     bool anyEnabled() const { return activeMask_ != 0; }
 
-    /** @return number of attached subscribers. */
-    std::size_t subscriberCount() const { return entries_.size(); }
+    /** @return number of attached subscribers (both classes). */
+    std::size_t
+    subscriberCount() const
+    {
+        return entries_.size() + batchEntries_.size();
+    }
+
+    /**
+     * Wire the clock that stamps TraceRecord::tsUs (the Soc does this at
+     * construction). Without a clock, records carry ts 0.
+     */
+    void setClock(const SimClock *clock) { clock_ = clock; }
+
+    /**
+     * Set the pending-ring capacity. 1 disables batching — every record
+     * is delivered immediately, which the parity tests use to prove the
+     * batched stream is identical to the unbatched one.
+     */
+    void setBatchCapacity(std::size_t capacity);
+
+    /** @return the pending-ring capacity. */
+    std::size_t batchCapacity() const { return capacity_; }
+
+    /** @return records currently waiting in the ring. */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /**
+     * Deliver pending records to the batch subscribers. Devices call
+     * this at burst boundaries (end of a bus transaction); sinks call
+     * it from their read accessors. Inline early-out keeps the empty
+     * case to one load.
+     */
+    void
+    flushPending()
+    {
+        if (!pending_.empty())
+            flushSlow();
+    }
 
     void emit(MemAccess &event);
     void emit(BusTransfer &event);
@@ -94,10 +172,27 @@ class TraceEngine
         TraceMask mask;
     };
 
+    struct BatchEntry
+    {
+        BatchSubscriber *sub;
+        TraceMask mask;
+    };
+
     void recomputeMask();
+    void flushSlow();
+    /** Stamp ts/kind on a fresh pending record (payload set by caller),
+     *  then flush when the ring is full. */
+    TraceRecord &appendRecord(TraceKind kind);
+    void commitRecord();
 
     std::vector<Entry> entries_;
+    std::vector<BatchEntry> batchEntries_;
+    TraceMask syncMask_ = 0;
+    TraceMask batchMask_ = 0;
     TraceMask activeMask_ = 0;
+    const SimClock *clock_ = nullptr;
+    std::size_t capacity_ = DEFAULT_BATCH_CAPACITY;
+    std::vector<TraceRecord> pending_;
 };
 
 /** Passive per-device totals accumulated from every trace-point kind. */
@@ -163,10 +258,11 @@ struct TraceCounters
 };
 
 /**
- * Subscriber that accumulates TraceCounters. Deterministic: totals
- * depend only on the simulated event stream, never on host timing.
+ * Batch sink that accumulates TraceCounters. Deterministic: totals
+ * depend only on the simulated event stream, never on host timing or
+ * on where the burst boundaries fall.
  */
-class CounterSink : public Subscriber
+class CounterSink : public BatchSubscriber
 {
   public:
     ~CounterSink() override { detach(); }
@@ -174,19 +270,15 @@ class CounterSink : public Subscriber
     /** Subscribe to @p engine for every kind (detaches from any prior). */
     void attach(TraceEngine &engine);
 
-    /** Unsubscribe (no-op when unattached). */
+    /** Flush and unsubscribe (no-op when unattached). */
     void detach();
 
-    const TraceCounters &counters() const { return counters_; }
+    /** @return the totals, flushing any pending records first. */
+    const TraceCounters &counters() const;
+
     void reset() { counters_ = TraceCounters{}; }
 
-    void onMemAccess(MemAccess &event) override;
-    void onBusTransfer(BusTransfer &event) override;
-    void onCacheEvent(CacheEvent &event) override;
-    void onPowerEvent(PowerEvent &event) override;
-    void onDmaBurst(DmaBurst &event) override;
-    void onCryptoOp(CryptoOp &event) override;
-    void onKcryptdOp(KcryptdOp &event) override;
+    void onRecords(const TraceRecord *records, std::size_t count) override;
 
   private:
     TraceEngine *engine_ = nullptr;
@@ -194,11 +286,16 @@ class CounterSink : public Subscriber
 };
 
 /**
- * Subscriber that records a bounded timeline of instant events and
+ * Batch sink that records a bounded timeline of instant events and
  * writes them as chrome://tracing JSON (load via chrome://tracing or
- * https://ui.perfetto.dev). Timestamps are *simulated* microseconds.
+ * https://ui.perfetto.dev). Timestamps are *simulated* microseconds,
+ * stamped at emit time by the engine's clock.
+ *
+ * With an auto-dump path set, the sink also writes its timeline from
+ * the destructor and from the panic() crash path, so a fleet run that
+ * dies on an invariant failure still leaves a loadable trace file.
  */
-class ChromeTraceSink : public Subscriber
+class ChromeTraceSink : public BatchSubscriber
 {
   public:
     /** @param maxEvents hard cap; later events are dropped (truncated()). */
@@ -206,47 +303,50 @@ class ChromeTraceSink : public Subscriber
         : maxEvents_(maxEvents)
     {}
 
-    ~ChromeTraceSink() override { detach(); }
+    ~ChromeTraceSink() override;
 
-    /** Subscribe to @p engine, timestamping events from @p clock. */
-    void attach(TraceEngine &engine, const SimClock &clock,
-                TraceMask mask = TRACE_ALL);
+    /** Subscribe to @p engine for the kinds in @p mask. */
+    void attach(TraceEngine &engine, TraceMask mask = TRACE_ALL);
 
-    /** Unsubscribe (no-op when unattached). */
+    /** Flush and unsubscribe (no-op when unattached). */
     void detach();
+
+    /**
+     * Arrange for the timeline to be written to @p path when this sink
+     * is destroyed or when panic() aborts the process, whichever comes
+     * first (an explicit writeJson() to any path disarms neither; the
+     * dump simply records whatever has been captured so far).
+     */
+    void setAutoDump(const std::string &path);
 
     /** Write the recorded timeline; @return false on I/O failure. */
     bool writeJson(const std::string &path) const;
 
-    std::size_t eventCount() const { return events_.size(); }
+    /** @return captured events, flushing any pending records first. */
+    std::size_t eventCount() const;
+
     bool truncated() const { return truncated_; }
 
-    void onMemAccess(MemAccess &event) override;
-    void onBusTransfer(BusTransfer &event) override;
-    void onCacheEvent(CacheEvent &event) override;
-    void onPowerEvent(PowerEvent &event) override;
-    void onDmaBurst(DmaBurst &event) override;
-    void onCryptoOp(CryptoOp &event) override;
-    void onKcryptdOp(KcryptdOp &event) override;
+    void onRecords(const TraceRecord *records, std::size_t count) override;
 
   private:
     struct Event
     {
         TraceKind kind;
-        double tsUs;       //!< simulated microseconds
+        double tsUs;        //!< simulated microseconds
         std::uint64_t arg0; //!< addr / way / bytes (kind-dependent)
         std::uint64_t arg1; //!< len / flags (kind-dependent)
         double argF;        //!< joules / stall seconds
         bool flag;          //!< isWrite / wayLocked / encrypt / duplicate
     };
 
-    void record(TraceKind kind, std::uint64_t arg0, std::uint64_t arg1,
-                double argF, bool flag);
+    static void crashHook(void *self);
+    void syncFromEngine() const;
 
     TraceEngine *engine_ = nullptr;
-    const SimClock *clock_ = nullptr;
     std::size_t maxEvents_;
     bool truncated_ = false;
+    std::string autoDumpPath_;
     std::vector<Event> events_;
 };
 

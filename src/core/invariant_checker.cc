@@ -63,17 +63,18 @@ CheckOutcome
 InvariantChecker::checkIramZeroed(const hw::Soc &soc) const
 {
     const auto iram = soc.iramRaw();
-    for (std::size_t i = 0; i < iram.size(); ++i) {
-        if (iram[i] != 0) {
-            char buf[96];
-            std::snprintf(buf, sizeof(buf),
-                          "iRAM byte 0x%zx non-zero after power event "
-                          "(firmware must zero iRAM)",
-                          i);
-            return CheckOutcome{false, buf};
-        }
-    }
-    return CheckOutcome{};
+    if (allZero(iram))
+        return CheckOutcome{};
+    // Failure path only: locate the first offending byte for the report.
+    std::size_t i = 0;
+    while (i < iram.size() && iram[i] == 0)
+        ++i;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "iRAM byte 0x%zx non-zero after power event "
+                  "(firmware must zero iRAM)",
+                  i);
+    return CheckOutcome{false, buf};
 }
 
 } // namespace sentry::core

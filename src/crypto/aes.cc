@@ -5,6 +5,7 @@
 #include "common/bytes.hh"
 #include "common/logging.hh"
 #include "crypto/aes_round.hh"
+#include "host/kernels.hh"
 
 namespace sentry::crypto
 {
@@ -100,15 +101,13 @@ Aes::Aes(std::span<const std::uint8_t> key) : schedule_(key) {}
 void
 Aes::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    NativeAesEnv env(schedule_);
-    aesEncryptBlock(env, in, out);
+    host::kernels().aes.encryptBlock(schedule_, in, out);
 }
 
 void
 Aes::decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    NativeAesEnv env(schedule_);
-    aesDecryptBlock(env, in, out);
+    host::kernels().aes.decryptBlock(schedule_, in, out);
 }
 
 namespace

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "crypto/aes_round.hh"
+#include "host/kernels.hh"
 
 namespace sentry::crypto
 {
@@ -12,8 +13,8 @@ namespace sentry::crypto
 namespace
 {
 
-/** Host-side block cipher over an expanded schedule (CPU-register/L1
- *  computation for the bulk paths). */
+/** Host-side block cipher over an expanded schedule, routed through the
+ *  runtime-dispatched kernel registry (AES-NI / ARMv8-CE / portable). */
 class ScheduleCipher : public BlockCipher
 {
   public:
@@ -25,16 +26,14 @@ class ScheduleCipher : public BlockCipher
     encryptBlock(const std::uint8_t in[16],
                  std::uint8_t out[16]) const override
     {
-        NativeAesEnv env(schedule_);
-        aesEncryptBlock(env, in, out);
+        host::kernels().aes.encryptBlock(schedule_, in, out);
     }
 
     void
     decryptBlock(const std::uint8_t in[16],
                  std::uint8_t out[16]) const override
     {
-        NativeAesEnv env(schedule_);
-        aesDecryptBlock(env, in, out);
+        host::kernels().aes.decryptBlock(schedule_, in, out);
     }
 
   private:
@@ -46,22 +45,27 @@ class ScheduleCipher : public BlockCipher
 HostAesCbc::HostAesCbc(const AesKeySchedule &schedule) : schedule_(schedule)
 {
     // Force the one-time T-table initialisation on this thread so
-    // worker threads only ever read the tables.
+    // worker threads only ever read the tables (the portable kernel
+    // tier, and the verification pass of an accelerated tier, use them).
     aesTables();
 }
 
 void
 HostAesCbc::cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data) const
 {
-    ScheduleCipher cipher(schedule_);
-    crypto::cbcEncrypt(cipher, iv, data);
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcEncrypt requires a multiple of 16 bytes");
+    host::kernels().aes.cbcEncrypt(schedule_, iv.data(), data.data(),
+                                   data.size());
 }
 
 void
 HostAesCbc::cbcDecrypt(const Iv &iv, std::span<std::uint8_t> data) const
 {
-    ScheduleCipher cipher(schedule_);
-    crypto::cbcDecrypt(cipher, iv, data);
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcDecrypt requires a multiple of 16 bytes");
+    host::kernels().aes.cbcDecrypt(schedule_, iv.data(), data.data(),
+                                   data.size());
 }
 
 ScopedChargeDivisor::ScopedChargeDivisor(SimAesEngine &engine, double divisor)
@@ -747,16 +751,16 @@ SimAesEngine::cryptBlocks(const Iv *cbc_iv, const std::uint8_t *in,
                 else
                     decryptBlock(src, dst);
             } else if (encrypt) {
-                for (std::size_t i = 0; i < AES_BLOCK_SIZE; ++i)
-                    x[i] = src[i] ^ chain[i];
+                std::memcpy(x, src, AES_BLOCK_SIZE);
+                host::xorBlock16(x, chain.data());
                 encryptBlock(x, dst);
                 std::memcpy(chain.data(), dst, AES_BLOCK_SIZE);
             } else {
                 Iv next;
                 std::memcpy(next.data(), src, AES_BLOCK_SIZE);
                 decryptBlock(src, x);
-                for (std::size_t i = 0; i < AES_BLOCK_SIZE; ++i)
-                    dst[i] = x[i] ^ chain[i];
+                host::xorBlock16(x, chain.data());
+                std::memcpy(dst, x, AES_BLOCK_SIZE);
                 chain = next;
             }
         }
@@ -783,8 +787,8 @@ SimAesEngine::cryptBlocks(const Iv *cbc_iv, const std::uint8_t *in,
         std::uint8_t *dst = out + AES_BLOCK_SIZE * b;
         if (cbc_iv != nullptr) {
             if (encrypt) {
-                for (std::size_t i = 0; i < AES_BLOCK_SIZE; ++i)
-                    x[i] = src[i] ^ chain[i];
+                std::memcpy(x, src, AES_BLOCK_SIZE);
+                host::xorBlock16(x, chain.data());
                 src = x;
             } else {
                 std::memcpy(next.data(), src, AES_BLOCK_SIZE);
@@ -826,8 +830,7 @@ SimAesEngine::cryptBlocks(const Iv *cbc_iv, const std::uint8_t *in,
             if (encrypt) {
                 std::memcpy(chain.data(), dst, AES_BLOCK_SIZE);
             } else {
-                for (std::size_t i = 0; i < AES_BLOCK_SIZE; ++i)
-                    dst[i] ^= chain[i];
+                host::xorBlock16(dst, chain.data());
                 chain = next;
             }
         }
@@ -908,7 +911,7 @@ SimAesEngine::cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data)
     // The CBC chaining block is public state kept in the region.
     soc_.memory().write(ivecOff_, iv.data(), iv.size());
 
-    ScheduleCipher cipher(schedule_);
+    const host::AesKernel &aes = host::kernels().aes;
     Iv chain = iv;
     std::size_t off = 0;
     while (off < data.size()) {
@@ -917,10 +920,10 @@ SimAesEngine::cbcEncrypt(const Iv &iv, std::span<std::uint8_t> data)
         const auto chunk = data.subspan(off, n);
         if (onSoc()) {
             hw::OnSocIrqGuard guard(soc_.cpu());
-            crypto::cbcEncrypt(cipher, chain, chunk);
+            aes.cbcEncrypt(schedule_, chain.data(), chunk.data(), n);
             chargeBulk(n);
         } else {
-            crypto::cbcEncrypt(cipher, chain, chunk);
+            aes.cbcEncrypt(schedule_, chain.data(), chunk.data(), n);
             chargeBulk(n);
             soc_.cpu().pollPreemption();
         }
@@ -940,7 +943,7 @@ SimAesEngine::cbcDecrypt(const Iv &iv, std::span<std::uint8_t> data)
     touchRegistersWithSecrets();
     soc_.memory().write(ivecOff_, iv.data(), iv.size());
 
-    ScheduleCipher cipher(schedule_);
+    const host::AesKernel &aes = host::kernels().aes;
     Iv chain = iv;
     Iv nextChain;
     std::size_t off = 0;
@@ -953,10 +956,10 @@ SimAesEngine::cbcDecrypt(const Iv &iv, std::span<std::uint8_t> data)
                     chunk.data() + n - AES_BLOCK_SIZE, AES_BLOCK_SIZE);
         if (onSoc()) {
             hw::OnSocIrqGuard guard(soc_.cpu());
-            crypto::cbcDecrypt(cipher, chain, chunk);
+            aes.cbcDecrypt(schedule_, chain.data(), chunk.data(), n);
             chargeBulk(n);
         } else {
-            crypto::cbcDecrypt(cipher, chain, chunk);
+            aes.cbcDecrypt(schedule_, chain.data(), chunk.data(), n);
             chargeBulk(n);
             soc_.cpu().pollPreemption();
         }

@@ -212,8 +212,10 @@ class Runner
         counters_.attach(device_->soc().trace());
         if (index_ == 0 && !options_.traceOutPath.empty()) {
             chromeSink_ = std::make_unique<probe::ChromeTraceSink>();
-            chromeSink_->attach(device_->soc().trace(),
-                                device_->soc().clock());
+            chromeSink_->attach(device_->soc().trace());
+            // A run that dies on an invariant panic (or simply never
+            // reaches the explicit writeJson) still dumps its timeline.
+            chromeSink_->setAutoDump(options_.traceOutPath);
         }
     }
 

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ARMv8 cryptographic-extension kernel tier for aarch64.
+ *
+ * AESE performs AddRoundKey *before* SubBytes/ShiftRows (unlike x86's
+ * aesenc, which adds the key after), so the encrypt loop feeds the
+ * plain encryption schedule and folds the final AddRoundKey into an
+ * explicit XOR. Decryption uses the same equivalent-inverse-cipher
+ * schedule the T-table and AES-NI tiers use: AESD XORs the key first,
+ * and the inter-round AESIMC keeps state and keys in the same
+ * InvMixColumns domain.
+ *
+ * This tier cannot be exercised on an x86 CI machine; the registry's
+ * verification-on-first-use KAT gates it at runtime on real ARM hosts,
+ * so a miscompiled or miswritten kernel degrades to portable instead of
+ * corrupting ciphertext.
+ */
+
+#include "host/kernels_detail.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "crypto/aes_round.hh"
+
+namespace sentry::host::detail
+{
+
+namespace
+{
+
+struct RoundKeys
+{
+    uint8x16_t rk[15];
+    unsigned nr;
+};
+
+RoundKeys
+loadRoundKeys(const crypto::AesKeySchedule &schedule, bool encrypt)
+{
+    RoundKeys keys;
+    keys.nr = schedule.rounds();
+    const auto words = encrypt ? schedule.encWords() : schedule.decWords();
+    std::uint8_t bytes[16];
+    for (unsigned r = 0; r <= keys.nr; ++r) {
+        for (unsigned w = 0; w < 4; ++w)
+            crypto::storeBe32(bytes + 4 * w, words[4 * r + w]);
+        keys.rk[r] = vld1q_u8(bytes);
+    }
+    return keys;
+}
+
+__attribute__((target("+crypto"))) inline uint8x16_t
+encryptOne(const RoundKeys &keys, uint8x16_t x)
+{
+    for (unsigned r = 0; r + 1 < keys.nr; ++r)
+        x = vaesmcq_u8(vaeseq_u8(x, keys.rk[r]));
+    x = vaeseq_u8(x, keys.rk[keys.nr - 1]);
+    return veorq_u8(x, keys.rk[keys.nr]);
+}
+
+__attribute__((target("+crypto"))) inline uint8x16_t
+decryptOne(const RoundKeys &keys, uint8x16_t x)
+{
+    for (unsigned r = 0; r + 1 < keys.nr; ++r)
+        x = vaesimcq_u8(vaesdq_u8(x, keys.rk[r]));
+    x = vaesdq_u8(x, keys.rk[keys.nr - 1]);
+    return veorq_u8(x, keys.rk[keys.nr]);
+}
+
+__attribute__((target("+crypto"))) void
+armEncryptBlock(const crypto::AesKeySchedule &schedule,
+                const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const RoundKeys keys = loadRoundKeys(schedule, true);
+    vst1q_u8(out, encryptOne(keys, vld1q_u8(in)));
+}
+
+__attribute__((target("+crypto"))) void
+armDecryptBlock(const crypto::AesKeySchedule &schedule,
+                const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const RoundKeys keys = loadRoundKeys(schedule, false);
+    vst1q_u8(out, decryptOne(keys, vld1q_u8(in)));
+}
+
+__attribute__((target("+crypto"))) void
+armCbcEncrypt(const crypto::AesKeySchedule &schedule,
+              const std::uint8_t iv[16], std::uint8_t *data,
+              std::size_t len)
+{
+    const RoundKeys keys = loadRoundKeys(schedule, true);
+    uint8x16_t chain = vld1q_u8(iv);
+    for (std::size_t off = 0; off < len; off += 16) {
+        chain = encryptOne(keys, veorq_u8(vld1q_u8(data + off), chain));
+        vst1q_u8(data + off, chain);
+    }
+}
+
+/** 4-wide pipelined CBC decrypt (independent until the chaining XOR). */
+__attribute__((target("+crypto"))) void
+armCbcDecrypt(const crypto::AesKeySchedule &schedule,
+              const std::uint8_t iv[16], std::uint8_t *data,
+              std::size_t len)
+{
+    const RoundKeys keys = loadRoundKeys(schedule, false);
+    uint8x16_t chain = vld1q_u8(iv);
+    std::size_t off = 0;
+    while (len - off >= 64) {
+        const uint8x16_t c0 = vld1q_u8(data + off);
+        const uint8x16_t c1 = vld1q_u8(data + off + 16);
+        const uint8x16_t c2 = vld1q_u8(data + off + 32);
+        const uint8x16_t c3 = vld1q_u8(data + off + 48);
+        uint8x16_t x0 = c0, x1 = c1, x2 = c2, x3 = c3;
+        for (unsigned r = 0; r + 1 < keys.nr; ++r) {
+            x0 = vaesimcq_u8(vaesdq_u8(x0, keys.rk[r]));
+            x1 = vaesimcq_u8(vaesdq_u8(x1, keys.rk[r]));
+            x2 = vaesimcq_u8(vaesdq_u8(x2, keys.rk[r]));
+            x3 = vaesimcq_u8(vaesdq_u8(x3, keys.rk[r]));
+        }
+        x0 = veorq_u8(vaesdq_u8(x0, keys.rk[keys.nr - 1]), keys.rk[keys.nr]);
+        x1 = veorq_u8(vaesdq_u8(x1, keys.rk[keys.nr - 1]), keys.rk[keys.nr]);
+        x2 = veorq_u8(vaesdq_u8(x2, keys.rk[keys.nr - 1]), keys.rk[keys.nr]);
+        x3 = veorq_u8(vaesdq_u8(x3, keys.rk[keys.nr - 1]), keys.rk[keys.nr]);
+        vst1q_u8(data + off, veorq_u8(x0, chain));
+        vst1q_u8(data + off + 16, veorq_u8(x1, c0));
+        vst1q_u8(data + off + 32, veorq_u8(x2, c1));
+        vst1q_u8(data + off + 48, veorq_u8(x3, c2));
+        chain = c3;
+        off += 64;
+    }
+    while (off < len) {
+        const uint8x16_t c = vld1q_u8(data + off);
+        vst1q_u8(data + off, veorq_u8(decryptOne(keys, c), chain));
+        chain = c;
+        off += 16;
+    }
+}
+
+} // namespace
+
+bool
+armAesKernel(AesKernel &out, const CpuFeatures &features)
+{
+    if (!features.armAes)
+        return false;
+    out = AesKernel{"armv8-ce", armEncryptBlock, armDecryptBlock,
+                    armCbcEncrypt, armCbcDecrypt};
+    return true;
+}
+
+} // namespace sentry::host::detail
+
+#else // !__aarch64__
+
+namespace sentry::host::detail
+{
+
+bool
+armAesKernel(AesKernel &out, const CpuFeatures &features)
+{
+    (void)out;
+    (void)features;
+    return false;
+}
+
+} // namespace sentry::host::detail
+
+#endif

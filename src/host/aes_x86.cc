@@ -1,0 +1,259 @@
+/**
+ * @file
+ * AES-NI (and VAES) kernel tier for x86-64.
+ *
+ * Every function carries its own `target` attribute, so this file
+ * compiles into any x86-64 binary and the registry only calls the
+ * accelerated entry points after cpuid says the machine has them.
+ *
+ * Round-key format: AesKeySchedule stores round keys as big-endian
+ * packed 32-bit words (the T-table convention), so an AES-NI round-key
+ * register is simply the four words of a round serialised big-endian.
+ * The decryption schedule is already in equivalent-inverse-cipher form
+ * (reversed order, InvMixColumns on the middle rounds) — exactly the
+ * key layout `aesdec`/`aesdeclast` expect.
+ */
+
+#include "host/kernels_detail.hh"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include "crypto/aes_round.hh"
+
+namespace sentry::host::detail
+{
+
+namespace
+{
+
+/** Serialised round keys for one direction (rounds() + 1 registers). */
+struct RoundKeys
+{
+    __m128i rk[15];
+    unsigned nr;
+};
+
+RoundKeys
+loadRoundKeys(const crypto::AesKeySchedule &schedule, bool encrypt)
+{
+    RoundKeys keys;
+    keys.nr = schedule.rounds();
+    const auto words = encrypt ? schedule.encWords() : schedule.decWords();
+    alignas(16) std::uint8_t bytes[16];
+    for (unsigned r = 0; r <= keys.nr; ++r) {
+        for (unsigned w = 0; w < 4; ++w)
+            crypto::storeBe32(bytes + 4 * w, words[4 * r + w]);
+        keys.rk[r] =
+            _mm_load_si128(reinterpret_cast<const __m128i *>(bytes));
+    }
+    return keys;
+}
+
+__attribute__((target("aes"))) inline __m128i
+encryptOne(const RoundKeys &keys, __m128i x)
+{
+    x = _mm_xor_si128(x, keys.rk[0]);
+    for (unsigned r = 1; r < keys.nr; ++r)
+        x = _mm_aesenc_si128(x, keys.rk[r]);
+    return _mm_aesenclast_si128(x, keys.rk[keys.nr]);
+}
+
+__attribute__((target("aes"))) inline __m128i
+decryptOne(const RoundKeys &keys, __m128i x)
+{
+    x = _mm_xor_si128(x, keys.rk[0]);
+    for (unsigned r = 1; r < keys.nr; ++r)
+        x = _mm_aesdec_si128(x, keys.rk[r]);
+    return _mm_aesdeclast_si128(x, keys.rk[keys.nr]);
+}
+
+__attribute__((target("aes"))) void
+aesniEncryptBlock(const crypto::AesKeySchedule &schedule,
+                  const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const RoundKeys keys = loadRoundKeys(schedule, true);
+    const __m128i x = encryptOne(
+        keys, _mm_loadu_si128(reinterpret_cast<const __m128i *>(in)));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), x);
+}
+
+__attribute__((target("aes"))) void
+aesniDecryptBlock(const crypto::AesKeySchedule &schedule,
+                  const std::uint8_t in[16], std::uint8_t out[16])
+{
+    const RoundKeys keys = loadRoundKeys(schedule, false);
+    const __m128i x = decryptOne(
+        keys, _mm_loadu_si128(reinterpret_cast<const __m128i *>(in)));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), x);
+}
+
+__attribute__((target("aes"))) void
+aesniCbcEncrypt(const crypto::AesKeySchedule &schedule,
+                const std::uint8_t iv[16], std::uint8_t *data,
+                std::size_t len)
+{
+    const RoundKeys keys = loadRoundKeys(schedule, true);
+    __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i *>(iv));
+    for (std::size_t off = 0; off < len; off += 16) {
+        __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + off));
+        chain = encryptOne(keys, _mm_xor_si128(x, chain));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(data + off), chain);
+    }
+}
+
+/** 4-wide pipelined CBC decrypt (the blocks are independent until the
+ *  final chaining XOR, so four decrypt streams hide the aesdec latency). */
+__attribute__((target("aes"))) void
+aesniCbcDecrypt(const crypto::AesKeySchedule &schedule,
+                const std::uint8_t iv[16], std::uint8_t *data,
+                std::size_t len)
+{
+    const RoundKeys keys = loadRoundKeys(schedule, false);
+    __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i *>(iv));
+    std::size_t off = 0;
+    while (len - off >= 64) {
+        auto *p = reinterpret_cast<const __m128i *>(data + off);
+        const __m128i c0 = _mm_loadu_si128(p);
+        const __m128i c1 = _mm_loadu_si128(p + 1);
+        const __m128i c2 = _mm_loadu_si128(p + 2);
+        const __m128i c3 = _mm_loadu_si128(p + 3);
+        __m128i x0 = _mm_xor_si128(c0, keys.rk[0]);
+        __m128i x1 = _mm_xor_si128(c1, keys.rk[0]);
+        __m128i x2 = _mm_xor_si128(c2, keys.rk[0]);
+        __m128i x3 = _mm_xor_si128(c3, keys.rk[0]);
+        for (unsigned r = 1; r < keys.nr; ++r) {
+            x0 = _mm_aesdec_si128(x0, keys.rk[r]);
+            x1 = _mm_aesdec_si128(x1, keys.rk[r]);
+            x2 = _mm_aesdec_si128(x2, keys.rk[r]);
+            x3 = _mm_aesdec_si128(x3, keys.rk[r]);
+        }
+        x0 = _mm_aesdeclast_si128(x0, keys.rk[keys.nr]);
+        x1 = _mm_aesdeclast_si128(x1, keys.rk[keys.nr]);
+        x2 = _mm_aesdeclast_si128(x2, keys.rk[keys.nr]);
+        x3 = _mm_aesdeclast_si128(x3, keys.rk[keys.nr]);
+        auto *q = reinterpret_cast<__m128i *>(data + off);
+        _mm_storeu_si128(q, _mm_xor_si128(x0, chain));
+        _mm_storeu_si128(q + 1, _mm_xor_si128(x1, c0));
+        _mm_storeu_si128(q + 2, _mm_xor_si128(x2, c1));
+        _mm_storeu_si128(q + 3, _mm_xor_si128(x3, c2));
+        chain = c3;
+        off += 64;
+    }
+    while (off < len) {
+        const __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + off));
+        const __m128i x = _mm_xor_si128(decryptOne(keys, c), chain);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(data + off), x);
+        chain = c;
+        off += 16;
+    }
+}
+
+#if defined(__GNUC__) && (__GNUC__ >= 10 || defined(__clang__))
+#define SENTRY_HAVE_VAES 1
+#endif
+
+#ifdef SENTRY_HAVE_VAES
+/** 8-wide CBC decrypt on 256-bit lanes. The chaining vectors
+ *  (c_{i-1}, c_i) are built from registers — never re-read from the
+ *  buffer, which is being overwritten with plaintext in place. */
+__attribute__((target("aes,avx2,vaes"))) void
+vaesCbcDecrypt(const crypto::AesKeySchedule &schedule,
+               const std::uint8_t iv[16], std::uint8_t *data,
+               std::size_t len)
+{
+    const RoundKeys keys = loadRoundKeys(schedule, false);
+    __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i *>(iv));
+    std::size_t off = 0;
+
+    if (len >= 128) {
+        __m256i rk[15];
+        for (unsigned r = 0; r <= keys.nr; ++r)
+            rk[r] = _mm256_broadcastsi128_si256(keys.rk[r]);
+        while (len - off >= 128) {
+            auto *p = reinterpret_cast<const __m256i *>(data + off);
+            const __m256i c01 = _mm256_loadu_si256(p);
+            const __m256i c23 = _mm256_loadu_si256(p + 1);
+            const __m256i c45 = _mm256_loadu_si256(p + 2);
+            const __m256i c67 = _mm256_loadu_si256(p + 3);
+            // prevNM = (c_{N-1}, c_N): lane-shift the ciphertext stream
+            // by one block, seeding the low lane with the running chain.
+            const __m256i prev01 = _mm256_inserti128_si256(
+                _mm256_castsi128_si256(chain),
+                _mm256_castsi256_si128(c01), 1);
+            const __m256i prev23 = _mm256_permute2x128_si256(c01, c23, 0x21);
+            const __m256i prev45 = _mm256_permute2x128_si256(c23, c45, 0x21);
+            const __m256i prev67 = _mm256_permute2x128_si256(c45, c67, 0x21);
+            __m256i x0 = _mm256_xor_si256(c01, rk[0]);
+            __m256i x1 = _mm256_xor_si256(c23, rk[0]);
+            __m256i x2 = _mm256_xor_si256(c45, rk[0]);
+            __m256i x3 = _mm256_xor_si256(c67, rk[0]);
+            for (unsigned r = 1; r < keys.nr; ++r) {
+                x0 = _mm256_aesdec_epi128(x0, rk[r]);
+                x1 = _mm256_aesdec_epi128(x1, rk[r]);
+                x2 = _mm256_aesdec_epi128(x2, rk[r]);
+                x3 = _mm256_aesdec_epi128(x3, rk[r]);
+            }
+            x0 = _mm256_aesdeclast_epi128(x0, rk[keys.nr]);
+            x1 = _mm256_aesdeclast_epi128(x1, rk[keys.nr]);
+            x2 = _mm256_aesdeclast_epi128(x2, rk[keys.nr]);
+            x3 = _mm256_aesdeclast_epi128(x3, rk[keys.nr]);
+            chain = _mm256_extracti128_si256(c67, 1);
+            auto *q = reinterpret_cast<__m256i *>(data + off);
+            _mm256_storeu_si256(q, _mm256_xor_si256(x0, prev01));
+            _mm256_storeu_si256(q + 1, _mm256_xor_si256(x1, prev23));
+            _mm256_storeu_si256(q + 2, _mm256_xor_si256(x2, prev45));
+            _mm256_storeu_si256(q + 3, _mm256_xor_si256(x3, prev67));
+            off += 128;
+        }
+    }
+    while (off < len) {
+        const __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + off));
+        const __m128i x = _mm_xor_si128(decryptOne(keys, c), chain);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(data + off), x);
+        chain = c;
+        off += 16;
+    }
+}
+#endif // SENTRY_HAVE_VAES
+
+} // namespace
+
+bool
+x86AesKernel(AesKernel &out, const CpuFeatures &features)
+{
+    if (!features.aesni)
+        return false;
+    out = AesKernel{"aes-ni", aesniEncryptBlock, aesniDecryptBlock,
+                    aesniCbcEncrypt, aesniCbcDecrypt};
+#ifdef SENTRY_HAVE_VAES
+    if (features.vaes) {
+        out.tier = "aes-ni+vaes";
+        out.cbcDecrypt = vaesCbcDecrypt;
+    }
+#endif
+    return true;
+}
+
+} // namespace sentry::host::detail
+
+#else // !__x86_64__
+
+namespace sentry::host::detail
+{
+
+bool
+x86AesKernel(AesKernel &out, const CpuFeatures &features)
+{
+    (void)out;
+    (void)features;
+    return false;
+}
+
+} // namespace sentry::host::detail
+
+#endif

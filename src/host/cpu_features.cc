@@ -1,0 +1,111 @@
+#include "host/cpu_features.hh"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace sentry::host
+{
+
+namespace
+{
+
+#if defined(__x86_64__) || defined(__i386__)
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+        f.aesni = (ecx & bit_AES) != 0;
+        f.pclmul = (ecx & bit_PCLMUL) != 0;
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        f.avx2 = (ebx & bit_AVX2) != 0;
+        f.vaes = (ecx & bit_VAES) != 0;
+    }
+    // VAES without AVX2 is not a configuration we generate code for.
+    f.vaes = f.vaes && f.avx2;
+    return f;
+}
+
+#elif defined(__aarch64__)
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+#if defined(__linux__)
+    const unsigned long hwcap = getauxval(AT_HWCAP);
+    f.armAes = (hwcap & (1ul << 3)) != 0;  // HWCAP_AES
+    f.armNeon = (hwcap & (1ul << 1)) != 0; // HWCAP_ASIMD
+#elif defined(__ARM_FEATURE_CRYPTO) || defined(__ARM_FEATURE_AES)
+    // No runtime probe available (e.g. macOS): trust the compile target.
+    f.armAes = true;
+    f.armNeon = true;
+#endif
+    return f;
+}
+
+#else
+
+CpuFeatures
+detect()
+{
+    return CpuFeatures{};
+}
+
+#endif
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures features = detect();
+    return features;
+}
+
+bool
+forcedPortable()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("SENTRY_FORCE_PORTABLE");
+        return env != nullptr && env[0] != '\0' &&
+               !(env[0] == '0' && env[1] == '\0');
+    }();
+    return forced;
+}
+
+std::string
+CpuFeatures::summary() const
+{
+#if defined(__x86_64__) || defined(__i386__)
+    std::string out = "x86-64";
+    if (aesni)
+        out += " aes-ni";
+    if (pclmul)
+        out += " pclmul";
+    if (avx2)
+        out += " avx2";
+    if (vaes)
+        out += " vaes";
+#elif defined(__aarch64__)
+    std::string out = "aarch64";
+    if (armNeon)
+        out += " asimd";
+    if (armAes)
+        out += " aes";
+#else
+    std::string out = "generic";
+#endif
+    return out;
+}
+
+} // namespace sentry::host

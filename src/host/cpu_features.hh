@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Host CPU feature detection for the kernel registry (host/kernels.hh).
+ *
+ * Detection runs once per process and answers one question: which
+ * accelerated kernel tiers is this machine *capable* of running? The
+ * registry separately decides which tier actually runs (content
+ * verification against the portable tier, SENTRY_FORCE_PORTABLE).
+ */
+
+#ifndef SENTRY_HOST_CPU_FEATURES_HH
+#define SENTRY_HOST_CPU_FEATURES_HH
+
+#include <string>
+
+namespace sentry::host
+{
+
+/** Capability bits of the host CPU relevant to sentry's fast paths. */
+struct CpuFeatures
+{
+    // x86-64
+    bool aesni = false;  //!< AES-NI block instructions
+    bool pclmul = false; //!< carry-less multiply
+    bool avx2 = false;   //!< 256-bit integer SIMD
+    bool vaes = false;   //!< vector AES (256-bit lanes)
+    // aarch64
+    bool armAes = false;  //!< ARMv8 cryptographic extension (AESE/AESD)
+    bool armNeon = false; //!< AdvSIMD
+
+    /** @return "x86-64 aes-ni avx2 vaes"-style one-liner (stable order). */
+    std::string summary() const;
+};
+
+/** @return the host's capabilities (detected once, then cached). */
+const CpuFeatures &cpuFeatures();
+
+/**
+ * @return true when SENTRY_FORCE_PORTABLE was set (to anything but "" or
+ * "0") in the environment when the registry first initialised. Pins every
+ * hot path to the portable tier — the triage switch for drift suspicion.
+ */
+bool forcedPortable();
+
+} // namespace sentry::host
+
+#endif // SENTRY_HOST_CPU_FEATURES_HH

@@ -1,0 +1,366 @@
+#include "host/kernels.hh"
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hh"
+#include "crypto/aes_round.hh"
+#include "host/kernels_detail.hh"
+
+namespace sentry::host
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Portable tier: exactly the code the scattered fast paths ran before
+// the registry existed (T-table AES via the native round engine, the
+// stride/memchr scan loops). It is both the fallback and the reference
+// every accelerated tier is verified against.
+// ---------------------------------------------------------------------
+
+void
+portableEncryptBlock(const crypto::AesKeySchedule &schedule,
+                     const std::uint8_t in[16], std::uint8_t out[16])
+{
+    crypto::NativeAesEnv env(schedule);
+    crypto::aesEncryptBlock(env, in, out);
+}
+
+void
+portableDecryptBlock(const crypto::AesKeySchedule &schedule,
+                     const std::uint8_t in[16], std::uint8_t out[16])
+{
+    crypto::NativeAesEnv env(schedule);
+    crypto::aesDecryptBlock(env, in, out);
+}
+
+void
+portableCbcEncrypt(const crypto::AesKeySchedule &schedule,
+                   const std::uint8_t iv[16], std::uint8_t *data,
+                   std::size_t len)
+{
+    crypto::NativeAesEnv env(schedule);
+    std::uint8_t chain[16];
+    std::memcpy(chain, iv, 16);
+    for (std::size_t off = 0; off < len; off += 16) {
+        xorBlock16(data + off, chain);
+        crypto::aesEncryptBlock(env, data + off, data + off);
+        std::memcpy(chain, data + off, 16);
+    }
+}
+
+void
+portableCbcDecrypt(const crypto::AesKeySchedule &schedule,
+                   const std::uint8_t iv[16], std::uint8_t *data,
+                   std::size_t len)
+{
+    crypto::NativeAesEnv env(schedule);
+    std::uint8_t chain[16];
+    std::uint8_t next[16];
+    std::memcpy(chain, iv, 16);
+    for (std::size_t off = 0; off < len; off += 16) {
+        std::memcpy(next, data + off, 16);
+        crypto::aesDecryptBlock(env, data + off, data + off);
+        xorBlock16(data + off, chain);
+        std::memcpy(chain, next, 16);
+    }
+}
+
+std::size_t
+portableCountPattern(const std::uint8_t *buf, std::size_t len,
+                     const std::uint8_t *pattern, std::size_t patternLen)
+{
+    std::size_t hits = 0;
+    for (std::size_t off = 0; off + patternLen <= len; off += patternLen) {
+        if (std::memcmp(buf + off, pattern, patternLen) == 0)
+            ++hits;
+    }
+    return hits;
+}
+
+bool
+portableContainsBytes(const std::uint8_t *haystack, std::size_t hayLen,
+                      const std::uint8_t *needle, std::size_t needleLen)
+{
+    if (needleLen == 0 || needleLen > hayLen)
+        return false;
+    const std::uint8_t *p = haystack;
+    const std::uint8_t *end = haystack + hayLen - needleLen + 1;
+    while (p < end) {
+        const auto *hit = static_cast<const std::uint8_t *>(std::memchr(
+            p, needle[0], static_cast<std::size_t>(end - p)));
+        if (hit == nullptr)
+            return false;
+        if (std::memcmp(hit, needle, needleLen) == 0)
+            return true;
+        p = hit + 1;
+    }
+    return false;
+}
+
+bool
+portableAllZero(const std::uint8_t *buf, std::size_t len)
+{
+    std::uint64_t acc = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, buf + i, 8);
+        acc |= w;
+    }
+    for (; i < len; ++i)
+        acc |= buf[i];
+    return acc == 0;
+}
+
+constexpr AesKernel PORTABLE_AES = {
+    "portable",        portableEncryptBlock, portableDecryptBlock,
+    portableCbcEncrypt, portableCbcDecrypt,
+};
+
+constexpr BytesKernel PORTABLE_BYTES = {
+    "portable",
+    portableCountPattern,
+    portableContainsBytes,
+    portableAllZero,
+};
+
+// ---------------------------------------------------------------------
+// Verification on first use: an accelerated tier is adopted only after
+// it reproduces the portable tier bit for bit. Mismatch means a broken
+// kernel (or a miswired CPU probe) and silently costs speed, never
+// correctness.
+// ---------------------------------------------------------------------
+
+/** Deterministic filler (split-mix style) for verification buffers. */
+void
+fillDeterministic(std::uint8_t *buf, std::size_t len, std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        buf[i] = static_cast<std::uint8_t>(z ^ (z >> 31));
+    }
+}
+
+bool
+verifyAesKernel(const AesKernel &candidate)
+{
+    // FIPS-197 appendix C known answers, one per key size.
+    static const struct
+    {
+        std::size_t keyBytes;
+        const char *cipher;
+    } KATS[] = {
+        {16, "69c4e0d86a7b0430d8cdb78070b4c55a"},
+        {24, "dda97ca4864cdfe06eaf70a0ec0d7191"},
+        {32, "8ea2b7ca516745bfeafc49904b496089"},
+    };
+    const std::uint8_t plain[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                    0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                    0xcc, 0xdd, 0xee, 0xff};
+
+    for (const auto &kat : KATS) {
+        std::uint8_t key[32];
+        for (std::size_t i = 0; i < kat.keyBytes; ++i)
+            key[i] = static_cast<std::uint8_t>(i);
+        const crypto::AesKeySchedule schedule({key, kat.keyBytes});
+
+        std::uint8_t want[16], got[16];
+        for (std::size_t i = 0; i < 16; ++i) {
+            const char hi = kat.cipher[2 * i];
+            const char lo = kat.cipher[2 * i + 1];
+            auto nib = [](char c) {
+                return c <= '9' ? c - '0' : c - 'a' + 10;
+            };
+            want[i] = static_cast<std::uint8_t>((nib(hi) << 4) | nib(lo));
+        }
+        candidate.encryptBlock(schedule, plain, got);
+        if (std::memcmp(got, want, 16) != 0)
+            return false;
+        candidate.decryptBlock(schedule, want, got);
+        if (std::memcmp(got, plain, 16) != 0)
+            return false;
+
+        // CBC round trips at lengths that exercise the wide lanes, the
+        // scalar tails, and single-block calls, cross-checked against
+        // the portable tier on pseudorandom data.
+        for (const std::size_t len : {std::size_t{16}, std::size_t{80},
+                                      std::size_t{512}, std::size_t{2048}}) {
+            std::vector<std::uint8_t> a(len), b(len);
+            std::uint8_t iv[16];
+            fillDeterministic(a.data(), len, 0xc0ffee00 + len);
+            fillDeterministic(iv, 16, len);
+            b = a;
+            PORTABLE_AES.cbcEncrypt(schedule, iv, a.data(), len);
+            candidate.cbcEncrypt(schedule, iv, b.data(), len);
+            if (a != b)
+                return false;
+            b = a;
+            PORTABLE_AES.cbcDecrypt(schedule, iv, a.data(), len);
+            candidate.cbcDecrypt(schedule, iv, b.data(), len);
+            if (a != b)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+verifyBytesKernel(const BytesKernel &candidate)
+{
+    std::vector<std::uint8_t> hay(4096 + 13);
+    fillDeterministic(hay.data(), hay.size(), 0x5ca1ab1e);
+
+    const std::uint8_t pat8[8] = {0xde, 0xc0, 0xde, 0xd0, 0x0d, 0x1e, 0xe7, 0x5e};
+    // Plant stride-aligned copies, including one straddling the last
+    // full stride, plus an unaligned copy countPattern must NOT count.
+    std::memcpy(hay.data() + 8 * 3, pat8, 8);
+    std::memcpy(hay.data() + 8 * 200, pat8, 8);
+    std::memcpy(hay.data() + 8 * 511, pat8, 8);
+    std::memcpy(hay.data() + 8 * 100 + 3, pat8, 8);
+
+    for (std::size_t len : {hay.size(), std::size_t{64}, std::size_t{7},
+                            std::size_t{0}}) {
+        if (candidate.countPattern(hay.data(), len, pat8, 8) !=
+            PORTABLE_BYTES.countPattern(hay.data(), len, pat8, 8))
+            return false;
+    }
+    const std::uint8_t pat3[3] = {0xaa, 0xbb, 0xcc};
+    if (candidate.countPattern(hay.data(), hay.size(), pat3, 3) !=
+        PORTABLE_BYTES.countPattern(hay.data(), hay.size(), pat3, 3))
+        return false;
+
+    // containsBytes: present (middle, head, tail), absent, and
+    // single-byte needles.
+    std::uint8_t needle[21];
+    std::memcpy(needle, hay.data() + 1234, sizeof(needle));
+    const std::uint8_t absent[5] = {0x00, 0x01, 0x02, 0x03, 0x04};
+    struct
+    {
+        const std::uint8_t *n;
+        std::size_t len;
+    } probes[] = {
+        {needle, sizeof(needle)}, {hay.data(), 16},
+        {hay.data() + hay.size() - 9, 9}, {absent, sizeof(absent)},
+        {needle, 1},              {needle, 2},
+    };
+    for (const auto &probe : probes) {
+        if (candidate.containsBytes(hay.data(), hay.size(), probe.n,
+                                    probe.len) !=
+            PORTABLE_BYTES.containsBytes(hay.data(), hay.size(), probe.n,
+                                         probe.len))
+            return false;
+    }
+
+    std::vector<std::uint8_t> zeros(3000, 0);
+    if (!candidate.allZero(zeros.data(), zeros.size()))
+        return false;
+    for (const std::size_t flip : {std::size_t{0}, std::size_t{1234},
+                                   zeros.size() - 1}) {
+        zeros[flip] = 1;
+        if (candidate.allZero(zeros.data(), zeros.size()))
+            return false;
+        zeros[flip] = 0;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Registry assembly.
+// ---------------------------------------------------------------------
+
+Kernels
+buildKernels()
+{
+    Kernels k{PORTABLE_AES, PORTABLE_BYTES};
+    if (forcedPortable())
+        return k;
+
+    const CpuFeatures &features = cpuFeatures();
+    AesKernel aes;
+    if ((detail::x86AesKernel(aes, features) ||
+         detail::armAesKernel(aes, features)) &&
+        verifyAesKernel(aes)) {
+        k.aes = aes;
+    }
+    BytesKernel bytes;
+    if (detail::x86BytesKernel(bytes, features) &&
+        verifyBytesKernel(bytes)) {
+        k.bytes = bytes;
+    }
+    return k;
+}
+
+const Kernels &
+defaultKernels()
+{
+    static const Kernels k = buildKernels();
+    return k;
+}
+
+std::atomic<const Kernels *> testOverride{nullptr};
+
+} // namespace
+
+const Kernels &
+kernels()
+{
+    const Kernels *override = testOverride.load(std::memory_order_acquire);
+    return override != nullptr ? *override : defaultKernels();
+}
+
+const Kernels &
+portableKernels()
+{
+    static const Kernels k{PORTABLE_AES, PORTABLE_BYTES};
+    return k;
+}
+
+void
+setActiveKernelsForTest(const Kernels *kernels)
+{
+    testOverride.store(kernels, std::memory_order_release);
+}
+
+std::string
+hostInfoString()
+{
+    const Kernels &k = kernels();
+    std::string out = "host cpu:       " + cpuFeatures().summary();
+    if (forcedPortable())
+        out += " (SENTRY_FORCE_PORTABLE)";
+    out += "\naes kernel:     ";
+    out += k.aes.tier;
+    out += "  (block + CBC: kcryptd workers, MemShield engine, native "
+           "audited tier)";
+    out += "\nbytes kernel:   ";
+    out += k.bytes.tier;
+    out += "  (fleet audit scans, remanence pattern counts)";
+    out += "\ntrace emission: batched per bus burst (sync subscribers "
+           "dispatch inline)";
+    out += "\n";
+    return out;
+}
+
+std::string
+hostFeaturesKey()
+{
+    const Kernels &k = kernels();
+    std::string out = cpuFeatures().summary();
+    if (forcedPortable())
+        out += " forced-portable";
+    out += " / aes=";
+    out += k.aes.tier;
+    out += " bytes=";
+    out += k.bytes.tier;
+    return out;
+}
+
+} // namespace sentry::host

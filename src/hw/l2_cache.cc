@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "host/kernels.hh"
 #include "hw/trustzone.hh"
 
 namespace sentry::hw
@@ -146,9 +147,9 @@ L2Cache::access(PhysAddr addr, std::uint8_t *rbuf, const std::uint8_t *wbuf,
     std::uint8_t *cached =
         lineData(set, static_cast<unsigned>(way)) + offsetInLine;
     if (rbuf != nullptr) {
-        std::memcpy(rbuf, cached, len);
+        host::copyLine(rbuf, cached, len);
     } else {
-        std::memcpy(cached, wbuf, len);
+        host::copyLine(cached, wbuf, len);
         lines_[lineIndex(set, static_cast<unsigned>(way))].dirty = true;
     }
 }

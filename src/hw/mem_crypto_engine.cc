@@ -1,6 +1,7 @@
 #include "hw/mem_crypto_engine.hh"
 
 #include "common/logging.hh"
+#include "host/kernels.hh"
 
 namespace sentry::hw
 {
@@ -43,8 +44,10 @@ MemCryptoEngine::cbcEncrypt(const crypto::Iv &iv,
 {
     if (!cipher_)
         fatal("memory-crypto engine used before a key was loaded");
-    crypto::AesBlockCipher block(*cipher_);
-    crypto::cbcEncrypt(block, iv, data);
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcEncrypt requires a multiple of 16 bytes");
+    host::kernels().aes.cbcEncrypt(cipher_->schedule(), iv.data(),
+                                   data.data(), data.size());
     chargeRequest(data.size(), true);
 }
 
@@ -54,8 +57,10 @@ MemCryptoEngine::cbcDecrypt(const crypto::Iv &iv,
 {
     if (!cipher_)
         fatal("memory-crypto engine used before a key was loaded");
-    crypto::AesBlockCipher block(*cipher_);
-    crypto::cbcDecrypt(block, iv, data);
+    if (data.size() % AES_BLOCK_SIZE != 0)
+        fatal("cbcDecrypt requires a multiple of 16 bytes");
+    host::kernels().aes.cbcDecrypt(cipher_->schedule(), iv.data(),
+                                   data.data(), data.size());
     chargeRequest(data.size(), false);
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hh"
+#include "common/logging.hh"
 #include "common/trace_engine.hh"
 #include "core/locked_way_manager.hh"
 #include "crypto/aes_on_soc.hh"
@@ -137,7 +138,7 @@ TEST(ChromeTraceSink, RecordsTimelineAndWritesJson)
 {
     Soc soc(PlatformConfig::tegra3(16 * MiB));
     probe::ChromeTraceSink sink(1024);
-    sink.attach(soc.trace(), soc.clock());
+    sink.attach(soc.trace());
     soc.memory().write32(DRAM_BASE + 0x40, 0xdeadbeefu);
     sink.detach();
     ASSERT_GT(sink.eventCount(), 0u);
@@ -158,7 +159,7 @@ TEST(ChromeTraceSink, TruncatesAtTheEventCap)
 {
     Soc soc(PlatformConfig::tegra3(16 * MiB));
     probe::ChromeTraceSink sink(4);
-    sink.attach(soc.trace(), soc.clock());
+    sink.attach(soc.trace());
     for (unsigned i = 0; i < 8; ++i)
         soc.memory().write32(DRAM_BASE + 0x40 + 64 * i, i);
     sink.detach();
@@ -246,3 +247,226 @@ INSTANTIATE_TEST_SUITE_P(Placements, TraceParityTest,
                                         ? std::string("Dram")
                                         : std::string("LockedL2");
                          });
+
+namespace
+{
+
+/** Batch sink that renders every record to a comparable event stream. */
+struct RecordingBatchSink : probe::BatchSubscriber
+{
+    void
+    onRecords(const probe::TraceRecord *records,
+              std::size_t count) override
+    {
+        ++batches;
+        for (std::size_t i = 0; i < count; ++i) {
+            const probe::TraceRecord &r = records[i];
+            char buf[160];
+            switch (r.kind) {
+              case probe::TraceKind::MemAccess:
+                std::snprintf(buf, sizeof buf, "mem %d %d %llx %zu",
+                              static_cast<int>(r.mem.device),
+                              r.mem.isWrite ? 1 : 0,
+                              static_cast<unsigned long long>(r.mem.offset),
+                              r.mem.len);
+                break;
+              case probe::TraceKind::BusTransfer:
+                std::snprintf(buf, sizeof buf, "bus %llx %u %d %d %u %p",
+                              static_cast<unsigned long long>(r.bus.addr),
+                              r.bus.size, r.bus.isWrite ? 1 : 0,
+                              r.bus.duplicate ? 1 : 0, r.bus.extraWrites,
+                              static_cast<const void *>(r.bus.data));
+                break;
+              case probe::TraceKind::CacheEvent:
+                std::snprintf(buf, sizeof buf, "wb %u %d %llx",
+                              r.cache.way, r.cache.wayLocked ? 1 : 0,
+                              static_cast<unsigned long long>(
+                                  r.cache.addr));
+                break;
+              case probe::TraceKind::PowerEvent:
+                std::snprintf(buf, sizeof buf, "pw %s %.9g",
+                              r.power.category, r.power.joules);
+                break;
+              case probe::TraceKind::DmaBurst:
+                std::snprintf(buf, sizeof buf, "dma %llx %zu %d",
+                              static_cast<unsigned long long>(r.dma.addr),
+                              r.dma.len, r.dma.isWrite ? 1 : 0);
+                break;
+              case probe::TraceKind::CryptoOp:
+                std::snprintf(buf, sizeof buf, "co %zu %d",
+                              r.crypto.bytes, r.crypto.encrypt ? 1 : 0);
+                break;
+              default:
+                std::snprintf(buf, sizeof buf, "kc %.9g",
+                              r.kcryptd.stallSeconds);
+                break;
+            }
+            char ts[48];
+            std::snprintf(ts, sizeof ts, " @%.3f\n", r.tsUs);
+            stream += buf;
+            stream += ts;
+        }
+    }
+
+    std::string stream;
+    unsigned batches = 0;
+};
+
+/** Drive a fixed deterministic workload on a fresh Soc. */
+void
+driveWorkload(Soc &soc)
+{
+    for (unsigned i = 0; i < 24; ++i)
+        soc.memory().write32(DRAM_BASE + 0x40 + 192 * i, 0x1000 + i);
+    for (unsigned i = 0; i < 24; ++i)
+        soc.memory().read32(DRAM_BASE + 0x40 + 192 * i);
+    soc.memory().write32(IRAM_BASE + 0x80, 0xabcdef01u);
+}
+
+} // namespace
+
+TEST(TraceBatching, BatchedStreamMatchesUnbatchedStream)
+{
+    // Capacity 1 delivers every record immediately (the pre-batching
+    // behaviour); the default capacity coalesces per bus burst. Both
+    // must produce byte-identical event streams — batching may change
+    // *when* sinks run, never *what* they see.
+    RecordingBatchSink unbatched, batched;
+    std::string unbatchedStream, batchedStream;
+    {
+        Soc soc(PlatformConfig::tegra3(16 * MiB));
+        soc.trace().setBatchCapacity(1);
+        soc.trace().subscribeBatched(&unbatched, probe::TRACE_ALL);
+        driveWorkload(soc);
+        soc.trace().unsubscribeBatched(&unbatched);
+    }
+    {
+        Soc soc(PlatformConfig::tegra3(16 * MiB));
+        soc.trace().subscribeBatched(&batched, probe::TRACE_ALL);
+        driveWorkload(soc);
+        soc.trace().unsubscribeBatched(&batched);
+    }
+    EXPECT_EQ(unbatched.stream, batched.stream);
+    EXPECT_FALSE(batched.stream.empty());
+    // Batching actually coalesced: fewer deliveries for the same events.
+    EXPECT_LT(batched.batches, unbatched.batches);
+}
+
+TEST(TraceBatching, CounterTotalsMatchBetweenCapacities)
+{
+    probe::TraceCounters unbatched, batched;
+    {
+        Soc soc(PlatformConfig::tegra3(16 * MiB));
+        soc.trace().setBatchCapacity(1);
+        probe::CounterSink sink;
+        sink.attach(soc.trace());
+        driveWorkload(soc);
+        unbatched = sink.counters();
+    }
+    {
+        Soc soc(PlatformConfig::tegra3(16 * MiB));
+        probe::CounterSink sink;
+        sink.attach(soc.trace());
+        driveWorkload(soc);
+        batched = sink.counters();
+    }
+    EXPECT_EQ(unbatched.summary(), batched.summary());
+    EXPECT_GT(batched.memOps(), 0u);
+}
+
+TEST(TraceBatching, ReadersSeeNoStalePrefix)
+{
+    // counters() must flush the pending ring: a mid-burst reader sees
+    // every event emitted so far, not just the flushed prefix.
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    probe::CounterSink sink;
+    sink.attach(soc.trace());
+    soc.memory().write32(IRAM_BASE + 0x40, 1u); // no bus burst: stays pending
+    EXPECT_EQ(sink.counters().iramWrites, 1u);
+    EXPECT_EQ(soc.trace().pendingCount(), 0u);
+}
+
+TEST(TraceBatching, DetachFlushesAndStopsDelivery)
+{
+    Soc soc(PlatformConfig::tegra3(16 * MiB));
+    RecordingBatchSink sink;
+    soc.trace().subscribeBatched(&sink, probe::TRACE_ALL);
+    soc.memory().write32(IRAM_BASE + 0x40, 1u);
+    soc.trace().unsubscribeBatched(&sink); // flushes the pending record
+    const std::string frozen = sink.stream;
+    EXPECT_FALSE(frozen.empty());
+    EXPECT_FALSE(soc.trace().anyEnabled());
+    soc.memory().write32(IRAM_BASE + 0x44, 2u);
+    EXPECT_EQ(sink.stream, frozen);
+}
+
+TEST(TraceBatching, SyncSubscribersRunBeforeTheSnapshot)
+{
+    // Response fields written by synchronous subscribers must be
+    // visible in the batched record (snapshot happens after the sync
+    // pass) — the fuzzer's stall accounting depends on it.
+    probe::TraceEngine engine;
+    std::string log;
+    TaggingSubscriber sync(&log, 's');
+    RecordingBatchSink batch;
+    engine.subscribe(&sync, probe::maskOf(probe::TraceKind::KcryptdOp));
+    engine.subscribeBatched(&batch,
+                            probe::maskOf(probe::TraceKind::KcryptdOp));
+
+    probe::KcryptdOp event{0.0};
+    engine.emit(event);
+    engine.flushPending();
+    EXPECT_EQ(log, "s");
+    EXPECT_NE(batch.stream.find("kc 1"), std::string::npos);
+
+    engine.unsubscribe(&sync);
+    engine.unsubscribeBatched(&batch);
+}
+
+TEST(TraceBatching, AutoDumpWritesTheTimelineOnPanic)
+{
+    // A failing fleet run dies through panic() -> std::abort. The crash
+    // hook must leave a loadable trace file with the events already
+    // delivered to the sink (it deliberately does NOT flush the engine
+    // — the engine's state may be the thing that paniced).
+    const std::string path = "test_trace_engine_panicdump.json";
+    std::remove(path.c_str());
+    EXPECT_DEATH(
+        {
+            Soc soc(PlatformConfig::tegra3(16 * MiB));
+            probe::ChromeTraceSink sink(1024);
+            sink.attach(soc.trace());
+            sink.setAutoDump(path);
+            soc.memory().write32(DRAM_BASE + 0x40, 0xfeedfaceu);
+            panic("trace autodump death test");
+        },
+        "trace autodump death test");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("traceEvents"), std::string::npos);
+    EXPECT_NE(body.str().find("bus-transfer"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceBatching, AutoDumpWritesTheTimelineFromTheDestructor)
+{
+    const std::string path = "test_trace_engine_autodump.json";
+    std::remove(path.c_str());
+    {
+        Soc soc(PlatformConfig::tegra3(16 * MiB));
+        probe::ChromeTraceSink sink(1024);
+        sink.attach(soc.trace());
+        sink.setAutoDump(path);
+        soc.memory().write32(DRAM_BASE + 0x40, 0xfeedfaceu);
+        sink.detach();
+        // No explicit writeJson: the destructor must dump.
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("bus-transfer"), std::string::npos);
+    std::remove(path.c_str());
+}
